@@ -1,0 +1,65 @@
+//! Figure 1 — Performance evaluation of (simulated) Optane DCPMM.
+//!
+//! (a) Raw 64 B random-write throughput vs. FAST&FAIR Put throughput as the
+//!     thread count grows; (b) sequential vs. random 256 B write bandwidth;
+//! (c) write latency for Seq / Rnd / In-place patterns.
+
+use flatstore_bench::Scale;
+use simkv::probe::{write_bandwidth, write_latency, write_throughput_mops, Pattern};
+use simkv::{BaselineKind, CostParams, Engine, SimConfig, WorkloadSpec};
+use workloads::KeyDist;
+
+fn fastfair_put_mops(threads: usize, scale: &Scale) -> f64 {
+    let cfg = SimConfig {
+        engine: Engine::Baseline(BaselineKind::FastFair),
+        ncores: threads,
+        group_size: threads,
+        clients: (threads * 8).max(8),
+        keyspace: scale.keyspace.min(100_000),
+        ops: (scale.ops / 3).max(10_000),
+        warmup: (scale.ops / 30).max(1_000),
+        workload: WorkloadSpec::Ycsb {
+            dist: KeyDist::Uniform,
+            value_len: 8,
+            put_ratio: 1.0,
+        },
+        ..SimConfig::default()
+    };
+    simkv::run(&cfg).mops
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let p = CostParams::default();
+    let ops = 20_000;
+
+    println!("== Figure 1(a): Optane 64B random writes vs FAST&FAIR Put (Mops/s) ==");
+    println!("{:<10} {:>14} {:>14} {:>8}", "threads", "Optane-64B", "FAST&FAIR", "ratio");
+    for threads in [1usize, 2, 4, 8, 12, 16, 20] {
+        let raw = write_throughput_mops(&p, threads, 64, ops);
+        let ff = fastfair_put_mops(threads, &scale);
+        println!(
+            "{threads:<10} {raw:>14.2} {ff:>14.2} {:>7.1}x",
+            raw / ff.max(1e-9)
+        );
+    }
+
+    println!();
+    println!("== Figure 1(b): 256B write bandwidth (GB/s) ==");
+    println!("{:<10} {:>12} {:>12}", "threads", "Write-Seq", "Write-Rnd");
+    for threads in [1usize, 2, 4, 8, 12, 16, 20, 24, 32, 40] {
+        let seq = write_bandwidth(&p, threads, 256, true, ops);
+        let rnd = write_bandwidth(&p, threads, 256, false, ops);
+        println!("{threads:<10} {seq:>12.2} {rnd:>12.2}");
+    }
+
+    println!();
+    println!("== Figure 1(c): write latency (ns) ==");
+    for (name, pat) in [
+        ("Seq", Pattern::Seq),
+        ("Rnd", Pattern::Rnd),
+        ("In-place", Pattern::InPlace),
+    ] {
+        println!("{name:<10} {:>10.0}", write_latency(&p, pat, 50_000));
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 10 — multicore scalability: throughput with 4–36 server cores,
+//! 100 % Put, 64 B values, uniform and skewed keys. Cores are spread over
+//! two sockets; the HB group size grows with the per-socket core count.
+
+use flatstore_bench::{print_header, print_row, ycsb_put, Scale};
+use simkv::{Engine, ExecModel, SimIndex};
+
+fn main() {
+    let scale = Scale::from_env();
+    let max = scale.ncores;
+    let steps: Vec<usize> = [4usize, 8, 12, 16, 20, 26, 30, 36]
+        .into_iter()
+        .filter(|&c| c <= max)
+        .collect();
+
+    println!("== Figure 10: throughput with varying server cores (Mops/s) ==");
+    print_header(
+        "cores",
+        &["FS-H uni", "FS-H skew", "FS-M uni", "FS-M skew"],
+    );
+    for &cores in &steps {
+        let mut cells = Vec::new();
+        // Header order: hash-uni, hash-skew, mass-uni, mass-skew.
+        for index in [SimIndex::Hash, SimIndex::Masstree] {
+            for skew in [false, true] {
+                let mut cfg = scale.config();
+                cfg.engine = Engine::FlatStore {
+                    model: ExecModel::PipelinedHb,
+                    index,
+                };
+                cfg.ncores = cores;
+                cfg.group_size = cores.div_ceil(2).max(1);
+                cfg.clients = (cores * 8).max(16);
+                cfg.workload = ycsb_put(64, skew);
+                cells.push(("", flatstore_bench::mops(&cfg)));
+            }
+        }
+        print_row(&format!("{cores}"), &cells);
+    }
+}

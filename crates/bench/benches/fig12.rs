@@ -1,0 +1,43 @@
+//! Figure 12 — latency vs throughput of Pipelined HB against Vertical
+//! batching for client batch sizes 1, 4 and 8, sweeping the client count.
+
+use flatstore_bench::{run, ycsb_put, Scale};
+use simkv::{Engine, ExecModel, SimIndex};
+
+fn main() {
+    let scale = Scale::from_env();
+    let client_counts = [2usize, 4, 8, 16, 32, 64, 128, 256, 512];
+
+    for batch in [1usize, 4, 8] {
+        println!("== Figure 12: client batchsize = {batch} ==");
+        println!(
+            "{:<9} {:>14} {:>14} {:>14} {:>14}",
+            "clients", "Vert Mops", "Vert lat(us)", "Pipe Mops", "Pipe lat(us)"
+        );
+        for &clients in &client_counts {
+            if clients > scale.clients * 2 {
+                break;
+            }
+            let mut row = Vec::new();
+            for model in [ExecModel::Vertical, ExecModel::PipelinedHb] {
+                let mut cfg = scale.config();
+                cfg.engine = Engine::FlatStore {
+                    model,
+                    index: SimIndex::Hash,
+                };
+                cfg.clients = clients;
+                cfg.client_batch = batch;
+                cfg.workload = ycsb_put(64, false);
+                cfg.ops = (scale.ops / 2).max(10_000);
+                cfg.warmup = cfg.ops / 10;
+                let s = run(&cfg);
+                row.push((s.mops, s.avg_latency_ns / 1000.0));
+            }
+            println!(
+                "{clients:<9} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
+                row[0].0, row[0].1, row[1].0, row[1].1
+            );
+        }
+        println!();
+    }
+}

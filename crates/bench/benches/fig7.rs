@@ -1,0 +1,37 @@
+//! Figure 7 — Put performance of FlatStore-H vs CCEH vs Level-Hashing,
+//! uniform and zipfian(0.99) key popularity, value sizes 8 B – 1 KB.
+
+use flatstore_bench::{mops, print_header, print_row, ycsb_put, Scale};
+use simkv::{BaselineKind, Engine, ExecModel, SimIndex};
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes = [8usize, 64, 128, 256, 512, 1024];
+    let systems: [(&str, Engine); 3] = [
+        (
+            "FlatStore-H",
+            Engine::FlatStore {
+                model: ExecModel::PipelinedHb,
+                index: SimIndex::Hash,
+            },
+        ),
+        ("CCEH", Engine::Baseline(BaselineKind::Cceh)),
+        ("Level-Hashing", Engine::Baseline(BaselineKind::LevelHashing)),
+    ];
+
+    for (title, skew) in [("(a) Uniform", false), ("(b) Skew (zipf 0.99)", true)] {
+        println!("== Figure 7{title}: Put throughput (Mops/s) ==");
+        print_header("value (B)", &systems.map(|(n, _)| n));
+        for &len in &sizes {
+            let mut cells = Vec::new();
+            for (name, engine) in systems {
+                let mut cfg = scale.config();
+                cfg.engine = engine;
+                cfg.workload = ycsb_put(len, skew);
+                cells.push((name, mops(&cfg)));
+            }
+            print_row(&format!("{len}"), &cells);
+        }
+        println!();
+    }
+}

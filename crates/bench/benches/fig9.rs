@@ -1,0 +1,60 @@
+//! Figure 9 — Facebook ETC pool (trimodal sizes, zipfian tiny/small keys)
+//! at Put:Get ratios 100:0, 50:50 and 5:95.
+
+use flatstore_bench::{mops, print_header, print_row, Scale};
+use simkv::{BaselineKind, Engine, ExecModel, SimIndex, WorkloadSpec};
+
+fn main() {
+    let scale = Scale::from_env();
+    let ratios = [("100:0", 1.0f64), ("50:50", 0.5), ("5:95", 0.05)];
+
+    let tree: [(&str, Engine); 3] = [
+        (
+            "FlatStore-M",
+            Engine::FlatStore {
+                model: ExecModel::PipelinedHb,
+                index: SimIndex::Masstree,
+            },
+        ),
+        ("FAST&FAIR", Engine::Baseline(BaselineKind::FastFair)),
+        ("FPTree", Engine::Baseline(BaselineKind::FpTree)),
+    ];
+    let hash: [(&str, Engine); 3] = [
+        (
+            "FlatStore-H",
+            Engine::FlatStore {
+                model: ExecModel::PipelinedHb,
+                index: SimIndex::Hash,
+            },
+        ),
+        ("Level-Hashing", Engine::Baseline(BaselineKind::LevelHashing)),
+        ("CCEH", Engine::Baseline(BaselineKind::Cceh)),
+    ];
+
+    println!("== Figure 9(a): ETC, tree-based systems (Mops/s) ==");
+    print_header("Put:Get", &tree.map(|(n, _)| n));
+    for (label, put_ratio) in ratios {
+        let mut cells = Vec::new();
+        for (name, engine) in tree {
+            let mut cfg = scale.config();
+            cfg.engine = engine;
+            cfg.workload = WorkloadSpec::Etc { put_ratio };
+            cells.push((name, mops(&cfg)));
+        }
+        print_row(label, &cells);
+    }
+    println!();
+
+    println!("== Figure 9(b): ETC, hash-based systems (Mops/s) ==");
+    print_header("Put:Get", &hash.map(|(n, _)| n));
+    for (label, put_ratio) in ratios {
+        let mut cells = Vec::new();
+        for (name, engine) in hash {
+            let mut cfg = scale.config();
+            cfg.engine = engine;
+            cfg.workload = WorkloadSpec::Etc { put_ratio };
+            cells.push((name, mops(&cfg)));
+        }
+        print_row(label, &cells);
+    }
+}

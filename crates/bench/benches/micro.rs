@@ -1,0 +1,140 @@
+//! Criterion microbenchmarks of the core building blocks (host-time, not
+//! simulated-time): entry codec, batched log appends, allocator fast path
+//! and the index structures.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use indexes::{Cceh, Index, Mode};
+use masstree::Masstree;
+use oplog::{LogEntry, OpLog};
+use pmalloc::{ChunkManager, CoreAllocator, CHUNK_SIZE};
+use pmem::{PmAddr, PmRegion};
+
+fn entry_codec(c: &mut Criterion) {
+    let pm = PmRegion::new(4096);
+    let e = LogEntry::put_ptr(0xDEAD_BEEF, 7, PmAddr(0x4000));
+    c.bench_function("entry/encode_ptr", |b| {
+        let mut buf = Vec::with_capacity(16);
+        b.iter(|| {
+            buf.clear();
+            e.encode_into(&mut buf);
+            std::hint::black_box(&buf);
+        });
+    });
+    let mut buf = Vec::new();
+    e.encode_into(&mut buf);
+    pm.write(PmAddr(64), &buf);
+    c.bench_function("entry/decode_ptr", |b| {
+        b.iter(|| std::hint::black_box(LogEntry::decode(&pm, PmAddr(64)).unwrap()));
+    });
+}
+
+fn log_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oplog");
+    for batch in [1usize, 16, 64] {
+        group.bench_function(format!("append_batch_{batch}x16B"), |b| {
+            let pm = Arc::new(PmRegion::new(64 * CHUNK_SIZE as usize));
+            let mgr = Arc::new(ChunkManager::format(pm, PmAddr(CHUNK_SIZE), 63));
+            let mut log = OpLog::create(mgr, PmAddr(0)).unwrap();
+            let entries: Vec<_> = (0..batch as u64)
+                .map(|k| LogEntry::put_ptr(k, 1, PmAddr(0x100)))
+                .collect();
+            b.iter(|| std::hint::black_box(log.append_batch(&entries).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn allocator(c: &mut Criterion) {
+    c.bench_function("pmalloc/alloc_free_1k", |b| {
+        let pm = Arc::new(PmRegion::new(64 * CHUNK_SIZE as usize));
+        let mgr = Arc::new(ChunkManager::format(pm, PmAddr(0), 64));
+        let mut a = CoreAllocator::new(mgr, 0);
+        b.iter(|| {
+            let x = a.alloc(1000).unwrap();
+            a.free(x).unwrap();
+        });
+    });
+}
+
+fn index_ops(c: &mut Criterion) {
+    c.bench_function("cceh/insert_volatile", |b| {
+        let pm = Arc::new(PmRegion::new(256 << 20));
+        let mut idx = Cceh::new(pm, PmAddr(0), 256 << 20, Mode::Volatile, 4).unwrap();
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E3779B97F4A7C15);
+            idx.insert(k, k).unwrap();
+        });
+    });
+    c.bench_function("masstree/insert", |b| {
+        let t = Masstree::new();
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E3779B97F4A7C15);
+            t.insert(k, k);
+        });
+    });
+    c.bench_function("masstree/get_hit", |b| {
+        let t = Masstree::new();
+        for k in 0..100_000u64 {
+            t.insert(k, k);
+        }
+        let mut k = 0u64;
+        b.iter_batched(
+            || {
+                k = (k + 7919) % 100_000;
+                k
+            },
+            |k| std::hint::black_box(t.get(k)),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn engine_ops(c: &mut Criterion) {
+    use flatstore::{Config, FlatStore};
+
+    let store = FlatStore::create(Config {
+        pm_bytes: 512 << 20,
+        ncores: 2,
+        group_size: 2,
+        ..Config::default()
+    })
+    .expect("engine");
+    for k in 0..10_000u64 {
+        store.put(k, &[0xAB; 64]).expect("prefill");
+    }
+
+    let mut k = 0u64;
+    c.bench_function("engine/put_inline_64B", |b| {
+        b.iter(|| {
+            k = (k + 1) % 10_000;
+            store.put(k, &[0xCD; 64]).expect("put");
+        });
+    });
+    c.bench_function("engine/put_allocator_1KB", |b| {
+        let big = vec![0xEF; 1024];
+        b.iter(|| {
+            k = (k + 1) % 10_000;
+            store.put(k, &big).expect("put");
+        });
+    });
+    c.bench_function("engine/get_hit", |b| {
+        b.iter(|| {
+            k = (k + 7919) % 10_000;
+            std::hint::black_box(store.get(k).expect("get"));
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = entry_codec, log_append, allocator, index_ops, engine_ops
+}
+criterion_main!(benches);

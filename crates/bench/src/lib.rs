@@ -1,0 +1,124 @@
+//! Shared plumbing for the figure-regeneration harnesses.
+//!
+//! Every `benches/figN.rs` target reproduces one table or figure of the
+//! FlatStore paper's evaluation (§5) and prints the same rows/series the
+//! paper reports. The experiments run on the `simkv` discrete-event
+//! testbed (see `DESIGN.md` for the hardware-substitution rationale), so
+//! absolute numbers are model-calibrated; the *shapes* — who wins, by
+//! roughly what factor, where crossovers fall — are the reproduction
+//! targets recorded in `EXPERIMENTS.md`.
+//!
+//! Scaling knobs (environment variables):
+//!
+//! | Variable | Effect | Default |
+//! |---|---|---|
+//! | `FLATBENCH_QUICK=1` | shrink everything for smoke runs | off |
+//! | `FLATBENCH_KEYSPACE` | keys per experiment | 200 000 |
+//! | `FLATBENCH_OPS` | measured ops per data point | 120 000 |
+//! | `FLATBENCH_CORES` | simulated server cores | 36 |
+//! | `FLATBENCH_CLIENTS` | closed-loop client threads | 288 |
+
+use simkv::{SimConfig, Summary, WorkloadSpec};
+use workloads::KeyDist;
+
+/// Experiment scale, resolved from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Keys per experiment.
+    pub keyspace: u64,
+    /// Measured operations per data point.
+    pub ops: u64,
+    /// Warm-up operations per data point.
+    pub warmup: u64,
+    /// Simulated server cores.
+    pub ncores: usize,
+    /// Closed-loop clients.
+    pub clients: usize,
+    /// PM pool chunks.
+    pub pool_chunks: u32,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Scale {
+    /// Resolves the scale from the environment.
+    pub fn from_env() -> Scale {
+        let quick = std::env::var("FLATBENCH_QUICK").is_ok_and(|v| v != "0");
+        let (keyspace, ops, ncores, clients) = if quick {
+            (30_000, 30_000, 8, 64)
+        } else {
+            (200_000, 120_000, 36, 288)
+        };
+        Scale {
+            keyspace: env_u64("FLATBENCH_KEYSPACE", keyspace),
+            ops: env_u64("FLATBENCH_OPS", ops),
+            warmup: env_u64("FLATBENCH_OPS", ops) / 10,
+            ncores: env_u64("FLATBENCH_CORES", ncores as u64) as usize,
+            clients: env_u64("FLATBENCH_CLIENTS", clients as u64) as usize,
+            pool_chunks: 512,
+        }
+    }
+
+    /// A base simulation config at this scale (paper defaults: client
+    /// batch 8, one HB group per socket).
+    pub fn config(&self) -> SimConfig {
+        SimConfig {
+            ncores: self.ncores,
+            group_size: self.ncores.div_ceil(2).max(1),
+            clients: self.clients,
+            client_batch: 8,
+            keyspace: self.keyspace,
+            pool_chunks: self.pool_chunks,
+            ops: self.ops,
+            warmup: self.warmup,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// YCSB Put workload at `value_len` with the given skew (paper §5.1).
+pub fn ycsb_put(value_len: usize, skew: bool) -> WorkloadSpec {
+    WorkloadSpec::Ycsb {
+        dist: if skew {
+            KeyDist::Zipfian { theta: 0.99 }
+        } else {
+            KeyDist::Uniform
+        },
+        value_len,
+        put_ratio: 1.0,
+    }
+}
+
+/// Prints one experiment row: `label` then one throughput cell per system.
+pub fn print_row(label: &str, cells: &[(&str, f64)]) {
+    print!("{label:<14}");
+    for (_, v) in cells {
+        print!(" {v:>12.2}");
+    }
+    println!();
+}
+
+/// Prints the header matching [`print_row`].
+pub fn print_header(first: &str, systems: &[&str]) {
+    print!("{first:<14}");
+    for s in systems {
+        print!(" {s:>12}");
+    }
+    println!();
+    println!("{}", "-".repeat(14 + systems.len() * 13));
+}
+
+/// Runs the simulation and returns Mops/s.
+pub fn mops(cfg: &SimConfig) -> f64 {
+    simkv::run(cfg).mops
+}
+
+/// Runs the simulation and returns the full summary.
+pub fn run(cfg: &SimConfig) -> Summary {
+    simkv::run(cfg)
+}

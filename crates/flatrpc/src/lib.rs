@@ -1,0 +1,459 @@
+//! FlatRPC (paper §4.3) as a shared-memory fabric.
+//!
+//! The paper's RPC lets a client RDMA-write requests **directly into the
+//! message buffer of a specific server core** (chosen by keyhash) while all
+//! **responses are delegated to a single agent core** near the NIC — so a
+//! client needs one queue pair per server *node* instead of one per server
+//! *core*, shrinking the NIC's connection cache footprint from `Nt × Nc`
+//! to `Nc`.
+//!
+//! Without RDMA hardware, this crate reproduces the mechanism over shared
+//! memory with the same roles and data flow:
+//!
+//! * [`ClientPort::send`] writes a request into the `(core, client)` SPSC
+//!   [`ring`](ring()) — the "message buffer" the paper pre-allocates per
+//!   core per client.
+//! * [`ServerCore::poll`] is the server core's user-level polling loop.
+//! * [`ServerCore::respond`] posts the response **verb**: core 0 — the
+//!   agent core, as in the paper a regular server core that happens to sit
+//!   next to the NIC — sends it directly; other cores delegate the
+//!   lightweight verb to it through a per-core delegation ring (paper
+//!   Fig. 6, steps 3.0/3.1).
+//! * [`ServerCore::pump_delegations`] is the agent half of core 0's loop:
+//!   it drains the delegation rings and completes the responses into the
+//!   per-client rings.
+//!
+//! # Example
+//!
+//! ```
+//! use flatrpc::Fabric;
+//!
+//! let fabric = Fabric::<u64, u64>::new(2, 1, 64);
+//! let mut cores = fabric.server_cores();
+//! let client = fabric.client_port(0);
+//!
+//! client.send(1, 7).unwrap();
+//! let (from, req) = loop {
+//!     if let Some(m) = cores[1].poll() {
+//!         break m;
+//!     }
+//! };
+//! cores[1].respond(from, req * 2);      // delegated verb
+//! while cores[0].pump_delegations() == 0 {} // the agent core completes it
+//! assert_eq!(client.recv(), 14);
+//! ```
+
+mod ring;
+
+pub use ring::{ring, Consumer, Producer};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifies a client connection.
+pub type ClientId = usize;
+
+/// Fabric-wide counters.
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    /// Requests delivered to server cores.
+    pub requests: AtomicU64,
+    /// Responses sent directly by the agent core.
+    pub direct_responses: AtomicU64,
+    /// Responses delegated from another core to the agent.
+    pub delegated_responses: AtomicU64,
+}
+
+/// `[core][client]` request-ring halves.
+type ReqProducers<Req> = Vec<Vec<Option<Producer<(ClientId, Req)>>>>;
+type ReqConsumers<Req> = Vec<Vec<Option<Consumer<(ClientId, Req)>>>>;
+
+struct Wiring<Req, Resp> {
+    ncores: usize,
+    nclients: usize,
+    /// `[core][client]` request rings.
+    req_prod: ReqProducers<Req>,
+    req_cons: ReqConsumers<Req>,
+    /// Per-core delegation rings into the agent (core 0).
+    del_prod: Vec<Option<Producer<(ClientId, Resp)>>>,
+    del_cons: Vec<Option<Consumer<(ClientId, Resp)>>>,
+    /// Per-client response rings out of the agent.
+    resp_prod: Vec<Option<Producer<Resp>>>,
+    resp_cons: Vec<Option<Consumer<Resp>>>,
+    stats: Arc<FabricStats>,
+}
+
+/// Builds and hands out the fabric's endpoints.
+///
+/// Construction order: create the fabric, then take the [`ServerCore`]s
+/// (once) and each client's [`ClientPort`] (once each); endpoints are
+/// free-standing and can move to their threads.
+pub struct Fabric<Req, Resp> {
+    wiring: std::sync::Mutex<Wiring<Req, Resp>>,
+}
+
+impl<Req: Send, Resp: Send> Fabric<Req, Resp> {
+    /// Creates a fabric for `ncores` server cores and `nclients` clients
+    /// with per-ring `capacity` (the paper's per-core message buffers).
+    ///
+    /// Core 0 is the agent core (the paper picks one on the NIC's socket).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero cores/clients/capacity.
+    pub fn new(ncores: usize, nclients: usize, capacity: usize) -> Self {
+        assert!(ncores > 0 && nclients > 0 && capacity > 0);
+        let stats = Arc::new(FabricStats::default());
+        let mut req_prod = Vec::with_capacity(ncores);
+        let mut req_cons = Vec::with_capacity(ncores);
+        for _ in 0..ncores {
+            let mut ps = Vec::with_capacity(nclients);
+            let mut cs = Vec::with_capacity(nclients);
+            for _ in 0..nclients {
+                let (p, c) = ring(capacity);
+                ps.push(Some(p));
+                cs.push(Some(c));
+            }
+            req_prod.push(ps);
+            req_cons.push(cs);
+        }
+        let mut del_prod = Vec::with_capacity(ncores);
+        let mut del_cons = Vec::with_capacity(ncores);
+        for _ in 0..ncores {
+            let (p, c) = ring(capacity * nclients.max(1));
+            del_prod.push(Some(p));
+            del_cons.push(Some(c));
+        }
+        let mut resp_prod = Vec::with_capacity(nclients);
+        let mut resp_cons = Vec::with_capacity(nclients);
+        for _ in 0..nclients {
+            let (p, c) = ring(capacity);
+            resp_prod.push(Some(p));
+            resp_cons.push(Some(c));
+        }
+        Fabric {
+            wiring: std::sync::Mutex::new(Wiring {
+                ncores,
+                nclients,
+                req_prod,
+                req_cons,
+                del_prod,
+                del_cons,
+                resp_prod,
+                resp_cons,
+                stats,
+            }),
+        }
+    }
+
+    /// Takes all server-core endpoints (index = core id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn server_cores(&self) -> Vec<ServerCore<Req, Resp>> {
+        let mut w = self.wiring.lock().expect("fabric lock");
+        let agent_state = AgentState {
+            delegations: w
+                .del_cons
+                .iter_mut()
+                .map(|c| c.take().expect("server cores already taken"))
+                .collect(),
+            responses: w
+                .resp_prod
+                .iter_mut()
+                .map(|p| p.take().expect("server cores already taken"))
+                .collect(),
+        };
+        let mut agent_state = Some(agent_state);
+        (0..w.ncores)
+            .map(|core| ServerCore {
+                core,
+                rx: w.req_cons[core]
+                    .iter_mut()
+                    .map(|c| c.take().expect("server cores already taken"))
+                    .collect(),
+                delegate: if core == 0 {
+                    None
+                } else {
+                    Some(
+                        w.del_prod[core]
+                            .take()
+                            .expect("server cores already taken"),
+                    )
+                },
+                agent: if core == 0 { agent_state.take() } else { None },
+                next_client: 0,
+                stats: Arc::clone(&w.stats),
+            })
+            .collect()
+    }
+
+    /// Takes client `id`'s endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or taken twice.
+    pub fn client_port(&self, id: ClientId) -> ClientPort<Req, Resp> {
+        let mut w = self.wiring.lock().expect("fabric lock");
+        assert!(id < w.nclients, "client id out of range");
+        ClientPort {
+            id,
+            to_core: (0..w.ncores)
+                .map(|core| {
+                    w.req_prod[core][id]
+                        .take()
+                        .expect("client port already taken")
+                })
+                .collect(),
+            rx: w.resp_cons[id].take().expect("client port already taken"),
+            stats: Arc::clone(&w.stats),
+        }
+    }
+
+    /// Fabric counters.
+    pub fn stats(&self) -> Arc<FabricStats> {
+        Arc::clone(&self.wiring.lock().expect("fabric lock").stats)
+    }
+}
+
+/// A client's connection: direct writes into any core's message buffer,
+/// responses funneled back through the agent.
+pub struct ClientPort<Req, Resp> {
+    id: ClientId,
+    to_core: Vec<Producer<(ClientId, Req)>>,
+    rx: Consumer<Resp>,
+    stats: Arc<FabricStats>,
+}
+
+impl<Req, Resp> ClientPort<Req, Resp> {
+    /// This port's client id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Writes `req` into `core`'s message buffer (non-blocking; an `Err`
+    /// means the buffer has no credits and the caller should retry).
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back when the ring is full.
+    pub fn send(&self, core: usize, req: Req) -> Result<(), Req> {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.to_core[core]
+            .push((self.id, req))
+            .map_err(|(_, r)| r)
+    }
+
+    /// Polls for one response.
+    pub fn try_recv(&self) -> Option<Resp> {
+        self.rx.pop()
+    }
+
+    /// Blocks (polling) for one response.
+    pub fn recv(&self) -> Resp {
+        let mut spins = 0u32;
+        loop {
+            if let Some(r) = self.rx.pop() {
+                return r;
+            }
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// The agent half of core 0's state: delegation inboxes from every core
+/// and the per-client response rings.
+struct AgentState<Resp> {
+    delegations: Vec<Consumer<(ClientId, Resp)>>,
+    responses: Vec<Producer<Resp>>,
+}
+
+/// One server core's endpoint: poll requests, post responses. Core 0 is
+/// also the **agent core** and must call
+/// [`pump_delegations`](Self::pump_delegations) in its loop.
+pub struct ServerCore<Req, Resp> {
+    core: usize,
+    rx: Vec<Consumer<(ClientId, Req)>>,
+    /// Non-agent cores delegate response verbs here.
+    delegate: Option<Producer<(ClientId, Resp)>>,
+    /// Core 0 only: the agent state.
+    agent: Option<AgentState<Resp>>,
+    next_client: usize,
+    stats: Arc<FabricStats>,
+}
+
+impl<Req, Resp> ServerCore<Req, Resp> {
+    /// This endpoint's core id (core 0 is the agent core).
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// Polls the per-client message buffers round-robin.
+    pub fn poll(&mut self) -> Option<(ClientId, Req)> {
+        let n = self.rx.len();
+        for _ in 0..n {
+            let i = self.next_client;
+            self.next_client = (self.next_client + 1) % n;
+            if let Some(m) = self.rx[i].pop() {
+                return Some(m);
+            }
+        }
+        None
+    }
+
+    /// Posts the response verb: sent directly if this is the agent core,
+    /// otherwise delegated to the agent (paper Fig. 6 step 3.0).
+    pub fn respond(&mut self, client: ClientId, resp: Resp) {
+        match (&self.agent, &self.delegate) {
+            (Some(agent), _) => {
+                self.stats.direct_responses.fetch_add(1, Ordering::Relaxed);
+                agent.responses[client].push_blocking(resp);
+            }
+            (_, Some(delegate)) => {
+                self.stats
+                    .delegated_responses
+                    .fetch_add(1, Ordering::Relaxed);
+                delegate.push_blocking((client, resp));
+            }
+            _ => unreachable!("every core is agent or delegating"),
+        }
+    }
+
+    /// Core 0 only: drains every core's delegation ring once, completing
+    /// the responses into the client rings. Returns how many were
+    /// completed; always 0 on other cores.
+    pub fn pump_delegations(&mut self) -> usize {
+        let Some(agent) = &self.agent else { return 0 };
+        let mut n = 0;
+        for d in &agent.delegations {
+            while let Some((client, resp)) = d.pop() {
+                agent.responses[client].push_blocking(resp);
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_response_through_agent() {
+        let fabric = Fabric::<u64, u64>::new(3, 2, 16);
+        let mut cores = fabric.server_cores();
+        let c0 = fabric.client_port(0);
+        let c1 = fabric.client_port(1);
+
+        c0.send(2, 100).unwrap();
+        c1.send(1, 200).unwrap();
+        // Core 2 and core 1 poll and respond (delegated).
+        let (from, req) = cores[2].poll().unwrap();
+        assert_eq!((from, req), (0, 100));
+        cores[2].respond(from, req + 1);
+        let (from, req) = cores[1].poll().unwrap();
+        assert_eq!((from, req), (1, 200));
+        cores[1].respond(from, req + 1);
+        assert_eq!(c0.try_recv(), None, "not delivered until the agent pumps");
+        assert_eq!(cores[0].pump_delegations(), 2);
+        assert_eq!(cores[1].pump_delegations(), 0, "only core 0 is the agent");
+        assert_eq!(c0.try_recv(), Some(101));
+        assert_eq!(c1.try_recv(), Some(201));
+
+        let stats = fabric.stats();
+        assert_eq!(stats.requests.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.delegated_responses.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.direct_responses.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn agent_core_responds_directly() {
+        let fabric = Fabric::<u8, u8>::new(1, 1, 4);
+        let mut cores = fabric.server_cores();
+        let client = fabric.client_port(0);
+        client.send(0, 9).unwrap();
+        let (from, req) = cores[0].poll().unwrap();
+        cores[0].respond(from, req * 2);
+        // Direct path: no pump needed.
+        assert_eq!(client.try_recv(), Some(18));
+        assert_eq!(
+            fabric.stats().direct_responses.load(Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn backpressure_when_buffer_full() {
+        let fabric = Fabric::<u32, u32>::new(1, 1, 2);
+        let _cores = fabric.server_cores();
+        let client = fabric.client_port(0);
+        client.send(0, 1).unwrap();
+        client.send(0, 2).unwrap();
+        assert!(client.send(0, 3).is_err(), "no credits left");
+    }
+
+    #[test]
+    fn threaded_echo_server() {
+        let ncores = 3usize;
+        let nclients = 4usize;
+        let per_client = 400u64;
+        let fabric = Arc::new(Fabric::<u64, u64>::new(ncores, nclients, 64));
+        let cores = fabric.server_cores();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let mut handles = Vec::new();
+        for mut core in cores {
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let mut idle = core.pump_delegations() == 0;
+                    if let Some((client, req)) = core.poll() {
+                        core.respond(client, req.wrapping_mul(3));
+                        idle = false;
+                    }
+                    if idle {
+                        // One host core runs all these threads; yield so
+                        // clients make progress.
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+
+        let mut clients = Vec::new();
+        for id in 0..nclients {
+            let port = fabric.client_port(id);
+            clients.push(std::thread::spawn(move || {
+                for i in 0..per_client {
+                    let core = (i % 3) as usize;
+                    let mut msg = i;
+                    while let Err(m) = port.send(core, msg) {
+                        msg = m;
+                        std::thread::yield_now();
+                    }
+                    let r = port.recv();
+                    assert_eq!(r, i.wrapping_mul(3));
+                }
+            }));
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = fabric.stats();
+        assert_eq!(
+            stats.requests.load(Ordering::Relaxed),
+            nclients as u64 * per_client
+        );
+    }
+}

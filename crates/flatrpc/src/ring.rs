@@ -1,0 +1,184 @@
+//! A bounded single-producer / single-consumer ring — the shared-memory
+//! stand-in for an RDMA-written message buffer.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+
+struct Inner<T> {
+    head: CachePadded<AtomicUsize>, // next slot to pop
+    tail: CachePadded<AtomicUsize>, // next slot to push
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+// SAFETY: slots are accessed exclusively by the single producer (tail side)
+// or the single consumer (head side), synchronized through the indices.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+/// Creates a connected SPSC ring of `capacity` messages.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "ring capacity must be positive");
+    let mut slots = Vec::with_capacity(capacity + 1);
+    slots.resize_with(capacity + 1, || UnsafeCell::new(MaybeUninit::uninit()));
+    let inner = Arc::new(Inner {
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
+        slots: slots.into_boxed_slice(),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+        },
+        Consumer { inner },
+    )
+}
+
+/// The writing end (one per sender).
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The polling end (one per receiver).
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Producer<T> {
+    /// Pushes a message; returns it back if the ring is full (the caller
+    /// retries — RDMA senders see the same backpressure when a message
+    /// buffer has no credits).
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let inner = &self.inner;
+        let tail = inner.tail.load(Ordering::Relaxed);
+        let next = (tail + 1) % inner.slots.len();
+        if next == inner.head.load(Ordering::Acquire) {
+            return Err(value);
+        }
+        // SAFETY: slot `tail` is owned by the producer until tail is
+        // published.
+        unsafe { (*inner.slots[tail].get()).write(value) };
+        inner.tail.store(next, Ordering::Release);
+        Ok(())
+    }
+
+    /// Pushes, spinning until space is available.
+    pub fn push_blocking(&self, mut value: T) {
+        loop {
+            match self.push(value) {
+                Ok(()) => return,
+                Err(v) => {
+                    value = v;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Polls one message.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &self.inner;
+        let head = inner.head.load(Ordering::Relaxed);
+        if head == inner.tail.load(Ordering::Acquire) {
+            return None;
+        }
+        // SAFETY: slot `head` was fully written before tail was published.
+        let value = unsafe { (*inner.slots[head].get()).assume_init_read() };
+        inner
+            .head
+            .store((head + 1) % inner.slots.len(), Ordering::Release);
+        Some(value)
+    }
+
+    /// Whether a message is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.inner.head.load(Ordering::Relaxed) == self.inner.tail.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Drop any undelivered messages.
+        let mut head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        while head != tail {
+            // SAFETY: slots in [head, tail) are initialized.
+            unsafe { (*self.slots[head].get()).assume_init_drop() };
+            head = (head + 1) % self.slots.len();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let (p, c) = ring::<u32>(4);
+        for i in 0..4 {
+            p.push(i).unwrap();
+        }
+        assert!(p.push(99).is_err(), "ring should be full");
+        for i in 0..4 {
+            assert_eq!(c.pop(), Some(i));
+        }
+        assert_eq!(c.pop(), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn wraps_around() {
+        let (p, c) = ring::<u64>(3);
+        for round in 0..100u64 {
+            p.push(round).unwrap();
+            assert_eq!(c.pop(), Some(round));
+        }
+    }
+
+    #[test]
+    fn cross_thread_stream() {
+        let (p, c) = ring::<u64>(64);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100_000u64 {
+                p.push_blocking(i);
+            }
+        });
+        let mut expect = 0u64;
+        while expect < 100_000 {
+            if let Some(v) = c.pop() {
+                assert_eq!(v, expect);
+                expect += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn drops_undelivered_messages() {
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        struct Probe(std::sync::Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (p, c) = ring::<Probe>(8);
+        p.push(Probe(Arc::clone(&flag))).ok();
+        p.push(Probe(Arc::clone(&flag))).ok();
+        drop(p);
+        drop(c);
+        assert_eq!(flag.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,307 @@
+//! Horizontal-batching machinery and engine-shared state (paper §3.3).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use oplog::ChunkUsage;
+use parking_lot::Mutex;
+use pmalloc::ChunkManager;
+use pmem::PmAddr;
+
+use oplog::LogEntry;
+
+/// Sentinel meaning "batch append failed" in a [`Completion`].
+const FAILED: u64 = u64::MAX;
+
+/// The durable-address hand-off between the leader that persisted a log
+/// entry and the core that posted it.
+#[derive(Debug, Default)]
+pub(crate) struct Completion {
+    /// 0 = pending; `u64::MAX` = failed; otherwise the entry's PM address
+    /// (entry addresses are always ≥ the first chunk's entry area, never 0).
+    addr: AtomicU64,
+}
+
+impl Completion {
+    pub fn new() -> Arc<Completion> {
+        Arc::new(Completion::default())
+    }
+
+    pub fn fulfil(&self, addr: PmAddr) {
+        self.addr.store(addr.offset(), Ordering::Release);
+    }
+
+    pub fn fail(&self) {
+        self.addr.store(FAILED, Ordering::Release);
+    }
+
+    /// `None` while pending; `Some(Ok(addr))` once persisted.
+    pub fn poll(&self) -> Option<Result<PmAddr, ()>> {
+        match self.addr.load(Ordering::Acquire) {
+            0 => None,
+            FAILED => Some(Err(())),
+            a => Some(Ok(PmAddr(a))),
+        }
+    }
+}
+
+/// A log entry posted to a request pool, awaiting a leader.
+pub(crate) struct Posted {
+    pub entry: LogEntry,
+    pub completion: Arc<Completion>,
+}
+
+/// One horizontal-batching group: the per-group "global lock" and the
+/// per-core request pools the leader steals from (paper Figure 5).
+pub(crate) struct Group {
+    pub lock: Mutex<()>,
+    pub pools: Vec<Mutex<Vec<Posted>>>,
+    /// Entries posted but not yet collected (cheap emptiness check).
+    pub pending: AtomicUsize,
+}
+
+impl Group {
+    pub fn new(members: usize) -> Arc<Group> {
+        let mut pools = Vec::with_capacity(members);
+        pools.resize_with(members, || Mutex::new(Vec::new()));
+        Arc::new(Group {
+            lock: Mutex::new(()),
+            pools,
+            pending: AtomicUsize::new(0),
+        })
+    }
+
+    /// Posts an entry to `slot`'s pool.
+    pub fn post(&self, slot: usize, posted: Posted) {
+        self.pools[slot].lock().push(posted);
+        self.pending.fetch_add(1, Ordering::Release);
+    }
+
+    /// Drains every pool (the leader's "steal"); caller must hold the lock.
+    pub fn collect(&self) -> Vec<Posted> {
+        let mut all = Vec::new();
+        for pool in &self.pools {
+            all.append(&mut pool.lock());
+        }
+        self.pending.fetch_sub(all.len(), Ordering::Release);
+        all
+    }
+}
+
+/// Engine-wide per-chunk liveness accounting. Log entries of one core are
+/// persisted into whichever group member led the batch, so dead-entry
+/// notifications cross log boundaries; this shared table replaces the
+/// per-log accounting for the engine.
+#[derive(Debug, Default)]
+pub(crate) struct UsageTable {
+    map: Mutex<HashMap<u64, ChunkUsage>>,
+}
+
+impl UsageTable {
+    pub fn new() -> Arc<UsageTable> {
+        Arc::new(UsageTable::default())
+    }
+
+    pub fn note_appended(&self, chunk: PmAddr, n: u32) {
+        self.map.lock().entry(chunk.offset()).or_default().total += n;
+    }
+
+    pub fn note_dead(&self, entry_addr: PmAddr) {
+        let chunk = oplog::OpLog::chunk_of(entry_addr);
+        if let Some(u) = self.map.lock().get_mut(&chunk.offset()) {
+            u.dead = (u.dead + 1).min(u.total);
+        }
+    }
+
+    pub fn usage(&self, chunk: PmAddr) -> ChunkUsage {
+        self.map
+            .lock()
+            .get(&chunk.offset())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Replaces the record for a relocated-to chunk and drops the victim's.
+    pub fn on_cleaned(&self, victim: PmAddr, target: Option<(PmAddr, u32)>) {
+        let mut m = self.map.lock();
+        m.remove(&victim.offset());
+        if let Some((t, live)) = target {
+            let u = m.entry(t.offset()).or_default();
+            u.total += live;
+        }
+    }
+
+    /// Visits every `(chunk_base, total, dead)` triple (snapshot
+    /// serialization).
+    pub fn for_each(&self, f: &mut dyn FnMut(u64, u32, u32)) {
+        for (chunk, u) in self.map.lock().iter() {
+            f(*chunk, u.total, u.dead);
+        }
+    }
+
+    /// Restores one chunk's accounting (snapshot load).
+    pub fn restore(&self, chunk: u64, total: u32, dead: u32) {
+        self.map.lock().insert(chunk, ChunkUsage { total, dead });
+    }
+}
+
+/// Guards the persistent checkpoint-valid flag: the log cleaner must
+/// invalidate a checkpoint (durably) before relocating any entry, or the
+/// checkpoint's entry addresses could go stale (paper §3.5 + §3.4
+/// interaction).
+pub(crate) struct CkptGuard {
+    pm: Arc<pmem::PmRegion>,
+    armed: std::sync::atomic::AtomicBool,
+    lock: Mutex<()>,
+}
+
+impl CkptGuard {
+    pub fn new(pm: Arc<pmem::PmRegion>) -> Arc<CkptGuard> {
+        Arc::new(CkptGuard {
+            pm,
+            armed: std::sync::atomic::AtomicBool::new(false),
+            lock: Mutex::new(()),
+        })
+    }
+
+    /// A checkpoint just became valid.
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Durably clears the checkpoint flag (idempotent, cheap when unarmed).
+    pub fn invalidate(&self) {
+        if !self.armed.load(Ordering::Acquire) {
+            return;
+        }
+        let _g = self.lock.lock();
+        if self.armed.swap(false, Ordering::AcqRel) {
+            crate::superblock::Superblock::new(&self.pm).set_ckpt_valid(false);
+        }
+    }
+}
+
+/// Per-owner-core tombstone tracking: key → (version, tombstone entry
+/// address). Needed so a new Put to a deleted key continues the version
+/// sequence and so the cleaner can judge tombstone liveness.
+pub(crate) struct DeletedTable {
+    shards: Vec<Mutex<HashMap<u64, (u32, PmAddr)>>>,
+}
+
+impl DeletedTable {
+    pub fn new(ncores: usize) -> Arc<DeletedTable> {
+        let mut shards = Vec::with_capacity(ncores);
+        shards.resize_with(ncores, || Mutex::new(HashMap::new()));
+        Arc::new(DeletedTable { shards })
+    }
+
+    pub fn get(&self, core: usize, key: u64) -> Option<(u32, PmAddr)> {
+        self.shards[core].lock().get(&key).copied()
+    }
+
+    pub fn insert(&self, core: usize, key: u64, version: u32, addr: PmAddr) {
+        self.shards[core].lock().insert(key, (version, addr));
+    }
+
+    pub fn remove(&self, core: usize, key: u64) -> Option<(u32, PmAddr)> {
+        self.shards[core].lock().remove(&key)
+    }
+
+    /// The cleaner relocated a tombstone: repoint it if still current.
+    pub fn cas_addr(&self, core: usize, key: u64, version: u32, old: PmAddr, new: PmAddr) -> bool {
+        let mut m = self.shards[core].lock();
+        match m.get_mut(&key) {
+            Some(v) if *v == (version, old) => {
+                v.1 = new;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    pub fn for_each_of_core(&self, core: usize, f: &mut dyn FnMut(u64, u32, PmAddr)) {
+        for (k, (ver, addr)) in self.shards[core].lock().iter() {
+            f(*k, *ver, *addr);
+        }
+    }
+}
+
+/// Chunks reclaimed by the cleaner sit here for a grace period before
+/// re-entering the pool, so concurrent readers holding pre-CAS entry
+/// addresses never observe recycled memory (RAMCloud-style epoch
+/// protection, simplified to a time-based grace window).
+pub(crate) struct Quarantine {
+    chunks: Mutex<Vec<(Instant, PmAddr)>>,
+    grace_ms: u64,
+}
+
+impl Quarantine {
+    pub fn new(grace_ms: u64) -> Arc<Quarantine> {
+        Arc::new(Quarantine {
+            chunks: Mutex::new(Vec::new()),
+            grace_ms,
+        })
+    }
+
+    pub fn push(&self, chunk: PmAddr) {
+        self.chunks.lock().push((Instant::now(), chunk));
+    }
+
+    /// Returns matured chunks to the pool; call periodically.
+    pub fn release(&self, mgr: &ChunkManager) -> u32 {
+        let mut released = 0;
+        let mut chunks = self.chunks.lock();
+        chunks.retain(|(t, c)| {
+            if t.elapsed().as_millis() as u64 >= self.grace_ms {
+                let _ = mgr.return_raw_chunk(*c);
+                released += 1;
+                false
+            } else {
+                true
+            }
+        });
+        released
+    }
+
+    /// Releases everything regardless of age (shutdown/quiesced paths).
+    pub fn drain(&self, mgr: &ChunkManager) {
+        for (_, c) in self.chunks.lock().drain(..) {
+            let _ = mgr.return_raw_chunk(c);
+        }
+    }
+}
+
+/// Engine-wide activity counters (all monotonic).
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Completed Put operations.
+    pub puts: AtomicU64,
+    /// Completed Get operations.
+    pub gets: AtomicU64,
+    /// Completed Delete operations.
+    pub deletes: AtomicU64,
+    /// Batches persisted by leaders.
+    pub batches: AtomicU64,
+    /// Log entries persisted across all batches.
+    pub batched_entries: AtomicU64,
+    /// Requests deferred by the conflict queue.
+    pub conflicts_deferred: AtomicU64,
+    /// Chunks reclaimed by the cleaner.
+    pub gc_chunks: AtomicU64,
+    /// Entries relocated by the cleaner.
+    pub gc_relocated: AtomicU64,
+}
+
+impl EngineStats {
+    /// Average entries per persisted batch so far.
+    pub fn avg_batch(&self) -> f64 {
+        let b = self.batches.load(Ordering::Relaxed);
+        if b == 0 {
+            0.0
+        } else {
+            self.batched_entries.load(Ordering::Relaxed) as f64 / b as f64
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Engine configuration.
+
+/// Which volatile index backs the store (paper §4.1–4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexKind {
+    /// FlatStore-H: one volatile CCEH instance per server core (no locks;
+    /// requests are routed by keyhash).
+    #[default]
+    Hash,
+    /// FlatStore-M: a single shared Masstree supporting range scans.
+    Masstree,
+    /// FlatStore-FF: a single shared volatile FAST&FAIR (the paper's
+    /// ablation separating Masstree's contribution from the engine's).
+    FastFair,
+}
+
+/// How server cores persist log entries — the paper's execution models
+/// (Figure 4 and §5.4's ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionModel {
+    /// One request at a time per core, one flush each ("Base").
+    NonBatch,
+    /// Each core batches only its own pending requests (Figure 4b).
+    Vertical,
+    /// Horizontal batching where the leader holds the group lock through
+    /// the flush and followers block (Figure 4c).
+    NaiveHb,
+    /// Pipelined horizontal batching: early lock release, followers keep
+    /// processing (Figure 4d, the paper's design).
+    #[default]
+    PipelinedHb,
+}
+
+/// Log-cleaning (GC) parameters (paper §3.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GcConfig {
+    /// Whether cleaning runs at all.
+    pub enabled: bool,
+    /// Chunks whose live-entry ratio is at most this become victims.
+    pub max_live_ratio: f64,
+    /// Cleaning starts when the shared pool has fewer free chunks.
+    pub min_free_chunks: u32,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            enabled: true,
+            max_live_ratio: 0.5,
+            min_free_chunks: 8,
+        }
+    }
+}
+
+/// FlatStore engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Total simulated-PM size in bytes (superblock + chunk pool). Must be
+    /// a multiple of 4 MB and at least `(ncores + 2) * 4 MB + 4 MB`.
+    pub pm_bytes: usize,
+    /// DRAM arena for the volatile index (per core for `Hash`, total for
+    /// `FastFair`).
+    pub dram_bytes: usize,
+    /// Number of server cores (worker threads).
+    pub ncores: usize,
+    /// Cores per horizontal-batching group (paper: one socket per group).
+    pub group_size: usize,
+    /// The volatile index flavor.
+    pub index: IndexKind,
+    /// The batching execution model.
+    pub model: ExecutionModel,
+    /// Track flushed state so `simulate_crash` works (2× memory).
+    pub crash_tracking: bool,
+    /// Testing: build the region with strict fence semantics — flushed but
+    /// unfenced cachelines survive a crash only with probability ½
+    /// (seeded). Implies crash tracking.
+    pub strict_fence_seed: Option<u64>,
+    /// Log-cleaning parameters.
+    pub gc: GcConfig,
+    /// Max requests a core drains from its channel per loop iteration.
+    pub channel_batch: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            pm_bytes: 256 << 20,
+            dram_bytes: 32 << 20,
+            ncores: 4,
+            group_size: 4,
+            index: IndexKind::Hash,
+            model: ExecutionModel::PipelinedHb,
+            crash_tracking: false,
+            strict_fence_seed: None,
+            gc: GcConfig::default(),
+            channel_batch: 32,
+        }
+    }
+}
+
+impl Config {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent settings (zero cores, PM too small, …).
+    pub fn validate(&self) {
+        assert!(self.ncores > 0, "need at least one server core");
+        assert!(
+            self.ncores <= 60,
+            "superblock layout supports at most 60 cores"
+        );
+        assert!(self.group_size > 0, "group size must be positive");
+        assert_eq!(self.pm_bytes % (4 << 20), 0, "pm_bytes must be 4 MB aligned");
+        assert!(
+            self.pm_bytes >= (self.ncores + 3) * (4 << 20),
+            "pm_bytes too small for {} cores",
+            self.ncores
+        );
+        assert!(self.channel_batch > 0);
+    }
+}

@@ -1,0 +1,756 @@
+//! The FlatStore engine: worker lifecycle, request routing, recovery and
+//! shutdown.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use oplog::{LogEntry, LogOp, OpLog, Payload};
+use pmalloc::{ChunkManager, CoreAllocator, CHUNK_SIZE};
+use pmem::{PmAddr, PmRegion};
+
+use crate::batch::{CkptGuard, DeletedTable, EngineStats, Group, Quarantine, UsageTable};
+use crate::config::Config;
+use crate::error::StoreError;
+use crate::request::{resp_channel, Request};
+use crate::shard::{core_of, Shard};
+use crate::superblock::{Superblock, POOL_BASE};
+use crate::value::{pack, unpack};
+use crate::vindex::VolatileIndex;
+
+/// A clonable, thread-safe client handle to a running [`FlatStore`].
+///
+/// Methods block until the engine acknowledges the operation (a Put is
+/// acknowledged only after its log entry is durable — paper §3.2).
+#[derive(Clone)]
+pub struct StoreHandle {
+    senders: Arc<Vec<Sender<Request>>>,
+    ncores: usize,
+}
+
+impl std::fmt::Debug for StoreHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreHandle")
+            .field("ncores", &self.ncores)
+            .finish()
+    }
+}
+
+impl StoreHandle {
+    fn send(&self, core: usize, req: Request) -> Result<(), StoreError> {
+        self.senders[core]
+            .send(req)
+            .map_err(|_| StoreError::ShuttingDown)
+    }
+
+    /// Stores `value` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::EmptyValue`], [`StoreError::ReservedKey`],
+    /// [`StoreError::OutOfSpace`], [`StoreError::ShuttingDown`].
+    pub fn put(&self, key: u64, value: &[u8]) -> Result<(), StoreError> {
+        let (tx, rx) = resp_channel();
+        self.send(
+            core_of(key, self.ncores),
+            Request::Put {
+                key,
+                value: value.to_vec(),
+                resp: tx,
+            },
+        )?;
+        rx.recv().map_err(|_| StoreError::ShuttingDown)?
+    }
+
+    /// Reads `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ShuttingDown`] or corruption errors.
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        let (tx, rx) = resp_channel();
+        self.send(core_of(key, self.ncores), Request::Get { key, resp: tx })?;
+        rx.recv().map_err(|_| StoreError::ShuttingDown)?
+    }
+
+    /// Deletes `key`; returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`put`](Self::put).
+    pub fn delete(&self, key: u64) -> Result<bool, StoreError> {
+        let (tx, rx) = resp_channel();
+        self.send(core_of(key, self.ncores), Request::Delete { key, resp: tx })?;
+        rx.recv().map_err(|_| StoreError::ShuttingDown)?
+    }
+
+    /// Range scan over `lo..hi`, at most `limit` items (FlatStore-M/-FF).
+    /// Scans are weakly consistent under concurrent writes; quiesce with
+    /// [`barrier`](Self::barrier) for a stable view.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::RangeUnsupported`] on FlatStore-H.
+    pub fn range(&self, lo: u64, hi: u64, limit: usize) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+        let (tx, rx) = resp_channel();
+        self.send(
+            core_of(lo, self.ncores),
+            Request::Range {
+                lo,
+                hi,
+                limit,
+                resp: tx,
+            },
+        )?;
+        rx.recv().map_err(|_| StoreError::ShuttingDown)?
+    }
+
+    /// Blocks until every request sent before this call has fully
+    /// completed on all cores.
+    pub fn barrier(&self) {
+        let mut waits = Vec::new();
+        for core in 0..self.ncores {
+            let (tx, rx) = resp_channel();
+            if self.send(core, Request::Barrier { resp: tx }).is_ok() {
+                waits.push(rx);
+            }
+        }
+        for rx in waits {
+            let _ = rx.recv();
+        }
+    }
+}
+
+/// The FlatStore engine (paper Figure 2): per-core workers over a shared
+/// PM region, a volatile index, per-core compacted operation logs, the
+/// lazy-persist allocator and pipelined horizontal batching.
+///
+/// # Example
+///
+/// ```
+/// use flatstore::{Config, FlatStore};
+///
+/// let mut cfg = Config::default();
+/// cfg.pm_bytes = 64 << 20;
+/// cfg.ncores = 2;
+/// cfg.group_size = 2;
+/// let store = FlatStore::create(cfg)?;
+/// store.put(1, b"hello")?;
+/// assert_eq!(store.get(1)?.as_deref(), Some(&b"hello"[..]));
+/// store.shutdown()?;
+/// # Ok::<(), flatstore::StoreError>(())
+/// ```
+pub struct FlatStore {
+    pm: Arc<PmRegion>,
+    mgr: Arc<ChunkManager>,
+    index: Arc<VolatileIndex>,
+    deleted: Arc<DeletedTable>,
+    usage: Arc<UsageTable>,
+    quarantine: Arc<Quarantine>,
+    ckpt: Arc<CkptGuard>,
+    stats: Arc<EngineStats>,
+    handle: StoreHandle,
+    workers: Vec<JoinHandle<Shard>>,
+    cfg: Config,
+}
+
+impl std::fmt::Debug for FlatStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlatStore")
+            .field("ncores", &self.cfg.ncores)
+            .field("index", &self.cfg.index)
+            .finish()
+    }
+}
+
+impl FlatStore {
+    /// Formats a fresh region per `cfg` and starts the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfSpace`] if the region cannot hold the initial
+    /// per-core logs.
+    pub fn create(cfg: Config) -> Result<FlatStore, StoreError> {
+        cfg.validate();
+        let pm = if let Some(seed) = cfg.strict_fence_seed {
+            Arc::new(PmRegion::with_strict_fences(cfg.pm_bytes, seed))
+        } else if cfg.crash_tracking {
+            Arc::new(PmRegion::with_crash_tracking(cfg.pm_bytes))
+        } else {
+            Arc::new(PmRegion::new(cfg.pm_bytes))
+        };
+        let nchunks = ((cfg.pm_bytes as u64 - POOL_BASE) / CHUNK_SIZE) as u32;
+        Superblock::new(&pm).format(cfg.ncores, nchunks);
+        let mgr = Arc::new(ChunkManager::format(
+            Arc::clone(&pm),
+            PmAddr(POOL_BASE),
+            nchunks,
+        ));
+        let index = Arc::new(VolatileIndex::build(cfg.index, cfg.ncores, cfg.dram_bytes)?);
+        let deleted = DeletedTable::new(cfg.ncores);
+        let usage = UsageTable::new();
+
+        let mut shards = Vec::with_capacity(cfg.ncores);
+        for core in 0..cfg.ncores {
+            let log = OpLog::create(Arc::clone(&mgr), Superblock::log_desc(core))?;
+            let alloc = CoreAllocator::new(Arc::clone(&mgr), core as u32);
+            shards.push((log, alloc));
+        }
+        Self::start(pm, mgr, index, deleted, usage, shards, cfg)
+    }
+
+    /// Reopens an existing region: fast path after a clean shutdown,
+    /// full log-scan recovery after a crash (paper §3.5).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadImage`] if the region is not a FlatStore image.
+    pub fn open(pm: Arc<PmRegion>, cfg: Config) -> Result<FlatStore, StoreError> {
+        let sb = Superblock::new(&pm);
+        let (ncores, nchunks) = sb.load()?;
+        let mut cfg = cfg;
+        cfg.ncores = ncores; // the persistent layout dictates the shards
+        cfg.validate();
+        let clean = sb.is_clean();
+        let ckpt_valid = sb.ckpt_valid();
+
+        let index = Arc::new(VolatileIndex::build(cfg.index, ncores, cfg.dram_bytes)?);
+        let deleted = DeletedTable::new(ncores);
+        let usage = UsageTable::new();
+
+        // Three recovery paths (paper §3.5):
+        //  1. clean shutdown + snapshot: trust bitmaps, load the snapshot,
+        //     walk only the chain structure — no log scan at all;
+        //  2. crash with a valid checkpoint: trust the bitmaps persisted at
+        //     checkpoint time, load the snapshot, replay only the log
+        //     suffix after each core's checkpoint cursor;
+        //  3. bare crash: full log scan rebuilding everything.
+        let trust_bitmaps = clean || ckpt_valid;
+        let mgr = if trust_bitmaps {
+            Arc::new(ChunkManager::load_clean(
+                Arc::clone(&pm),
+                PmAddr(POOL_BASE),
+                nchunks,
+            ))
+        } else {
+            Arc::new(ChunkManager::recover(
+                Arc::clone(&pm),
+                PmAddr(POOL_BASE),
+                nchunks,
+            ))
+        };
+        let snapshot_loaded = if trust_bitmaps {
+            Self::load_snapshot(&pm, &sb, &mgr, &index, &deleted, &usage, ncores)?
+        } else {
+            false
+        };
+
+        let mut logs = Vec::with_capacity(ncores);
+        if clean && snapshot_loaded {
+            // Path 1: structure-only chain walk.
+            for core in 0..ncores {
+                let desc = Superblock::log_desc(core);
+                let tail = PmAddr(pm.read_u64(desc + 8));
+                let log =
+                    OpLog::recover_with_from(Arc::clone(&mgr), desc, tail, |_, _| {})?;
+                logs.push(log);
+            }
+        } else if !clean && ckpt_valid && snapshot_loaded {
+            // Path 2: replay only the post-checkpoint suffix, incremental
+            // newest-version-wins against the snapshot state.
+            for core in 0..ncores {
+                let cursor = sb.read_ckpt_cursor(core);
+                let mut suffix: Vec<(LogEntry, PmAddr)> = Vec::new();
+                let log = OpLog::recover_with_from(
+                    Arc::clone(&mgr),
+                    Superblock::log_desc(core),
+                    cursor,
+                    |e, a| suffix.push((e, a)),
+                )?;
+                for (e, addr) in suffix {
+                    Self::apply_recovered(&index, &deleted, &usage, &mgr, ncores, e, addr)?;
+                }
+                logs.push(log);
+            }
+        } else {
+            // Path 3: full scan.
+            let mut all_entries: Vec<(LogEntry, PmAddr)> = Vec::new();
+            for core in 0..ncores {
+                let log =
+                    OpLog::recover_with(Arc::clone(&mgr), Superblock::log_desc(core), |e, a| {
+                        all_entries.push((e, a));
+                    })?;
+                logs.push(log);
+            }
+            for (_, addr) in &all_entries {
+                usage.note_appended(OpLog::chunk_of(*addr), 1);
+            }
+            let mut winners: HashMap<u64, (u32, usize)> = HashMap::new();
+            for (i, (e, _)) in all_entries.iter().enumerate() {
+                match winners.get(&e.key) {
+                    Some(&(v, _)) if v >= e.version => {
+                        usage.note_dead(all_entries[i].1);
+                    }
+                    Some(&(_, j)) => {
+                        usage.note_dead(all_entries[j].1);
+                        winners.insert(e.key, (e.version, i));
+                    }
+                    None => {
+                        winners.insert(e.key, (e.version, i));
+                    }
+                }
+            }
+            for (_, &(_, i)) in winners.iter() {
+                let (e, addr) = &all_entries[i];
+                let owner = core_of(e.key, ncores);
+                match e.op {
+                    LogOp::Put => {
+                        index.insert(owner, e.key, pack(e.version, *addr))?;
+                        if let Payload::Ptr(b) = e.payload {
+                            if !trust_bitmaps {
+                                mgr.mark_allocated(b).map_err(|err| {
+                                    StoreError::Corrupt(format!("recovery mark: {err}"))
+                                })?;
+                            }
+                        }
+                    }
+                    LogOp::Delete => deleted.insert(owner, e.key, e.version, *addr),
+                    LogOp::Seal => {}
+                }
+            }
+            if !trust_bitmaps {
+                mgr.finish_recovery();
+            }
+        }
+
+        // Reclaim reserved chunks unreachable from any log chain (a crash
+        // between take_raw_chunk and linking leaks them).
+        let reachable: std::collections::HashSet<u64> = logs
+            .iter()
+            .flat_map(|l| l.chunks().iter().map(|c| c.offset()))
+            .collect();
+        for r in mgr.reserved_chunks() {
+            if !reachable.contains(&r.offset()) {
+                let _ = mgr.return_raw_chunk(r);
+            }
+        }
+
+        sb.set_clean(false);
+        sb.set_ckpt_valid(false); // cursors/snapshot are consumed
+
+        let mut shards = Vec::with_capacity(ncores);
+        for (core, log) in logs.into_iter().enumerate() {
+            let mut alloc = CoreAllocator::new(Arc::clone(&mgr), core as u32);
+            alloc.adopt_recovered(ncores as u32);
+            shards.push((log, alloc));
+        }
+        Self::start(pm, mgr, index, deleted, usage, shards, cfg)
+    }
+
+    /// Applies one post-checkpoint log entry on top of snapshot state:
+    /// newest version wins, equal versions re-anchor the same entry (its
+    /// out-of-log block may postdate the persisted bitmaps).
+    fn apply_recovered(
+        index: &Arc<VolatileIndex>,
+        deleted: &Arc<DeletedTable>,
+        usage: &Arc<UsageTable>,
+        mgr: &Arc<ChunkManager>,
+        ncores: usize,
+        e: LogEntry,
+        addr: PmAddr,
+    ) -> Result<(), StoreError> {
+        usage.note_appended(OpLog::chunk_of(addr), 1);
+        let owner = core_of(e.key, ncores);
+        let cur = index.get(owner, e.key);
+        let cur_ver = cur.map(|c| unpack(c).0);
+        let del_ver = deleted.get(owner, e.key).map(|(v, _)| v);
+        let newer = cur_ver.is_none_or(|v| e.version > v) && del_ver.is_none_or(|v| e.version > v);
+        match e.op {
+            LogOp::Put => {
+                if newer {
+                    if let Payload::Ptr(b) = e.payload {
+                        // Tolerate already-set: the block may be covered by
+                        // the checkpoint's persisted bitmaps.
+                        let _ = mgr.mark_allocated(b);
+                    }
+                    if let Some(old) = index.insert(owner, e.key, pack(e.version, addr))? {
+                        usage.note_dead(unpack(old).1);
+                    }
+                    if let Some((_, tomb)) = deleted.remove(owner, e.key) {
+                        usage.note_dead(tomb);
+                    }
+                } else if cur_ver == Some(e.version)
+                    && cur.map(|c| unpack(c).1) == Some(addr)
+                {
+                    // The snapshot already references exactly this entry;
+                    // just make sure its block is accounted for.
+                    if let Payload::Ptr(b) = e.payload {
+                        let _ = mgr.mark_allocated(b);
+                    }
+                } else {
+                    usage.note_dead(addr);
+                }
+            }
+            LogOp::Delete => {
+                if newer {
+                    if let Some(old) = index.remove(owner, e.key) {
+                        usage.note_dead(unpack(old).1);
+                    }
+                    if let Some((_, tomb)) = deleted.remove(owner, e.key) {
+                        usage.note_dead(tomb);
+                    }
+                    deleted.insert(owner, e.key, e.version, addr);
+                } else if del_ver != Some(e.version) {
+                    usage.note_dead(addr);
+                }
+            }
+            LogOp::Seal => {}
+        }
+        Ok(())
+    }
+
+    fn load_snapshot(
+        pm: &Arc<PmRegion>,
+        sb: &Superblock<'_>,
+        mgr: &Arc<ChunkManager>,
+        index: &Arc<VolatileIndex>,
+        deleted: &Arc<DeletedTable>,
+        usage: &Arc<UsageTable>,
+        ncores: usize,
+    ) -> Result<bool, StoreError> {
+        let Some((addr, _len)) = sb.snapshot() else {
+            return Ok(false);
+        };
+        let mut pos = addr;
+        let read_u64 = |pos: &mut PmAddr| {
+            let v = pm.read_u64(*pos);
+            *pos += 8;
+            v
+        };
+        let snap_cores = read_u64(&mut pos) as usize;
+        if snap_cores != ncores {
+            return Err(StoreError::BadImage("snapshot core count".into()));
+        }
+        for _ in 0..ncores {
+            let n_idx = read_u64(&mut pos);
+            for _ in 0..n_idx {
+                let key = read_u64(&mut pos);
+                let packed = read_u64(&mut pos);
+                index.insert(core_of(key, ncores), key, packed)?;
+            }
+            let n_del = read_u64(&mut pos);
+            for _ in 0..n_del {
+                let key = read_u64(&mut pos);
+                let ver = read_u64(&mut pos) as u32;
+                let taddr = PmAddr(read_u64(&mut pos));
+                deleted.insert(core_of(key, ncores), key, ver, taddr);
+            }
+        }
+        let n_usage = read_u64(&mut pos);
+        for _ in 0..n_usage {
+            let chunk = read_u64(&mut pos);
+            let total = read_u64(&mut pos) as u32;
+            let dead = read_u64(&mut pos) as u32;
+            usage.restore(chunk, total, dead);
+        }
+        // The snapshot block is consumed; free it and clear the anchor.
+        let _ = mgr.free_block(addr);
+        sb.set_snapshot(PmAddr::NULL, 0);
+        Ok(true)
+    }
+
+    /// Serializes the volatile state (index, tombstones, chunk-liveness
+    /// accounting) for a shutdown snapshot or a checkpoint.
+    fn snapshot_payload(&self) -> Vec<u8> {
+        let mut payload: Vec<u8> = Vec::new();
+        payload.extend_from_slice(&(self.cfg.ncores as u64).to_le_bytes());
+        for core in 0..self.cfg.ncores {
+            let mut pairs: Vec<(u64, u64)> = Vec::new();
+            self.index
+                .for_each_of_core(core, &mut |k, v| pairs.push((k, v)));
+            payload.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
+            for (k, v) in pairs {
+                payload.extend_from_slice(&k.to_le_bytes());
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            let mut dels: Vec<(u64, u32, PmAddr)> = Vec::new();
+            self.deleted
+                .for_each_of_core(core, &mut |k, ver, addr| dels.push((k, ver, addr)));
+            payload.extend_from_slice(&(dels.len() as u64).to_le_bytes());
+            for (k, ver, addr) in dels {
+                payload.extend_from_slice(&k.to_le_bytes());
+                payload.extend_from_slice(&(ver as u64).to_le_bytes());
+                payload.extend_from_slice(&addr.offset().to_le_bytes());
+            }
+        }
+        let mut usages: Vec<(u64, u32, u32)> = Vec::new();
+        self.usage
+            .for_each(&mut |chunk, total, dead| usages.push((chunk, total, dead)));
+        payload.extend_from_slice(&(usages.len() as u64).to_le_bytes());
+        for (chunk, total, dead) in usages {
+            payload.extend_from_slice(&chunk.to_le_bytes());
+            payload.extend_from_slice(&(total as u64).to_le_bytes());
+            payload.extend_from_slice(&(dead as u64).to_le_bytes());
+        }
+        payload
+    }
+
+    /// Writes `payload` as the region's snapshot, replacing (and freeing)
+    /// any previous one. Returns whether a block could be allocated.
+    fn write_snapshot(&self, payload: &[u8]) -> bool {
+        let sb = Superblock::new(&self.pm);
+        if let Some((old, _)) = sb.snapshot() {
+            sb.set_snapshot(PmAddr::NULL, 0);
+            let _ = self.mgr.free_block(old);
+        }
+        match self.mgr.alloc_huge(payload.len() as u64) {
+            Ok(addr) => {
+                self.pm.write(addr, payload);
+                self.pm.persist(addr, payload.len());
+                sb.set_snapshot(addr, payload.len() as u64);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Takes a checkpoint (paper §3.5: "FlatStore also supports to
+    /// checkpoint the volatile index into PMs periodically"): records each
+    /// core's log position, persists the allocator bitmaps and snapshots
+    /// the volatile state, so that a subsequent **crash** recovery replays
+    /// only the log written after this call.
+    ///
+    /// The checkpoint stays valid until the log cleaner next relocates
+    /// entries (the cleaner durably invalidates it first). Intended to run
+    /// during quiet periods; writes racing the checkpoint are still
+    /// recovered correctly via version comparison, they just shrink the
+    /// saved work.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfSpace`] if no PM block can hold the snapshot;
+    /// [`StoreError::ShuttingDown`] if the engine is stopping.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        self.handle.barrier();
+        // 1. Per-core cursors (each core persists its own, on its thread).
+        let mut waits = Vec::new();
+        for core in 0..self.cfg.ncores {
+            let (tx, rx) = resp_channel();
+            self.handle
+                .senders
+                .get(core)
+                .ok_or(StoreError::ShuttingDown)?
+                .send(Request::CkptCursor { resp: tx })
+                .map_err(|_| StoreError::ShuttingDown)?;
+            waits.push(rx);
+        }
+        for rx in waits {
+            rx.recv().map_err(|_| StoreError::ShuttingDown)?;
+        }
+        // 2. Allocator bitmaps (covers everything allocated so far).
+        self.mgr.persist_bitmaps();
+        // 3. Volatile-state snapshot.
+        let payload = self.snapshot_payload();
+        if !self.write_snapshot(&payload) {
+            return Err(StoreError::OutOfSpace);
+        }
+        // 4. Publish.
+        Superblock::new(&self.pm).set_ckpt_valid(true);
+        self.ckpt.arm();
+        Ok(())
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn start(
+        pm: Arc<PmRegion>,
+        mgr: Arc<ChunkManager>,
+        index: Arc<VolatileIndex>,
+        deleted: Arc<DeletedTable>,
+        usage: Arc<UsageTable>,
+        shards: Vec<(OpLog, CoreAllocator)>,
+        cfg: Config,
+    ) -> Result<FlatStore, StoreError> {
+        let ncores = cfg.ncores;
+        let quarantine = Quarantine::new(20);
+        let ckpt = CkptGuard::new(Arc::clone(&pm));
+        let stats = Arc::new(EngineStats::default());
+        let ngroups = ncores.div_ceil(cfg.group_size);
+        let groups: Vec<Arc<Group>> = (0..ngroups)
+            .map(|g| {
+                let members = (ncores - g * cfg.group_size).min(cfg.group_size);
+                Group::new(members)
+            })
+            .collect();
+
+        let mut senders = Vec::with_capacity(ncores);
+        let mut workers = Vec::with_capacity(ncores);
+        for (core, (log, alloc)) in shards.into_iter().enumerate() {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            let shard = Shard::new(
+                core,
+                ncores,
+                Arc::clone(&pm),
+                Arc::clone(&mgr),
+                log,
+                alloc,
+                Arc::clone(&index),
+                Arc::clone(&deleted),
+                Arc::clone(&usage),
+                Arc::clone(&quarantine),
+                Arc::clone(&ckpt),
+                Arc::clone(&groups[core / cfg.group_size]),
+                core % cfg.group_size,
+                cfg.model,
+                cfg.gc,
+                cfg.channel_batch,
+                Arc::clone(&stats),
+                rx,
+            );
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("flatstore-core-{core}"))
+                    .spawn(move || shard.run())
+                    .expect("spawn worker"),
+            );
+        }
+        let handle = StoreHandle {
+            senders: Arc::new(senders),
+            ncores,
+        };
+        Ok(FlatStore {
+            pm,
+            mgr,
+            index,
+            deleted,
+            usage,
+            quarantine,
+            ckpt,
+            stats,
+            handle,
+            workers,
+            cfg,
+        })
+    }
+
+    /// A clonable client handle.
+    pub fn handle(&self) -> StoreHandle {
+        self.handle.clone()
+    }
+
+    /// See [`StoreHandle::put`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`StoreHandle::put`].
+    pub fn put(&self, key: u64, value: &[u8]) -> Result<(), StoreError> {
+        self.handle.put(key, value)
+    }
+
+    /// See [`StoreHandle::get`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`StoreHandle::get`].
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        self.handle.get(key)
+    }
+
+    /// See [`StoreHandle::delete`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`StoreHandle::delete`].
+    pub fn delete(&self, key: u64) -> Result<bool, StoreError> {
+        self.handle.delete(key)
+    }
+
+    /// See [`StoreHandle::range`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`StoreHandle::range`].
+    pub fn range(&self, lo: u64, hi: u64, limit: usize) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+        self.handle.range(lo, hi, limit)
+    }
+
+    /// Quiesces all cores (see [`StoreHandle::barrier`]).
+    pub fn barrier(&self) {
+        self.handle.barrier();
+    }
+
+    /// Engine activity counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Free chunks in the PM pool.
+    pub fn free_chunks(&self) -> u32 {
+        self.mgr.free_chunks()
+    }
+
+    /// The underlying (simulated) PM region.
+    pub fn pm(&self) -> Arc<PmRegion> {
+        Arc::clone(&self.pm)
+    }
+
+    fn join_workers(&mut self) -> Vec<Shard> {
+        for s in self.handle.senders.iter() {
+            let _ = s.send(Request::Shutdown);
+        }
+        self.workers.drain(..).map(|w| w.join().expect("worker panicked")).collect()
+    }
+
+    /// Clean shutdown (paper §3.5): drains all cores, snapshots the
+    /// volatile index and tombstone table into PM, persists the allocator
+    /// bitmaps and sets the clean flag. Returns the region for reopening.
+    ///
+    /// # Errors
+    ///
+    /// Snapshot allocation failures degrade gracefully: the image is still
+    /// marked clean and the next open replays the log instead.
+    pub fn shutdown(mut self) -> Result<Arc<PmRegion>, StoreError> {
+        let shards = self.join_workers();
+        self.quarantine.drain(&self.mgr);
+
+        let payload = self.snapshot_payload();
+        let sb = Superblock::new(&self.pm);
+        if !self.write_snapshot(&payload) {
+            // Degrade gracefully: the next open replays the log instead.
+            sb.set_snapshot(PmAddr::NULL, 0);
+        }
+        self.mgr.persist_bitmaps();
+        sb.set_ckpt_valid(false);
+        sb.set_clean(true);
+        drop(shards);
+        Ok(Arc::clone(&self.pm))
+    }
+
+    /// Abrupt stop without the clean-shutdown protocol: the next open takes
+    /// the crash-recovery path. Combine with
+    /// [`PmRegion::simulate_crash`] to also drop unflushed state.
+    pub fn kill(mut self) -> Arc<PmRegion> {
+        let _ = self.join_workers();
+        Arc::clone(&self.pm)
+    }
+}
+
+impl Drop for FlatStore {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            let _ = self.join_workers();
+        }
+        let _ = &self.usage; // shared tables dropped with the engine
+    }
+}

@@ -1,0 +1,74 @@
+//! Engine errors.
+
+use std::error::Error;
+use std::fmt;
+
+use indexes::IndexError;
+use oplog::LogError;
+use pmalloc::AllocError;
+
+/// Errors returned by the FlatStore engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// PM space (chunks or index arena) is exhausted.
+    OutOfSpace,
+    /// The key `u64::MAX` is reserved by the volatile index.
+    ReservedKey,
+    /// Empty values are not supported (the log-entry size field encodes
+    /// 1..=256, and the paper's workloads have no empty items).
+    EmptyValue,
+    /// The engine is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The persistent image is not a FlatStore region or is from an
+    /// incompatible layout version.
+    BadImage(String),
+    /// The requested operation needs an ordered index (FlatStore-M/-FF).
+    RangeUnsupported,
+    /// Internal invariant violation (corruption).
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::OutOfSpace => write!(f, "persistent memory exhausted"),
+            StoreError::ReservedKey => write!(f, "key u64::MAX is reserved"),
+            StoreError::EmptyValue => write!(f, "empty values are not supported"),
+            StoreError::ShuttingDown => write!(f, "store is shutting down"),
+            StoreError::BadImage(s) => write!(f, "bad persistent image: {s}"),
+            StoreError::RangeUnsupported => {
+                write!(f, "range scans need FlatStore-M or FlatStore-FF")
+            }
+            StoreError::Corrupt(s) => write!(f, "corruption detected: {s}"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+impl From<AllocError> for StoreError {
+    fn from(e: AllocError) -> Self {
+        match e {
+            AllocError::OutOfMemory { .. } => StoreError::OutOfSpace,
+            other => StoreError::Corrupt(other.to_string()),
+        }
+    }
+}
+
+impl From<LogError> for StoreError {
+    fn from(e: LogError) -> Self {
+        match e {
+            LogError::OutOfSpace => StoreError::OutOfSpace,
+            other => StoreError::Corrupt(other.to_string()),
+        }
+    }
+}
+
+impl From<IndexError> for StoreError {
+    fn from(e: IndexError) -> Self {
+        match e {
+            IndexError::OutOfSpace => StoreError::OutOfSpace,
+            IndexError::ReservedKey => StoreError::ReservedKey,
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! **FlatStore** — a log-structured key-value storage engine for
+//! persistent memory (reproduction of Chen et al., ASPLOS 2020).
+//!
+//! FlatStore decouples a PM key-value store into a **volatile index** in
+//! DRAM and a **persistent compacted operation log**. Small updates that
+//! would each cost a cacheline flush in a conventional persistent index are
+//! instead appended as 16-byte log entries and persisted in
+//! cacheline-aligned batches; **pipelined horizontal batching** lets one
+//! server core steal the pending entries of its group's other cores so a
+//! batch fills quickly without adding latency.
+//!
+//! # Engine anatomy (paper Figure 2)
+//!
+//! * Per-core **compacted OpLog** ([`oplog`]) — 16 B pointer entries or
+//!   inline values ≤ 256 B; batch appends padded to cacheline boundaries.
+//! * **Lazy-persist allocator** ([`pmalloc`]) — 4 MB chunks and size
+//!   classes for values > 256 B; allocation bitmaps are never flushed on
+//!   the fast path and are reconstructed from the log on recovery.
+//! * **Volatile index** — pluggable: per-core CCEH hash
+//!   ([`IndexKind::Hash`], FlatStore-H), a shared Masstree
+//!   ([`IndexKind::Masstree`], FlatStore-M) or a volatile FAST&FAIR
+//!   ([`IndexKind::FastFair`], FlatStore-FF).
+//! * **Pipelined horizontal batching** ([`ExecutionModel::PipelinedHb`]) —
+//!   plus the paper's ablation models (`NonBatch`, `Vertical`, `NaiveHb`).
+//! * **Log cleaning** — version-based liveness, per-core victim selection,
+//!   index CAS re-pointing and grace-period chunk reclamation.
+//! * **Recovery** — clean-shutdown snapshot or full log scan (§3.5).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flatstore::{Config, FlatStore};
+//!
+//! let mut cfg = Config::default();
+//! cfg.pm_bytes = 64 << 20;
+//! cfg.ncores = 2;
+//! cfg.group_size = 2;
+//! let store = FlatStore::create(cfg)?;
+//! store.put(7, b"persistent")?;
+//! assert_eq!(store.get(7)?.as_deref(), Some(&b"persistent"[..]));
+//! assert!(store.delete(7)?);
+//! let pm = store.shutdown()?; // clean shutdown; reopen with FlatStore::open
+//! # drop(pm);
+//! # Ok::<(), flatstore::StoreError>(())
+//! ```
+
+mod batch;
+mod config;
+mod engine;
+mod error;
+mod request;
+mod shard;
+mod superblock;
+mod value;
+mod vindex;
+
+pub use batch::EngineStats;
+pub use config::{Config, ExecutionModel, GcConfig, IndexKind};
+pub use engine::{FlatStore, StoreHandle};
+pub use error::StoreError;
+
+/// Routes `key` to its owning server core (exposed for benchmark
+/// harnesses that model client-side routing).
+pub fn core_of(key: u64, ncores: usize) -> usize {
+    shard::core_of(key, ncores)
+}

@@ -1,0 +1,64 @@
+//! Client requests and the clonable store handle.
+
+use crossbeam::channel::{bounded, Sender};
+
+use crate::error::StoreError;
+
+pub(crate) type PutResp = Sender<Result<(), StoreError>>;
+pub(crate) type GetResp = Sender<Result<Option<Vec<u8>>, StoreError>>;
+pub(crate) type DelResp = Sender<Result<bool, StoreError>>;
+pub(crate) type RangeResp = Sender<Result<Vec<(u64, Vec<u8>)>, StoreError>>;
+pub(crate) type BarrierResp = Sender<()>;
+
+/// A request delivered to a server core's channel (standing in for the
+/// paper's FlatRPC message buffers).
+pub(crate) enum Request {
+    Put {
+        key: u64,
+        value: Vec<u8>,
+        resp: PutResp,
+    },
+    Get {
+        key: u64,
+        resp: GetResp,
+    },
+    Delete {
+        key: u64,
+        resp: DelResp,
+    },
+    Range {
+        lo: u64,
+        hi: u64,
+        limit: usize,
+        resp: RangeResp,
+    },
+    /// Replies once every request this core received before it has fully
+    /// completed (tests and benchmarks use this to quiesce).
+    Barrier {
+        resp: BarrierResp,
+    },
+    /// Records this core's current log tail as its checkpoint cursor
+    /// (persisted), then replies. Only sent by `FlatStore::checkpoint`.
+    CkptCursor {
+        resp: BarrierResp,
+    },
+    /// Begin draining; the worker exits once quiet.
+    Shutdown,
+}
+
+impl Request {
+    /// The key a conflict-queue check applies to, if any.
+    pub fn conflict_key(&self) -> Option<u64> {
+        match self {
+            Request::Put { key, .. } | Request::Get { key, .. } | Request::Delete { key, .. } => {
+                Some(*key)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Creates a response channel pair for a blocking client call.
+pub(crate) fn resp_channel<T>() -> (Sender<T>, crossbeam::channel::Receiver<T>) {
+    bounded(1)
+}

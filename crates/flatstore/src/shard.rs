@@ -1,0 +1,709 @@
+//! The per-core server worker: request processing, the three-phase Put
+//! (l-persist → g-persist → volatile, paper §3.3), conflict queueing,
+//! leader election and log cleaning.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use oplog::{LogEntry, LogOp, OpLog, Payload, INLINE_MAX};
+use pmalloc::{ChunkManager, CoreAllocator};
+use pmem::{PmAddr, PmRegion};
+
+use crate::batch::{CkptGuard, Completion, DeletedTable, EngineStats, Group, Posted, Quarantine, UsageTable};
+use crate::config::{ExecutionModel, GcConfig};
+use crate::error::StoreError;
+use crate::request::{BarrierResp, DelResp, GetResp, PutResp, Request};
+use crate::value::{pack, read_record, record_size, unpack, write_record};
+use crate::vindex::VolatileIndex;
+
+const VERSION_MASK: u32 = 0xF_FFFF;
+
+/// Routes `key` to its owning server core (paper §3.1: clients send
+/// requests to the core determined by the keyhash).
+#[inline]
+pub(crate) fn core_of(key: u64, ncores: usize) -> usize {
+    let mut k = key;
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51afd7ed558ccd);
+    k ^= k >> 33;
+    (k % ncores as u64) as usize
+}
+
+enum InflightOp {
+    Put {
+        key: u64,
+        version: u32,
+        resp: PutResp,
+    },
+    Delete {
+        key: u64,
+        version: u32,
+        old_block: Option<PmAddr>,
+        resp: DelResp,
+    },
+}
+
+struct Inflight {
+    completion: Arc<Completion>,
+    op: InflightOp,
+}
+
+/// One server core's state; owned by its worker thread and returned to the
+/// engine at shutdown for snapshotting.
+pub(crate) struct Shard {
+    pub core: usize,
+    ncores: usize,
+    pm: Arc<PmRegion>,
+    mgr: Arc<ChunkManager>,
+    pub log: OpLog,
+    pub alloc: CoreAllocator,
+    index: Arc<VolatileIndex>,
+    deleted: Arc<DeletedTable>,
+    usage: Arc<UsageTable>,
+    quarantine: Arc<Quarantine>,
+    ckpt: Arc<CkptGuard>,
+    group: Arc<Group>,
+    slot: usize,
+    model: ExecutionModel,
+    gc: GcConfig,
+    channel_batch: usize,
+    stats: Arc<EngineStats>,
+    rx: Receiver<Request>,
+
+    /// Keys with a Delete in flight (these serialize everything).
+    conflicts: HashSet<u64>,
+    /// Keys with in-flight Puts: latest assigned version + count. Later
+    /// Puts to the same key pipeline (versions order them); only reads and
+    /// deletes wait (paper §3.3 "Discussion").
+    pending_puts: HashMap<u64, (u32, u32)>,
+    deferred: VecDeque<Request>,
+    inflight: VecDeque<Inflight>,
+    barriers: Vec<BarrierResp>,
+    ckpt_cursors: Vec<BarrierResp>,
+    staged: Vec<(Posted, Inflight)>,
+    pending_fence: bool,
+    draining: bool,
+    tick: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+impl Shard {
+    pub fn new(
+        core: usize,
+        ncores: usize,
+        pm: Arc<PmRegion>,
+        mgr: Arc<ChunkManager>,
+        log: OpLog,
+        alloc: CoreAllocator,
+        index: Arc<VolatileIndex>,
+        deleted: Arc<DeletedTable>,
+        usage: Arc<UsageTable>,
+        quarantine: Arc<Quarantine>,
+        ckpt: Arc<CkptGuard>,
+        group: Arc<Group>,
+        slot: usize,
+        model: ExecutionModel,
+        gc: GcConfig,
+        channel_batch: usize,
+        stats: Arc<EngineStats>,
+        rx: Receiver<Request>,
+    ) -> Shard {
+        Shard {
+            core,
+            ncores,
+            pm,
+            mgr,
+            log,
+            alloc,
+            index,
+            deleted,
+            usage,
+            quarantine,
+            ckpt,
+            group,
+            slot,
+            model,
+            gc,
+            channel_batch,
+            stats,
+            rx,
+            conflicts: HashSet::new(),
+            pending_puts: HashMap::new(),
+            deferred: VecDeque::new(),
+            inflight: VecDeque::new(),
+            barriers: Vec::new(),
+            ckpt_cursors: Vec::new(),
+            staged: Vec::new(),
+            pending_fence: false,
+            draining: false,
+            tick: 0,
+        }
+    }
+
+    /// The worker main loop; returns the shard for shutdown serialization.
+    pub fn run(mut self) -> Shard {
+        loop {
+            let mut did = false;
+            did |= self.drain_channel();
+            did |= self.retry_deferred();
+            self.publish_staged();
+            did |= self.lead();
+            did |= self.process_completions();
+            self.maybe_gc();
+            self.answer_barriers();
+
+            if self.draining && self.quiet() {
+                break;
+            }
+            if !did {
+                match self.rx.recv_timeout(Duration::from_micros(200)) {
+                    Ok(req) => self.dispatch(req),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => self.draining = true,
+                }
+            }
+        }
+        self
+    }
+
+    fn quiet(&self) -> bool {
+        self.inflight.is_empty() && self.deferred.is_empty() && self.staged.is_empty()
+    }
+
+    fn drain_channel(&mut self) -> bool {
+        let budget = if self.model == ExecutionModel::NonBatch {
+            1
+        } else {
+            self.channel_batch
+        };
+        let mut got = false;
+        for _ in 0..budget {
+            match self.rx.try_recv() {
+                Ok(req) => {
+                    self.dispatch(req);
+                    got = true;
+                }
+                Err(crossbeam::channel::TryRecvError::Empty) => break,
+                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                    self.draining = true;
+                    break;
+                }
+            }
+        }
+        got
+    }
+
+    fn dispatch(&mut self, req: Request) {
+        if let Some(key) = req.conflict_key() {
+            // Deletes serialize against everything; reads and deletes also
+            // wait for in-flight Puts. Put-after-Put pipelines through
+            // versioning.
+            let blocked = self.conflicts.contains(&key)
+                || (!matches!(req, Request::Put { .. })
+                    && self.pending_puts.contains_key(&key));
+            if blocked {
+                self.stats.conflicts_deferred.fetch_add(1, Ordering::Relaxed);
+                self.deferred.push_back(req);
+                return;
+            }
+        }
+        match req {
+            Request::Put { key, value, resp } => self.begin_put(key, value, resp),
+            Request::Get { key, resp } => self.serve_get(key, resp),
+            Request::Delete { key, resp } => self.begin_delete(key, resp),
+            Request::Range {
+                lo,
+                hi,
+                limit,
+                resp,
+            } => self.serve_range(lo, hi, limit, resp),
+            Request::Barrier { resp } => self.barriers.push(resp),
+            Request::CkptCursor { resp } => self.ckpt_cursors.push(resp),
+            Request::Shutdown => self.draining = true,
+        }
+    }
+
+    /// Current version and out-of-log block of `key`, for an update.
+    fn key_state(&self, key: u64) -> (u32, Option<PmAddr>) {
+        if let Some(packed) = self.index.get(self.core, key) {
+            let (ver, addr) = unpack(packed);
+            let old_block = match self.log.read_entry(addr) {
+                Ok(e) => match e.payload {
+                    Payload::Ptr(b) => Some(b),
+                    _ => None,
+                },
+                Err(_) => None,
+            };
+            (ver.wrapping_add(1) & VERSION_MASK, old_block)
+        } else if let Some((ver, _)) = self.deleted.get(self.core, key) {
+            (ver.wrapping_add(1) & VERSION_MASK, None)
+        } else {
+            (1, None)
+        }
+    }
+
+    /// Phase 1 (l-persist): allocate + persist the record if large, build
+    /// the compacted log entry, stage it for the group pool.
+    fn begin_put(&mut self, key: u64, value: Vec<u8>, resp: PutResp) {
+        if key == u64::MAX {
+            let _ = resp.send(Err(StoreError::ReservedKey));
+            return;
+        }
+        if value.is_empty() {
+            let _ = resp.send(Err(StoreError::EmptyValue));
+            return;
+        }
+        let version = match self.pending_puts.get(&key) {
+            Some(&(latest, _)) => latest.wrapping_add(1) & VERSION_MASK,
+            None => self.key_state(key).0,
+        };
+        let entry = if value.len() <= INLINE_MAX {
+            LogEntry::put_inline(key, version, value).expect("length checked")
+        } else {
+            let block = match self.alloc.alloc(record_size(value.len())) {
+                Ok(b) => b,
+                Err(e) => {
+                    let _ = resp.send(Err(e.into()));
+                    return;
+                }
+            };
+            write_record(&self.pm, block, &value);
+            self.pending_fence = true;
+            LogEntry::put_ptr(key, version, block)
+        };
+        let completion = Completion::new();
+        let slot = self.pending_puts.entry(key).or_insert((0, 0));
+        slot.0 = version;
+        slot.1 += 1;
+        self.staged.push((
+            Posted {
+                entry,
+                completion: Arc::clone(&completion),
+            },
+            Inflight {
+                completion,
+                op: InflightOp::Put { key, version, resp },
+            },
+        ));
+    }
+
+    fn begin_delete(&mut self, key: u64, resp: DelResp) {
+        let Some(packed) = self.index.get(self.core, key) else {
+            let _ = resp.send(Ok(false));
+            return;
+        };
+        let (ver, addr) = unpack(packed);
+        let old_block = match self.log.read_entry(addr) {
+            Ok(e) => match e.payload {
+                Payload::Ptr(b) => Some(b),
+                _ => None,
+            },
+            Err(_) => None,
+        };
+        let version = ver.wrapping_add(1) & VERSION_MASK;
+        let completion = Completion::new();
+        self.conflicts.insert(key);
+        self.staged.push((
+            Posted {
+                entry: LogEntry::tombstone(key, version),
+                completion: Arc::clone(&completion),
+            },
+            Inflight {
+                completion,
+                op: InflightOp::Delete {
+                    key,
+                    version,
+                    old_block,
+                    resp,
+                },
+            },
+        ));
+    }
+
+    fn serve_get(&mut self, key: u64, resp: GetResp) {
+        let result = match self.index.get(self.core, key) {
+            None => Ok(None),
+            Some(packed) => {
+                let (_, addr) = unpack(packed);
+                match self.log.read_entry(addr) {
+                    Ok(e) => Ok(Some(self.payload_bytes(&e))),
+                    Err(e) => Err(e.into()),
+                }
+            }
+        };
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        let _ = resp.send(result);
+    }
+
+    fn payload_bytes(&self, e: &LogEntry) -> Vec<u8> {
+        match &e.payload {
+            Payload::Inline(v) => v.clone(),
+            Payload::Ptr(b) => read_record(&self.pm, *b),
+            Payload::None => Vec::new(),
+        }
+    }
+
+    fn serve_range(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+        resp: crate::request::RangeResp,
+    ) {
+        let mut out = Vec::new();
+        let r = self.index.range(lo, hi, &mut |k, packed| {
+            let (_, addr) = unpack(packed);
+            if let Ok(Some((e, _))) = LogEntry::decode(&self.pm, addr) {
+                if e.op == LogOp::Put {
+                    out.push((k, self.payload_bytes(&e)));
+                }
+            }
+            out.len() < limit
+        });
+        let _ = resp.send(r.map(|()| out));
+    }
+
+    /// Phase-1 close: one fence covers every large record written in this
+    /// drain, then the staged entries are published for batching.
+    fn publish_staged(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        if self.pending_fence {
+            self.pm.fence();
+            self.pending_fence = false;
+        }
+        match self.model {
+            ExecutionModel::PipelinedHb | ExecutionModel::NaiveHb => {
+                for (posted, inflight) in self.staged.drain(..) {
+                    self.group.post(self.slot, posted);
+                    self.inflight.push_back(inflight);
+                }
+                if self.model == ExecutionModel::NaiveHb {
+                    // Figure 4(c): strictly ordered phases — the poster
+                    // blocks until its entries are durable.
+                    while self
+                        .inflight
+                        .iter()
+                        .any(|inf| inf.completion.poll().is_none())
+                    {
+                        self.lead();
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            ExecutionModel::Vertical | ExecutionModel::NonBatch => {
+                // No stealing: persist this core's own batch directly.
+                let staged: Vec<_> = self.staged.drain(..).collect();
+                let mut posts = Vec::with_capacity(staged.len());
+                for (posted, inflight) in staged {
+                    posts.push(posted);
+                    self.inflight.push_back(inflight);
+                }
+                self.persist_posts(posts);
+            }
+        }
+    }
+
+    /// Leader election + g-persist (paper Figure 5).
+    fn lead(&mut self) -> bool {
+        if self.model == ExecutionModel::Vertical || self.model == ExecutionModel::NonBatch {
+            return false;
+        }
+        let group = Arc::clone(&self.group);
+        if group.pending.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        let Some(guard) = group.lock.try_lock() else {
+            return false;
+        };
+        let posts = group.collect();
+        if self.model == ExecutionModel::PipelinedHb {
+            // Early lock release: the next leader can collect while we
+            // flush (Figure 4d).
+            drop(guard);
+            if posts.is_empty() {
+                return false;
+            }
+            self.persist_posts(posts);
+        } else {
+            if posts.is_empty() {
+                return false;
+            }
+            self.persist_posts(posts);
+            drop(guard); // NaiveHb holds the lock through the flush.
+        }
+        true
+    }
+
+    /// Appends a collected batch to this core's log and fulfils the
+    /// completions.
+    fn persist_posts(&mut self, posts: Vec<Posted>) {
+        if posts.is_empty() {
+            return;
+        }
+        let (entries, completions): (Vec<LogEntry>, Vec<Arc<Completion>>) =
+            posts.into_iter().map(|p| (p.entry, p.completion)).unzip();
+        match self.log.append_batch(&entries) {
+            Ok(addrs) => {
+                self.usage
+                    .note_appended(OpLog::chunk_of(addrs[0]), addrs.len() as u32);
+                for (c, a) in completions.iter().zip(&addrs) {
+                    c.fulfil(*a);
+                }
+                self.stats.batches.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .batched_entries
+                    .fetch_add(addrs.len() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                for c in &completions {
+                    c.fail();
+                }
+            }
+        }
+    }
+
+    /// Phase 3 (volatile): index update, old-state reclamation, client
+    /// response.
+    fn process_completions(&mut self) -> bool {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < self.inflight.len() {
+            let Some(result) = self.inflight[i].completion.poll() else {
+                i += 1;
+                continue;
+            };
+            let inf = self.inflight.remove(i).expect("index in bounds");
+            self.complete(inf.op, result);
+            progressed = true;
+        }
+        progressed
+    }
+
+    fn unpend(&mut self, key: u64) {
+        if let Some(slot) = self.pending_puts.get_mut(&key) {
+            slot.1 -= 1;
+            if slot.1 == 0 {
+                self.pending_puts.remove(&key);
+            }
+        }
+    }
+
+    fn complete(&mut self, op: InflightOp, result: Result<PmAddr, ()>) {
+        match op {
+            InflightOp::Put { key, version, resp } => {
+                self.unpend(key);
+                let Ok(addr) = result else {
+                    let _ = resp.send(Err(StoreError::OutOfSpace));
+                    return;
+                };
+                // Pipelined same-key Puts may complete out of order across
+                // batches; the newest version wins (the same rule recovery
+                // and the cleaner apply).
+                let newest = self
+                    .index
+                    .get(self.core, key)
+                    .is_none_or(|cur| unpack(cur).0 < version);
+                if !newest {
+                    // Superseded before it was applied: its entry (and any
+                    // out-of-log block) is dead on arrival.
+                    self.usage.note_dead(addr);
+                    if let Ok(e) = self.log.read_entry(addr) {
+                        if let Payload::Ptr(b) = e.payload {
+                            let _ = self.alloc.free(b);
+                        }
+                    }
+                    self.stats.puts.fetch_add(1, Ordering::Relaxed);
+                    let _ = resp.send(Ok(()));
+                    return;
+                }
+                let packed = pack(version, addr);
+                match self.index.insert(self.core, key, packed) {
+                    Ok(old) => {
+                        if let Some(old) = old {
+                            let (_, old_addr) = unpack(old);
+                            self.usage.note_dead(old_addr);
+                            // Free the previous version's out-of-log block
+                            // (safe within the cleaner's grace period).
+                            if let Ok(e) = self.log.read_entry(old_addr) {
+                                if let Payload::Ptr(b) = e.payload {
+                                    let _ = self.alloc.free(b);
+                                }
+                            }
+                        } else if let Some((_, tomb)) = self.deleted.remove(self.core, key) {
+                            // A Put over a deleted key supersedes the
+                            // tombstone.
+                            self.usage.note_dead(tomb);
+                        }
+                        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+                        let _ = resp.send(Ok(()));
+                    }
+                    Err(e) => {
+                        let _ = resp.send(Err(e));
+                    }
+                }
+            }
+            InflightOp::Delete {
+                key,
+                version,
+                old_block,
+                resp,
+            } => {
+                let Ok(addr) = result else {
+                    self.conflicts.remove(&key);
+                    let _ = resp.send(Err(StoreError::OutOfSpace));
+                    return;
+                };
+                if let Some(old) = self.index.remove(self.core, key) {
+                    let (_, old_addr) = unpack(old);
+                    self.usage.note_dead(old_addr);
+                }
+                if let Some(b) = old_block {
+                    let _ = self.alloc.free(b);
+                }
+                self.deleted.insert(self.core, key, version, addr);
+                self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+                self.conflicts.remove(&key);
+                let _ = resp.send(Ok(true));
+            }
+        }
+    }
+
+    fn retry_deferred(&mut self) -> bool {
+        let mut progressed = false;
+        let n = self.deferred.len();
+        for _ in 0..n {
+            let req = self.deferred.pop_front().expect("len checked");
+            if let Some(k) = req.conflict_key() {
+                let blocked = self.conflicts.contains(&k)
+                    || (!matches!(req, Request::Put { .. })
+                        && self.pending_puts.contains_key(&k));
+                if blocked {
+                    self.deferred.push_back(req);
+                    continue;
+                }
+            }
+            // Re-dispatch without re-counting the conflict deferral.
+            match req {
+                Request::Put { key, value, resp } => self.begin_put(key, value, resp),
+                Request::Get { key, resp } => self.serve_get(key, resp),
+                Request::Delete { key, resp } => self.begin_delete(key, resp),
+                other => self.dispatch(other),
+            }
+            progressed = true;
+        }
+        progressed
+    }
+
+    fn answer_barriers(&mut self) {
+        if self.quiet() {
+            for b in self.barriers.drain(..) {
+                let _ = b.send(());
+            }
+            if !self.ckpt_cursors.is_empty() {
+                // Record this core's checkpoint cursor: everything before
+                // the current tail is covered by the snapshot being taken.
+                let cursor = crate::superblock::Superblock::ckpt_cursor(self.core);
+                self.pm.write_u64(cursor, self.log.tail().offset());
+                self.pm.persist(cursor, 8);
+                for c in self.ckpt_cursors.drain(..) {
+                    let _ = c.send(());
+                }
+            }
+        }
+    }
+
+    /// Incremental log cleaning (paper §3.4), run cooperatively on the
+    /// server core. Victims are this core's chunks with the lowest live
+    /// ratio; the reclaimed chunk passes through the grace-period
+    /// quarantine before re-entering the pool.
+    fn maybe_gc(&mut self) {
+        self.tick += 1;
+        if self.tick.is_multiple_of(64) {
+            self.quarantine.release(&self.mgr);
+        }
+        if !self.gc.enabled || !self.tick.is_multiple_of(16) {
+            return;
+        }
+        let free = self.mgr.free_chunks();
+        if free >= self.gc.min_free_chunks {
+            return;
+        }
+        let tail_chunk = OpLog::chunk_of(self.log.tail());
+        let mut best: Option<(PmAddr, f64)> = None;
+        for &c in self.log.chunks() {
+            if c == tail_chunk {
+                continue;
+            }
+            let u = self.usage.usage(c);
+            if u.total == 0 {
+                continue;
+            }
+            let r = u.live_ratio();
+            if best.is_none_or(|(_, br)| r < br) {
+                best = Some((c, r));
+            }
+        }
+        let Some((victim, ratio)) = best else { return };
+        let urgent = free <= self.gc.min_free_chunks / 2;
+        if ratio > self.gc.max_live_ratio && !urgent {
+            return;
+        }
+        self.clean(victim);
+    }
+
+    fn clean(&mut self, victim: PmAddr) {
+        // Relocation moves entry addresses: any standing checkpoint must be
+        // durably invalidated first.
+        self.ckpt.invalidate();
+        let index = Arc::clone(&self.index);
+        let deleted = Arc::clone(&self.deleted);
+        let ncores = self.ncores;
+        let relocs = match self.log.clean_chunk(victim, |e, addr| {
+            let owner = core_of(e.key, ncores);
+            match e.op {
+                LogOp::Put => index.get(owner, e.key) == Some(pack(e.version, addr)),
+                LogOp::Delete => deleted.get(owner, e.key) == Some((e.version, addr)),
+                LogOp::Seal => false,
+            }
+        }) {
+            Ok(r) => r,
+            Err(_) => return, // no relocation chunk free; retry later
+        };
+
+        let target = relocs
+            .first()
+            .map(|r| (OpLog::chunk_of(r.new), relocs.len() as u32));
+        self.usage.on_cleaned(victim, target);
+
+        for r in &relocs {
+            let owner = core_of(r.entry.key, self.ncores);
+            let moved = match r.entry.op {
+                LogOp::Put => self.index.cas(
+                    owner,
+                    r.entry.key,
+                    pack(r.entry.version, r.old),
+                    pack(r.entry.version, r.new),
+                ),
+                LogOp::Delete => {
+                    self.deleted
+                        .cas_addr(owner, r.entry.key, r.entry.version, r.old, r.new)
+                }
+                LogOp::Seal => false,
+            };
+            if !moved {
+                // Superseded while relocating: the copy is dead on arrival.
+                self.usage.note_dead(r.new);
+            }
+        }
+        self.quarantine.push(victim);
+        self.stats.gc_chunks.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .gc_relocated
+            .fetch_add(relocs.len() as u64, Ordering::Relaxed);
+    }
+}

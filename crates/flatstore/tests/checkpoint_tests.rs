@@ -1,0 +1,214 @@
+//! Checkpointing (paper §3.5): a checkpoint lets crash recovery skip the
+//! pre-checkpoint log while recovering exactly the acknowledged state.
+
+use flatstore::{Config, FlatStore, StoreError};
+use workloads::value_bytes;
+
+fn cfg() -> Config {
+    Config {
+        pm_bytes: 128 << 20,
+        dram_bytes: 16 << 20,
+        ncores: 2,
+        group_size: 2,
+        crash_tracking: true,
+        ..Config::default()
+    }
+}
+
+#[test]
+fn checkpoint_then_crash_recovers_everything() {
+    let c = cfg();
+    let store = FlatStore::create(c.clone()).unwrap();
+    // Pre-checkpoint state: mixed sizes, overwrites, deletes.
+    for k in 0..800u64 {
+        store.put(k, &value_bytes(k, 90)).unwrap();
+    }
+    for k in 0..200u64 {
+        store.put(k, &value_bytes(k + 1, 700)).unwrap();
+    }
+    store.delete(5).unwrap();
+    store.checkpoint().unwrap();
+
+    // Post-checkpoint writes (only these need replaying).
+    for k in 800..1_000u64 {
+        store.put(k, &value_bytes(k, 40)).unwrap();
+    }
+    store.put(0, &value_bytes(999, 50)).unwrap(); // overwrite a ckpt key
+    store.delete(1).unwrap(); // delete a ckpt key
+    store.put(5, &value_bytes(55, 60)).unwrap(); // resurrect a ckpt-deleted key
+    store.barrier();
+
+    let pm = store.kill();
+    pm.simulate_crash();
+    let store = FlatStore::open(pm, c).unwrap();
+
+    assert_eq!(store.get(0).unwrap(), Some(value_bytes(999, 50)));
+    assert_eq!(store.get(1).unwrap(), None);
+    assert_eq!(store.get(5).unwrap(), Some(value_bytes(55, 60)));
+    for k in 2..200u64 {
+        if k == 5 {
+            continue;
+        }
+        assert_eq!(store.get(k).unwrap(), Some(value_bytes(k + 1, 700)), "key {k}");
+    }
+    for k in 200..800u64 {
+        assert_eq!(store.get(k).unwrap(), Some(value_bytes(k, 90)), "key {k}");
+    }
+    for k in 800..1_000u64 {
+        assert_eq!(store.get(k).unwrap(), Some(value_bytes(k, 40)), "key {k}");
+    }
+    // Fully writable afterwards (allocator state consistent).
+    for k in 0..300u64 {
+        store.put(50_000 + k, &value_bytes(k, 500)).unwrap();
+    }
+    for k in 0..300u64 {
+        assert_eq!(store.get(50_000 + k).unwrap(), Some(value_bytes(k, 500)));
+    }
+}
+
+#[test]
+fn checkpoint_recovery_scans_less_log() {
+    let c = cfg();
+
+    // Without a checkpoint: recovery reads the whole log.
+    let store = FlatStore::create(c.clone()).unwrap();
+    for k in 0..4_000u64 {
+        store.put(k, &value_bytes(k, 120)).unwrap();
+    }
+    store.barrier();
+    let pm = store.kill();
+    pm.simulate_crash();
+    let before = pm.stats().snapshot();
+    let store = FlatStore::open(pm.clone(), c.clone()).unwrap();
+    let full_reads = pm.stats().snapshot().delta(&before).bytes_read;
+    drop(store);
+
+    // With a checkpoint covering the same writes: the replay is tiny.
+    let store = FlatStore::create(c.clone()).unwrap();
+    for k in 0..4_000u64 {
+        store.put(k, &value_bytes(k, 120)).unwrap();
+    }
+    store.checkpoint().unwrap();
+    for k in 0..40u64 {
+        store.put(100_000 + k, &value_bytes(k, 20)).unwrap();
+    }
+    store.barrier();
+    let pm = store.kill();
+    pm.simulate_crash();
+    let before = pm.stats().snapshot();
+    let store = FlatStore::open(pm.clone(), c).unwrap();
+    let ckpt_reads = pm.stats().snapshot().delta(&before).bytes_read;
+    assert_eq!(store.len(), 4_040);
+    assert!(
+        ckpt_reads * 2 < full_reads,
+        "checkpointed recovery should read far less: {ckpt_reads} vs {full_reads}"
+    );
+}
+
+#[test]
+fn cleaner_invalidates_checkpoints() {
+    let mut c = cfg();
+    c.pm_bytes = 64 << 20;
+    c.gc.min_free_chunks = 10;
+    c.gc.max_live_ratio = 0.9;
+    let store = FlatStore::create(c.clone()).unwrap();
+    for k in 0..500u64 {
+        store.put(k, &value_bytes(k, 150)).unwrap();
+    }
+    store.checkpoint().unwrap();
+    // Churn until the cleaner runs (relocating entries the checkpoint
+    // references). Transient OutOfSpace just means the cooperative cleaner
+    // is behind; give it a moment and retry, as a real client would.
+    let put_retry = |key: u64, val: &[u8]| loop {
+        match store.put(key, val) {
+            Ok(()) => break,
+            Err(StoreError::OutOfSpace) => {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    };
+    for round in 0..260u64 {
+        for k in 0..400u64 {
+            put_retry(k, &value_bytes(k + round, 200));
+        }
+    }
+    store.barrier();
+    assert!(
+        store
+            .stats()
+            .gc_chunks
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "test needs the cleaner to run"
+    );
+    let pm = store.kill();
+    pm.simulate_crash();
+    // Recovery must have taken the full-scan path (checkpoint invalidated)
+    // and still be exactly right.
+    let store = FlatStore::open(pm, c).unwrap();
+    for k in 0..400u64 {
+        assert_eq!(store.get(k).unwrap(), Some(value_bytes(k + 259, 200)), "key {k}");
+    }
+    for k in 400..500u64 {
+        assert_eq!(store.get(k).unwrap(), Some(value_bytes(k, 150)), "key {k}");
+    }
+}
+
+#[test]
+fn checkpoint_is_repeatable_and_survives_clean_shutdown() {
+    let c = cfg();
+    let store = FlatStore::create(c.clone()).unwrap();
+    for k in 0..100u64 {
+        store.put(k, &value_bytes(k, 64)).unwrap();
+    }
+    store.checkpoint().unwrap();
+    for k in 100..200u64 {
+        store.put(k, &value_bytes(k, 64)).unwrap();
+    }
+    store.checkpoint().unwrap(); // replaces the first snapshot
+    let pm = store.shutdown().unwrap(); // clean shutdown replaces it again
+    let store = FlatStore::open(pm, c).unwrap();
+    assert_eq!(store.len(), 200);
+    for k in 0..200u64 {
+        assert_eq!(store.get(k).unwrap(), Some(value_bytes(k, 64)));
+    }
+    // And checkpointing still works on the reopened store.
+    store.put(1_000, b"x").unwrap();
+    store.checkpoint().unwrap();
+    assert_eq!(store.get(1_000).unwrap().as_deref(), Some(&b"x"[..]));
+    let _ = StoreError::OutOfSpace; // silence unused-import lints if any
+}
+
+#[test]
+fn checkpoint_under_strict_fences() {
+    // Strict mode drops flushed-but-unfenced lines on crash: every persist
+    // in the checkpoint protocol (cursors, bitmaps, snapshot, flag) must be
+    // properly fenced or this loses data.
+    for seed in 0..4u64 {
+        let c = Config {
+            strict_fence_seed: Some(seed),
+            ..cfg()
+        };
+        let store = FlatStore::create(c.clone()).unwrap();
+        for k in 0..600u64 {
+            store.put(k, &value_bytes(k ^ seed, 70)).unwrap();
+        }
+        store.checkpoint().unwrap();
+        for k in 600..700u64 {
+            store.put(k, &value_bytes(k ^ seed, 70)).unwrap();
+        }
+        store.barrier();
+        let pm = store.kill();
+        pm.simulate_crash();
+        let store = FlatStore::open(pm, c).unwrap();
+        assert_eq!(store.len(), 700, "seed {seed}");
+        for k in 0..700u64 {
+            assert_eq!(
+                store.get(k).unwrap(),
+                Some(value_bytes(k ^ seed, 70)),
+                "seed {seed} key {k}"
+            );
+        }
+    }
+}

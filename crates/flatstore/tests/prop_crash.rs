@@ -1,0 +1,85 @@
+//! Crash-point property testing: run an arbitrary prefix of an arbitrary
+//! workload, pull the plug, and verify recovery restores exactly the
+//! acknowledged state — for every prefix the strategy picks.
+
+use std::collections::HashMap;
+
+use flatstore::{Config, FlatStore};
+use proptest::prelude::*;
+use workloads::value_bytes;
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    Put { key: u64, len: usize },
+    Delete { key: u64 },
+}
+
+fn script() -> impl Strategy<Value = (Vec<Cmd>, usize)> {
+    let cmd = prop_oneof![
+        4 => (0u64..60, 1usize..600).prop_map(|(key, len)| Cmd::Put { key, len }),
+        1 => (0u64..60).prop_map(|key| Cmd::Delete { key }),
+    ];
+    prop::collection::vec(cmd, 1..120)
+        .prop_flat_map(|cmds| {
+            let n = cmds.len();
+            (Just(cmds), 0..n)
+        })
+}
+
+fn small_cfg() -> Config {
+    Config {
+        pm_bytes: 64 << 20,
+        dram_bytes: 8 << 20,
+        ncores: 2,
+        group_size: 2,
+        crash_tracking: true,
+        ..Config::default()
+    }
+}
+
+proptest! {
+    // Each case spins up worker threads; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Crash after an arbitrary prefix of acknowledged operations: the
+    /// recovered store equals the model at exactly that prefix.
+    #[test]
+    fn any_crash_point_recovers_acknowledged_state((cmds, crash_at) in script()) {
+        let cfg = small_cfg();
+        let store = FlatStore::create(cfg.clone()).unwrap();
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        for (i, cmd) in cmds.iter().enumerate().take(crash_at) {
+            match cmd {
+                Cmd::Put { key, len } => {
+                    let v = value_bytes(*key ^ i as u64, *len);
+                    store.put(*key, &v).unwrap();
+                    model.insert(*key, v);
+                }
+                Cmd::Delete { key } => {
+                    let existed = store.delete(*key).unwrap();
+                    prop_assert_eq!(existed, model.remove(key).is_some());
+                }
+            }
+        }
+        // Every operation above was acknowledged (put/delete returned), so
+        // all of it must survive the crash — nothing more, nothing less.
+        let pm = store.kill();
+        pm.simulate_crash();
+        let store = FlatStore::open(pm, cfg).unwrap();
+        prop_assert_eq!(store.len(), model.len());
+        for (k, v) in &model {
+            let got = store.get(*k).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
+        }
+        // Keys the model never saw (or deleted) are absent.
+        for k in 0..60u64 {
+            if !model.contains_key(&k) {
+                prop_assert_eq!(store.get(k).unwrap(), None);
+            }
+        }
+        // The recovered store accepts new writes.
+        store.put(1_000, b"post-crash").unwrap();
+        let got = store.get(1_000).unwrap();
+        prop_assert_eq!(got.as_deref(), Some(&b"post-crash"[..]));
+    }
+}

@@ -1,0 +1,107 @@
+//! Model-based property tests: every index structure must behave exactly
+//! like a `BTreeMap` under arbitrary insert/update/remove interleavings.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use indexes::{Cceh, FastFair, FpTree, Index, IndexError, LevelHash, Mode, OrderedIndex};
+use pmem::{PmAddr, PmRegion};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: u64, value: u64 },
+    Remove { key: u64 },
+    Get { key: u64 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..500, any::<u64>()).prop_map(|(key, value)| Op::Insert { key, value }),
+            (0u64..500).prop_map(|key| Op::Remove { key }),
+            (0u64..500).prop_map(|key| Op::Get { key }),
+        ],
+        1..400,
+    )
+}
+
+fn check_against_model(idx: &mut dyn Index, script: &[Op]) -> Result<(), TestCaseError> {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in script {
+        match op {
+            Op::Insert { key, value } => {
+                let old = idx.insert(*key, *value).map_err(|e: IndexError| {
+                    TestCaseError::fail(format!("unexpected index error: {e}"))
+                })?;
+                prop_assert_eq!(old, model.insert(*key, *value));
+            }
+            Op::Remove { key } => {
+                prop_assert_eq!(idx.remove(*key), model.remove(key));
+            }
+            Op::Get { key } => {
+                prop_assert_eq!(idx.get(*key), model.get(key).copied());
+            }
+        }
+        prop_assert_eq!(idx.len(), model.len());
+    }
+    Ok(())
+}
+
+fn region() -> Arc<PmRegion> {
+    Arc::new(PmRegion::new(64 << 20))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cceh_matches_model(script in ops()) {
+        let pm = region();
+        let mut idx = Cceh::new(pm, PmAddr(0), 64 << 20, Mode::Persistent, 1).unwrap();
+        check_against_model(&mut idx, &script)?;
+    }
+
+    #[test]
+    fn level_hash_matches_model(script in ops()) {
+        let pm = region();
+        let mut idx = LevelHash::new(pm, PmAddr(0), 64 << 20, Mode::Persistent, 8).unwrap();
+        check_against_model(&mut idx, &script)?;
+    }
+
+    #[test]
+    fn fastfair_matches_model(script in ops()) {
+        let pm = region();
+        let mut idx = FastFair::new(pm, PmAddr(0), 64 << 20, Mode::Persistent).unwrap();
+        check_against_model(&mut idx, &script)?;
+    }
+
+    #[test]
+    fn fptree_matches_model(script in ops()) {
+        let pm = region();
+        let mut idx = FpTree::new(pm, PmAddr(0), 64 << 20, Mode::Persistent).unwrap();
+        check_against_model(&mut idx, &script)?;
+    }
+
+    #[test]
+    fn ordered_indexes_scan_like_model(script in ops(), lo in 0u64..400, span in 1u64..200) {
+        let pm = region();
+        let mut ff = FastFair::new(Arc::clone(&pm), PmAddr(0), 32 << 20, Mode::Volatile).unwrap();
+        let mut fp = FpTree::new(pm, PmAddr(32 << 20), 32 << 20, Mode::Volatile).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &script {
+            if let Op::Insert { key, value } = op {
+                ff.insert(*key, *value).unwrap();
+                fp.insert(*key, *value).unwrap();
+                model.insert(*key, *value);
+            }
+        }
+        let hi = lo + span;
+        let expect: Vec<(u64, u64)> = model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+        for t in [&ff as &dyn OrderedIndex, &fp as &dyn OrderedIndex] {
+            let mut got = Vec::new();
+            t.range(lo, hi, &mut |k, v| { got.push((k, v)); true });
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! The full Masstree shape: a **trie of B+-tree layers**, each indexed by
+//! one 8-byte key slice (Mao et al., EuroSys'12 §4.1).
+//!
+//! The FlatStore paper only needs fixed 8-byte keys, so the engine uses the
+//! single-layer [`Masstree`](crate::Masstree). This module supplies the
+//! general structure for variable-length byte-string keys — the paper's
+//! "FlatStore can place the keys out of the OpLog to support larger keys"
+//! direction — by composing those layers exactly as Masstree does:
+//!
+//! * A key is split into 8-byte slices (big-endian padded, so byte order =
+//!   slice integer order = lexicographic order).
+//! * Each layer maps `slice -> value | next layer`; keys that share an
+//!   8-byte prefix descend into a deeper layer.
+//! * Within a layer, entries for keys that *end* at that layer are
+//!   distinguished from longer keys by the remaining-length tag stored in
+//!   the slot.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::Masstree;
+
+/// A slot in a layer: either a stored value for a key ending here, or a
+/// link to the next trie layer (possibly both — "key is a prefix of other
+/// keys").
+#[derive(Default)]
+struct Slot {
+    /// Value for the key terminating at this slice, with its exact tail
+    /// length (0..=8) to distinguish e.g. "ab" from "ab\0".
+    here: Vec<(u8, u64)>,
+    /// Deeper layer for keys continuing past this slice.
+    next: Option<Arc<MassBytes>>,
+}
+
+/// A concurrent ordered map from byte strings to `u64` values, shaped like
+/// Masstree: a trie of B+-tree layers over 8-byte slices.
+///
+/// # Example
+///
+/// ```
+/// use masstree::MassBytes;
+///
+/// let t = MassBytes::new();
+/// t.insert(b"persistent", 1);
+/// t.insert(b"persistence", 2);
+/// t.insert(b"pm", 3);
+/// assert_eq!(t.get(b"persistent"), Some(1));
+/// assert_eq!(t.get(b"persist"), None);
+/// assert_eq!(t.remove(b"pm"), Some(3));
+/// assert_eq!(t.len(), 2);
+/// ```
+pub struct MassBytes {
+    /// This layer's B+-tree: slice -> index into `slots`.
+    layer: Masstree,
+    slots: RwLock<Vec<RwLock<Slot>>>,
+    len: std::sync::atomic::AtomicUsize,
+}
+
+impl Default for MassBytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Splits the key into its first slice (big-endian, zero-padded) plus the
+/// tail length actually used (1..=8), and the rest.
+fn first_slice(key: &[u8]) -> (u64, u8, &[u8]) {
+    let take = key.len().min(8);
+    let mut buf = [0u8; 8];
+    buf[..take].copy_from_slice(&key[..take]);
+    (u64::from_be_bytes(buf), take as u8, &key[take..])
+}
+
+impl MassBytes {
+    /// Creates an empty map.
+    pub fn new() -> MassBytes {
+        MassBytes {
+            layer: Masstree::new(),
+            slots: RwLock::new(Vec::new()),
+            len: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of live keys (across all layers).
+    pub fn len(&self) -> usize {
+        self.len.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn slot_for(&self, slice: u64) -> usize {
+        if let Some(idx) = self.layer.get(slice) {
+            return idx as usize;
+        }
+        // Allocate a new slot; racing inserters may both allocate, the
+        // layer's insert decides the winner and the loser's slot leaks
+        // (bounded by contention, freed with the tree).
+        let idx = {
+            let mut slots = self.slots.write();
+            slots.push(RwLock::new(Slot::default()));
+            slots.len() - 1
+        };
+        match self.layer.insert(slice, idx as u64) {
+            None => idx,
+            Some(_) => {
+                // Lost the race — someone else's insert overwrote ours or
+                // ours overwrote theirs; re-read the authoritative one.
+                self.layer
+                    .get(slice)
+                    .expect("slice just inserted") as usize
+            }
+        }
+    }
+
+    /// Inserts `key -> value`, returning the previous value if any.
+    pub fn insert(&self, key: &[u8], value: u64) -> Option<u64> {
+        let (slice, taken, rest) = first_slice(key);
+        let idx = self.slot_for(slice);
+        let slots = self.slots.read();
+        let slot = &slots[idx];
+        if rest.is_empty() {
+            let mut s = slot.write();
+            for (tl, v) in s.here.iter_mut() {
+                if *tl == taken {
+                    return Some(std::mem::replace(v, value));
+                }
+            }
+            s.here.push((taken, value));
+            drop(s);
+            self.len.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            None
+        } else {
+            let next = {
+                let s = slot.read();
+                s.next.clone()
+            };
+            let next = match next {
+                Some(n) => n,
+                None => {
+                    let mut s = slot.write();
+                    s.next
+                        .get_or_insert_with(|| Arc::new(MassBytes::new()))
+                        .clone()
+                }
+            };
+            drop(slots);
+            let old = next.insert(rest, value);
+            if old.is_none() {
+                self.len.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            old
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        let (slice, taken, rest) = first_slice(key);
+        let idx = self.layer.get(slice)? as usize;
+        let slots = self.slots.read();
+        let slot = slots.get(idx)?;
+        if rest.is_empty() {
+            let s = slot.read();
+            s.here.iter().find(|(tl, _)| *tl == taken).map(|(_, v)| *v)
+        } else {
+            let next = slot.read().next.clone()?;
+            drop(slots);
+            next.get(rest)
+        }
+    }
+
+    /// Removes `key`, returning its value if present. (Layers are not
+    /// pruned — like node space in the fixed-key tree, trie structure is
+    /// reclaimed with the whole map.)
+    pub fn remove(&self, key: &[u8]) -> Option<u64> {
+        let (slice, taken, rest) = first_slice(key);
+        let idx = self.layer.get(slice)? as usize;
+        let slots = self.slots.read();
+        let slot = slots.get(idx)?;
+        if rest.is_empty() {
+            let mut s = slot.write();
+            let pos = s.here.iter().position(|(tl, _)| *tl == taken)?;
+            let (_, v) = s.here.swap_remove(pos);
+            drop(s);
+            self.len.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+            Some(v)
+        } else {
+            let next = slot.read().next.clone()?;
+            drop(slots);
+            let old = next.remove(rest);
+            if old.is_some() {
+                self.len.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            old
+        }
+    }
+
+    /// Visits every `(key, value)` pair in lexicographic key order until
+    /// `f` returns `false`. Returns whether iteration ran to completion.
+    pub fn for_each_ordered(&self, f: &mut dyn FnMut(&[u8], u64) -> bool) -> bool {
+        self.walk(&mut Vec::new(), f)
+    }
+
+    fn walk(&self, prefix: &mut Vec<u8>, f: &mut dyn FnMut(&[u8], u64) -> bool) -> bool {
+        // Collect this layer's slices in order (the layer tree is ordered
+        // by the big-endian slice value = byte order).
+        let mut slices: Vec<(u64, u64)> = Vec::new();
+        self.layer.range(0, u64::MAX, &mut |k, v| {
+            slices.push((k, v));
+            true
+        });
+        // `u64::MAX` itself is a valid slice; range() excludes hi.
+        if let Some(v) = self.layer.get(u64::MAX) {
+            if slices.last().map(|(k, _)| *k) != Some(u64::MAX) {
+                slices.push((u64::MAX, v));
+            }
+        }
+        for (slice, idx) in slices {
+            let slots = self.slots.read();
+            let Some(slot) = slots.get(idx as usize) else {
+                continue;
+            };
+            let (mut here, next) = {
+                let s = slot.read();
+                (s.here.clone(), s.next.clone())
+            };
+            drop(slots);
+            // Shorter tails order before longer ones with the same bytes
+            // ("ab" < "ab\0..."), and terminating keys order before any key
+            // that continues past this slice.
+            here.sort_unstable();
+            let bytes = slice.to_be_bytes();
+            for (tl, v) in here {
+                let depth = prefix.len();
+                prefix.extend_from_slice(&bytes[..tl as usize]);
+                let go_on = f(prefix, v);
+                prefix.truncate(depth);
+                if !go_on {
+                    return false;
+                }
+            }
+            if let Some(next) = next {
+                let depth = prefix.len();
+                prefix.extend_from_slice(&bytes);
+                let done = next.walk(prefix, f);
+                prefix.truncate(depth);
+                if !done {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_and_long_keys_round_trip() {
+        let t = MassBytes::new();
+        let keys: Vec<&[u8]> = vec![
+            b"",
+            b"a",
+            b"ab",
+            b"abcdefgh",          // exactly one slice
+            b"abcdefghi",         // crosses into layer 2
+            b"abcdefgh12345678",  // two full slices
+            b"abcdefgh123456789", // three layers
+            b"zzz",
+        ];
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.insert(k, i as u64), None, "insert {k:?}");
+        }
+        assert_eq!(t.len(), keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k), Some(i as u64), "get {k:?}");
+        }
+        assert_eq!(t.get(b"abc"), None);
+        assert_eq!(t.get(b"abcdefgh1"), None);
+    }
+
+    #[test]
+    fn prefix_keys_do_not_collide() {
+        let t = MassBytes::new();
+        // "ab" vs "ab\0": same padded slice, different lengths.
+        t.insert(b"ab", 1);
+        t.insert(b"ab\0", 2);
+        t.insert(b"ab\0\0\0\0\0\0", 3); // full 8-byte slice
+        assert_eq!(t.get(b"ab"), Some(1));
+        assert_eq!(t.get(b"ab\0"), Some(2));
+        assert_eq!(t.get(b"ab\0\0\0\0\0\0"), Some(3));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn overwrite_and_remove() {
+        let t = MassBytes::new();
+        assert_eq!(t.insert(b"key-one", 1), None);
+        assert_eq!(t.insert(b"key-one", 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(b"key-one"), Some(2));
+        assert_eq!(t.remove(b"key-one"), None);
+        assert!(t.is_empty());
+        // Deep key removal.
+        t.insert(b"a long key spanning several slices", 9);
+        assert_eq!(t.remove(b"a long key spanning several slices"), Some(9));
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn ordered_iteration_is_lexicographic() {
+        let t = MassBytes::new();
+        let mut keys: Vec<Vec<u8>> = vec![
+            b"banana".to_vec(),
+            b"apple".to_vec(),
+            b"applesauce".to_vec(),
+            b"app".to_vec(),
+            b"banana-republic".to_vec(),
+            b"cherry".to_vec(),
+            vec![0xFF; 12],
+            vec![],
+        ];
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(k, i as u64);
+        }
+        let mut seen: Vec<Vec<u8>> = Vec::new();
+        t.for_each_ordered(&mut |k, _| {
+            seen.push(k.to_vec());
+            true
+        });
+        keys.sort();
+        assert_eq!(seen, keys);
+    }
+
+    #[test]
+    fn early_stop_iteration() {
+        let t = MassBytes::new();
+        for i in 0..100u64 {
+            t.insert(format!("key{i:03}").as_bytes(), i);
+        }
+        let mut n = 0;
+        t.for_each_ordered(&mut |_, _| {
+            n += 1;
+            n < 10
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn concurrent_inserts_across_layers() {
+        let t = Arc::new(MassBytes::new());
+        let mut handles = Vec::new();
+        for tid in 0..4u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    let key = format!("shared-prefix-{:04}-thread{}", i, tid);
+                    t.insert(key.as_bytes(), tid * 10_000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 8_000);
+        for tid in 0..4u64 {
+            for i in (0..2_000u64).step_by(97) {
+                let key = format!("shared-prefix-{:04}-thread{}", i, tid);
+                assert_eq!(t.get(key.as_bytes()), Some(tid * 10_000 + i));
+            }
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! A concurrent ordered index for FlatStore-M (paper §4.2).
+//!
+//! The paper deploys [Masstree] as FlatStore's shared, range-searchable
+//! volatile index. Masstree is a trie of B+-trees keyed by 8-byte slices;
+//! for the paper's fixed 8-byte keys the trie has exactly one layer, so the
+//! structure degenerates to a single concurrent B+-tree — which is what this
+//! crate implements. The synchronization uses per-node reader/writer locks
+//! with hand-over-hand coupling and *preemptive splits* (a full child is
+//! split while its parent is still locked, so splits never propagate
+//! upwards), a simplification of Masstree's version-validation protocol that
+//! preserves its interface and linearizability, if not its lock-freedom on
+//! reads.
+//!
+//! The full trie-of-layers shape for **variable-length byte-string keys**
+//! is provided by [`MassBytes`] (the "larger keys" extension the FlatStore
+//! paper sketches in §3.2).
+//!
+//! [Masstree]: https://dl.acm.org/doi/10.1145/2168836.2168855
+//!
+//! # Example
+//!
+//! ```
+//! use masstree::Masstree;
+//!
+//! let t = Masstree::new();
+//! t.insert(10, 100);
+//! t.insert(5, 50);
+//! t.insert(7, 70);
+//! assert_eq!(t.get(7), Some(70));
+//! let mut keys = vec![];
+//! t.range(6, 11, &mut |k, _| { keys.push(k); true });
+//! assert_eq!(keys, vec![7, 10]);
+//! ```
+
+mod bytes;
+
+pub use bytes::MassBytes;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, RawRwLock, RwLock};
+
+/// Per-node fanout: a full node holds this many keys.
+const FANOUT: usize = 32;
+
+type NodeRef = Arc<RwLock<Node>>;
+type ReadGuard = ArcRwLockReadGuard<RawRwLock, Node>;
+type WriteGuard = ArcRwLockWriteGuard<RawRwLock, Node>;
+
+#[derive(Debug)]
+enum Node {
+    Inner {
+        /// Child index for `key` = `keys.partition_point(|k| key >= *k)`.
+        keys: Vec<u64>,
+        children: Vec<NodeRef>,
+    },
+    Leaf {
+        keys: Vec<u64>,
+        vals: Vec<u64>,
+        next: Option<NodeRef>,
+    },
+}
+
+impl Node {
+    fn is_full(&self) -> bool {
+        match self {
+            Node::Inner { keys, .. } | Node::Leaf { keys, .. } => keys.len() >= FANOUT,
+        }
+    }
+
+    /// Splits a full node, returning `(separator, right_sibling)`.
+    fn split(&mut self) -> (u64, NodeRef) {
+        match self {
+            Node::Leaf { keys, vals, next } => {
+                let mid = keys.len() / 2;
+                let rkeys = keys.split_off(mid);
+                let rvals = vals.split_off(mid);
+                let sep = rkeys[0];
+                let right = Arc::new(RwLock::new(Node::Leaf {
+                    keys: rkeys,
+                    vals: rvals,
+                    next: next.take(),
+                }));
+                *next = Some(Arc::clone(&right));
+                (sep, right)
+            }
+            Node::Inner { keys, children } => {
+                let mid = keys.len() / 2;
+                let sep = keys[mid];
+                let rkeys = keys.split_off(mid + 1);
+                keys.pop();
+                let rchildren = children.split_off(mid + 1);
+                let right = Arc::new(RwLock::new(Node::Inner {
+                    keys: rkeys,
+                    children: rchildren,
+                }));
+                (sep, right)
+            }
+        }
+    }
+}
+
+/// The concurrent ordered index. All operations take `&self`; the structure
+/// is `Send + Sync` and is shared by all of FlatStore's server cores.
+pub struct Masstree {
+    /// Lock order everywhere: the root holder before any node, parents
+    /// before children, leaves left before right — hence no deadlock.
+    root: RwLock<NodeRef>,
+    len: AtomicUsize,
+}
+
+impl std::fmt::Debug for Masstree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Masstree").field("len", &self.len()).finish()
+    }
+}
+
+impl Default for Masstree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Masstree {
+    /// Creates an empty tree.
+    pub fn new() -> Masstree {
+        Masstree {
+            root: RwLock::new(Arc::new(RwLock::new(Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                next: None,
+            }))),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Write-locks the root node, growing the tree first if the root is
+    /// full, so descents below never have to split upwards.
+    ///
+    /// Replacing the root requires both the holder write lock *and* the old
+    /// root's write lock, so a guard returned here stays the true root for
+    /// its lifetime.
+    fn lock_root_write(&self) -> WriteGuard {
+        loop {
+            {
+                let holder = self.root.read();
+                let root = Arc::clone(&holder);
+                let guard = root.write_arc();
+                drop(holder);
+                if !guard.is_full() {
+                    return guard;
+                }
+            }
+            // Grow the tree.
+            let mut holder = self.root.write();
+            let root = Arc::clone(&holder);
+            let mut guard = root.write_arc();
+            if guard.is_full() {
+                let (sep, right) = guard.split();
+                drop(guard);
+                *holder = Arc::new(RwLock::new(Node::Inner {
+                    keys: vec![sep],
+                    children: vec![root, right],
+                }));
+            }
+        }
+    }
+
+    /// Read-locks the current root node (same holder-then-node order).
+    fn lock_root_read(&self) -> ReadGuard {
+        let holder = self.root.read();
+        let root = Arc::clone(&holder);
+        let guard = root.read_arc();
+        drop(holder);
+        guard
+    }
+
+    /// Inserts or updates `key`, returning the previous value if any.
+    pub fn insert(&self, key: u64, value: u64) -> Option<u64> {
+        let mut guard = self.lock_root_write();
+        loop {
+            // Invariant: `guard` is write-locked and not full.
+            match &mut *guard {
+                Node::Leaf { keys, vals, .. } => {
+                    let idx = keys.partition_point(|&k| k < key);
+                    if idx < keys.len() && keys[idx] == key {
+                        let old = vals[idx];
+                        vals[idx] = value;
+                        return Some(old);
+                    }
+                    keys.insert(idx, key);
+                    vals.insert(idx, value);
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                Node::Inner { keys, children } => {
+                    let mut idx = keys.partition_point(|&k| key >= k);
+                    let child = Arc::clone(&children[idx]);
+                    let mut cguard = child.write_arc();
+                    if cguard.is_full() {
+                        // Preemptive split: parent (held) gains the
+                        // separator; pick the correct half.
+                        let (sep, right) = cguard.split();
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if key >= sep {
+                            idx += 1;
+                            drop(cguard);
+                            let child = Arc::clone(&children[idx]);
+                            cguard = child.write_arc();
+                        }
+                    }
+                    guard = cguard;
+                }
+            }
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mut guard = self.lock_root_read();
+        loop {
+            match &*guard {
+                Node::Leaf { keys, vals, .. } => {
+                    let idx = keys.partition_point(|&k| k < key);
+                    return (idx < keys.len() && keys[idx] == key).then(|| vals[idx]);
+                }
+                Node::Inner { keys, children } => {
+                    let idx = keys.partition_point(|&k| key >= k);
+                    let child = Arc::clone(&children[idx]);
+                    guard = child.read_arc();
+                }
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if present. Leaves are not
+    /// rebalanced (deletion-heavy workloads are outside the paper's
+    /// evaluation; the tree stays correct, merely sparser).
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        let mut guard = self.lock_root_write();
+        loop {
+            match &mut *guard {
+                Node::Leaf { keys, vals, .. } => {
+                    let idx = keys.partition_point(|&k| k < key);
+                    if idx < keys.len() && keys[idx] == key {
+                        keys.remove(idx);
+                        let old = vals.remove(idx);
+                        self.len.fetch_sub(1, Ordering::Relaxed);
+                        return Some(old);
+                    }
+                    return None;
+                }
+                Node::Inner { keys, children } => {
+                    let idx = keys.partition_point(|&k| key >= k);
+                    let child = Arc::clone(&children[idx]);
+                    guard = child.write_arc();
+                }
+            }
+        }
+    }
+
+    /// Atomically replaces `key`'s value with `new` iff it currently equals
+    /// `old` — the log cleaner's pointer-update primitive (paper §3.4).
+    /// Returns whether the swap happened.
+    pub fn cas(&self, key: u64, old: u64, new: u64) -> bool {
+        let mut guard = self.lock_root_write();
+        loop {
+            match &mut *guard {
+                Node::Leaf { keys, vals, .. } => {
+                    let idx = keys.partition_point(|&k| k < key);
+                    if idx < keys.len() && keys[idx] == key && vals[idx] == old {
+                        vals[idx] = new;
+                        return true;
+                    }
+                    return false;
+                }
+                Node::Inner { keys, children } => {
+                    let idx = keys.partition_point(|&k| key >= k);
+                    let child = Arc::clone(&children[idx]);
+                    guard = child.write_arc();
+                }
+            }
+        }
+    }
+
+    /// Visits `(key, value)` pairs with `lo <= key < hi` in ascending order
+    /// until `f` returns `false`, using hand-over-hand read locks along the
+    /// leaf chain.
+    pub fn range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64) -> bool) {
+        let mut guard = self.lock_root_read();
+        loop {
+            match &*guard {
+                Node::Leaf { .. } => break,
+                Node::Inner { keys, children } => {
+                    let idx = keys.partition_point(|&k| lo >= k);
+                    let child = Arc::clone(&children[idx]);
+                    guard = child.read_arc();
+                }
+            }
+        }
+        loop {
+            let next = match &*guard {
+                Node::Leaf { keys, vals, next } => {
+                    for (i, &k) in keys.iter().enumerate() {
+                        if k >= hi {
+                            return;
+                        }
+                        if k >= lo && !f(k, vals[i]) {
+                            return;
+                        }
+                    }
+                    next.clone()
+                }
+                Node::Inner { .. } => unreachable!("leaf chain holds only leaves"),
+            };
+            match next {
+                Some(n) => guard = n.read_arc(),
+                None => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let t = Masstree::new();
+        for k in 0..10_000u64 {
+            assert_eq!(t.insert(k, k * 2), None);
+        }
+        assert_eq!(t.len(), 10_000);
+        for k in 0..10_000u64 {
+            assert_eq!(t.get(k), Some(k * 2));
+        }
+        assert_eq!(t.remove(5000), Some(10_000));
+        assert_eq!(t.get(5000), None);
+        assert_eq!(t.remove(5000), None);
+        assert_eq!(t.len(), 9999);
+    }
+
+    #[test]
+    fn reverse_and_random_insert_order() {
+        let t = Masstree::new();
+        for k in (0..5000u64).rev() {
+            t.insert(k, k);
+        }
+        for k in 0..5000u64 {
+            assert_eq!(t.get(k), Some(k));
+        }
+        let t = Masstree::new();
+        for k in 0..5000u64 {
+            let k = k.wrapping_mul(0x9E3779B97F4A7C15);
+            t.insert(k, !k);
+        }
+        for k in 0..5000u64 {
+            let k = k.wrapping_mul(0x9E3779B97F4A7C15);
+            assert_eq!(t.get(k), Some(!k));
+        }
+    }
+
+    #[test]
+    fn update_returns_old() {
+        let t = Masstree::new();
+        assert_eq!(t.insert(1, 10), None);
+        assert_eq!(t.insert(1, 20), Some(10));
+        assert_eq!(t.get(1), Some(20));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn range_scan_sorted_and_bounded() {
+        let t = Masstree::new();
+        for k in (0..4000u64).rev() {
+            t.insert(k * 3, k);
+        }
+        let mut seen = Vec::new();
+        t.range(100, 1000, &mut |k, _| {
+            seen.push(k);
+            true
+        });
+        let expect: Vec<u64> = (100..1000).filter(|k| k % 3 == 0).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn range_early_stop() {
+        let t = Masstree::new();
+        for k in 0..1000u64 {
+            t.insert(k, k);
+        }
+        let mut n = 0;
+        t.range(0, 1000, &mut |_, _| {
+            n += 1;
+            n < 17
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let t = Masstree::new();
+        t.insert(9, 90);
+        assert!(!t.cas(9, 91, 99));
+        assert!(t.cas(9, 90, 99));
+        assert_eq!(t.get(9), Some(99));
+        assert!(!t.cas(404, 0, 1));
+    }
+
+    #[test]
+    fn concurrent_inserts_and_reads() {
+        let t = Arc::new(Masstree::new());
+        let threads = 8u64;
+        let per = 3000u64;
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    let k = tid * per + i;
+                    t.insert(k, k + 1);
+                    // Interleave reads of our own writes.
+                    assert_eq!(t.get(k), Some(k + 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), (threads * per) as usize);
+        let mut count = 0u64;
+        let mut prev = None;
+        t.range(0, u64::MAX, &mut |k, v| {
+            assert_eq!(v, k + 1);
+            if let Some(p) = prev {
+                assert!(k > p, "range out of order");
+            }
+            prev = Some(k);
+            count += 1;
+            true
+        });
+        assert_eq!(count, threads * per);
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_with_scans() {
+        let t = Arc::new(Masstree::new());
+        for k in 0..2000u64 {
+            t.insert(k, 0);
+        }
+        let mut handles = Vec::new();
+        for tid in 0..4u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2000u64 {
+                    match i % 4 {
+                        0 => {
+                            t.insert(i, tid);
+                        }
+                        1 => {
+                            t.get(i);
+                        }
+                        2 => {
+                            let mut n = 0;
+                            t.range(i, i + 50, &mut |_, _| {
+                                n += 1;
+                                n < 20
+                            });
+                        }
+                        _ => {
+                            t.cas(i, tid, tid + 1);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

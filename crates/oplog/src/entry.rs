@@ -1,0 +1,329 @@
+//! The compacted log-entry format (paper §3.2, Figure 3).
+//!
+//! A pointer-based entry is exactly **16 bytes**, so sixteen of them fill one
+//! 256 B XPLine and can be made durable with the cost of a single internal
+//! media write. Layout (bit offsets, little-endian):
+//!
+//! ```text
+//! [ Op:2 | Emd:2 | Version:20 | Key:64 | Ptr:40            ]  = 128 bits
+//! [ Op:2 | Emd:2 | Version:20 | Key:64 | Size:8 | value... ]  = 96 bits + value
+//! ```
+//!
+//! * `Op` — 0 is *invalid* (so zero-filled padding never parses as an
+//!   entry), 1 = Put, 2 = Delete (tombstone), 3 = Seal (end of chunk).
+//! * `Emd` — whether the value is embedded at the end of the entry.
+//! * `Version` — 20-bit per-key version used by the log cleaner and by
+//!   recovery to pick the newest entry. Wrap-around is not disambiguated;
+//!   the cleaner keeps the set of in-log versions per key far below 2²⁰
+//!   (documented paper limitation).
+//! * `Ptr` — 40 bits storing `block_address >> 8`; blocks from the
+//!   lazy-persist allocator are 256 B-aligned, so the low 8 bits carry no
+//!   information and 48 bits of address space (128 TB) remain reachable.
+//! * `Size` — `value_len − 1`, encoding inline values of 1..=256 bytes.
+//!   Values larger than [`INLINE_MAX`] bytes (and empty values) are stored
+//!   out of the log.
+
+use pmem::{PmAddr, PmRegion};
+
+use crate::error::LogError;
+
+/// Largest value embedded directly in a log entry (paper: 256 B, "enough to
+/// saturate the bandwidth of Optane DCPMM").
+pub const INLINE_MAX: usize = 256;
+
+/// Size of a pointer-based (or tombstone/seal) entry.
+pub const PTR_ENTRY_LEN: usize = 16;
+
+/// Header bytes preceding the value of an inline entry.
+pub const INLINE_HEADER_LEN: usize = 12;
+
+const OP_MASK: u8 = 0b11;
+const EMD_SHIFT: u32 = 2;
+
+/// Operation recorded by a log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogOp {
+    /// Insert or update a key.
+    Put,
+    /// Tombstone: the key was deleted.
+    Delete,
+    /// Internal: marks the used end of a sealed chunk.
+    Seal,
+}
+
+impl LogOp {
+    fn code(self) -> u8 {
+        match self {
+            LogOp::Put => 1,
+            LogOp::Delete => 2,
+            LogOp::Seal => 3,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<LogOp> {
+        match c {
+            1 => Some(LogOp::Put),
+            2 => Some(LogOp::Delete),
+            3 => Some(LogOp::Seal),
+            _ => None,
+        }
+    }
+}
+
+/// Where a Put's value lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// No payload (tombstones, seals).
+    None,
+    /// Value stored out of the log in an allocator block (its 256 B-aligned
+    /// address fits the 40-bit pointer field).
+    Ptr(PmAddr),
+    /// Value embedded in the entry (1..=256 bytes).
+    Inline(Vec<u8>),
+}
+
+/// A decoded (or to-be-encoded) operation-log entry.
+///
+/// # Example
+///
+/// ```
+/// use oplog::{LogEntry, LogOp, Payload};
+/// let e = LogEntry::put_inline(42, 7, b"tiny".to_vec()).unwrap();
+/// assert_eq!(e.encoded_len(), 16); // 12 B header + 4 B value
+/// let t = LogEntry::tombstone(42, 8);
+/// assert_eq!(t.encoded_len(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Operation type.
+    pub op: LogOp,
+    /// The 8-byte key.
+    pub key: u64,
+    /// 20-bit per-key version (masked on encode).
+    pub version: u32,
+    /// The value location.
+    pub payload: Payload,
+}
+
+impl LogEntry {
+    /// A Put whose value is embedded in the log entry.
+    ///
+    /// # Errors
+    ///
+    /// [`LogError::ValueTooLarge`] if the value is empty or longer than
+    /// [`INLINE_MAX`].
+    pub fn put_inline(key: u64, version: u32, value: Vec<u8>) -> Result<LogEntry, LogError> {
+        if value.is_empty() || value.len() > INLINE_MAX {
+            return Err(LogError::ValueTooLarge { len: value.len() });
+        }
+        Ok(LogEntry {
+            op: LogOp::Put,
+            key,
+            version,
+            payload: Payload::Inline(value),
+        })
+    }
+
+    /// A Put whose value lives in an allocator block at `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not 256 B-aligned or exceeds 48 bits.
+    pub fn put_ptr(key: u64, version: u32, block: PmAddr) -> LogEntry {
+        assert!(block.is_aligned(256), "block pointers must be 256 B aligned");
+        assert!(block.offset() >> 48 == 0, "pointer exceeds 48 bits");
+        LogEntry {
+            op: LogOp::Put,
+            key,
+            version,
+            payload: Payload::Ptr(block),
+        }
+    }
+
+    /// A Delete tombstone.
+    pub fn tombstone(key: u64, version: u32) -> LogEntry {
+        LogEntry {
+            op: LogOp::Delete,
+            key,
+            version,
+            payload: Payload::None,
+        }
+    }
+
+    pub(crate) fn seal() -> LogEntry {
+        LogEntry {
+            op: LogOp::Seal,
+            key: 0,
+            version: 0,
+            payload: Payload::None,
+        }
+    }
+
+    /// Encoded size in bytes: 16 for pointer-based entries, `12 + len` for
+    /// inline entries.
+    pub fn encoded_len(&self) -> usize {
+        match &self.payload {
+            Payload::Inline(v) => INLINE_HEADER_LEN + v.len(),
+            _ => PTR_ENTRY_LEN,
+        }
+    }
+
+    /// Appends the encoded entry to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let emd = matches!(self.payload, Payload::Inline(_)) as u8;
+        let ver = self.version & 0xF_FFFF;
+        let b0 = self.op.code() | (emd << EMD_SHIFT) | (((ver & 0xF) as u8) << 4);
+        buf.push(b0);
+        buf.extend_from_slice(&((ver >> 4) as u16).to_le_bytes());
+        buf.extend_from_slice(&self.key.to_le_bytes());
+        match &self.payload {
+            Payload::Inline(v) => {
+                buf.push((v.len() - 1) as u8);
+                buf.extend_from_slice(v);
+            }
+            Payload::Ptr(p) => {
+                let packed = p.offset() >> 8; // 40 bits
+                buf.extend_from_slice(&packed.to_le_bytes()[..5]);
+            }
+            Payload::None => buf.extend_from_slice(&[0u8; 5]),
+        }
+    }
+
+    /// Decodes the entry at `addr`, returning it and its encoded length.
+    /// Returns `Ok(None)` for padding (a zero op byte).
+    ///
+    /// # Errors
+    ///
+    /// [`LogError::Corrupt`] if the bytes do not decode.
+    pub fn decode(pm: &PmRegion, addr: PmAddr) -> Result<Option<(LogEntry, usize)>, LogError> {
+        let b0 = pm.read_u8(addr);
+        let Some(op) = LogOp::from_code(b0 & OP_MASK) else {
+            return Ok(None); // padding
+        };
+        let emd = (b0 >> EMD_SHIFT) & 0b11;
+        let mut hdr = [0u8; 11];
+        pm.read(addr, &mut hdr);
+        let ver_lo = (b0 >> 4) as u32;
+        let ver_hi = u16::from_le_bytes([hdr[1], hdr[2]]) as u32;
+        let version = ver_lo | (ver_hi << 4);
+        let key = u64::from_le_bytes(hdr[3..11].try_into().expect("8 bytes"));
+        match op {
+            LogOp::Seal => Ok(Some((LogEntry::seal(), PTR_ENTRY_LEN))),
+            LogOp::Delete => Ok(Some((
+                LogEntry {
+                    op,
+                    key,
+                    version,
+                    payload: Payload::None,
+                },
+                PTR_ENTRY_LEN,
+            ))),
+            LogOp::Put if emd == 1 => {
+                let size = pm.read_u8(addr + 11) as usize + 1;
+                let value = pm.read_vec(addr + 12, size);
+                Ok(Some((
+                    LogEntry {
+                        op,
+                        key,
+                        version,
+                        payload: Payload::Inline(value),
+                    },
+                    INLINE_HEADER_LEN + size,
+                )))
+            }
+            LogOp::Put => {
+                let mut pbytes = [0u8; 8];
+                pm.read(addr + 11, &mut pbytes[..5]);
+                let ptr = u64::from_le_bytes(pbytes) << 8;
+                let payload = if ptr == 0 {
+                    return Err(LogError::Corrupt {
+                        addr: addr.offset(),
+                    });
+                } else {
+                    Payload::Ptr(PmAddr(ptr))
+                };
+                Ok(Some((
+                    LogEntry {
+                        op,
+                        key,
+                        version,
+                        payload,
+                    },
+                    PTR_ENTRY_LEN,
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(e: &LogEntry) -> LogEntry {
+        let pm = PmRegion::new(4096);
+        let mut buf = Vec::new();
+        e.encode_into(&mut buf);
+        assert_eq!(buf.len(), e.encoded_len());
+        pm.write(PmAddr(64), &buf);
+        let (got, len) = LogEntry::decode(&pm, PmAddr(64)).unwrap().unwrap();
+        assert_eq!(len, e.encoded_len());
+        got
+    }
+
+    #[test]
+    fn ptr_entry_is_16_bytes_and_round_trips() {
+        let e = LogEntry::put_ptr(0xdead_beef_0042, 0x5_4321, PmAddr(0x1234_5600));
+        assert_eq!(e.encoded_len(), 16);
+        assert_eq!(round_trip(&e), e);
+    }
+
+    #[test]
+    fn inline_entry_round_trips_all_sizes() {
+        for len in [1usize, 2, 7, 8, 52, 255, 256] {
+            let e = LogEntry::put_inline(99, 3, vec![0xA5; len]).unwrap();
+            assert_eq!(e.encoded_len(), 12 + len);
+            assert_eq!(round_trip(&e), e);
+        }
+    }
+
+    #[test]
+    fn tombstone_round_trips() {
+        let e = LogEntry::tombstone(7, 0xF_FFFF);
+        assert_eq!(round_trip(&e), e);
+    }
+
+    #[test]
+    fn version_is_masked_to_20_bits() {
+        let e = LogEntry::tombstone(7, 0xABC_DEF0);
+        let got = round_trip(&e);
+        assert_eq!(got.version, 0xABC_DEF0 & 0xF_FFFF);
+    }
+
+    #[test]
+    fn zero_bytes_decode_as_padding() {
+        let pm = PmRegion::new(4096);
+        assert_eq!(LogEntry::decode(&pm, PmAddr(0)).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_or_empty_inline_rejected() {
+        assert!(LogEntry::put_inline(1, 1, vec![]).is_err());
+        assert!(LogEntry::put_inline(1, 1, vec![0; 257]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "256 B aligned")]
+    fn unaligned_ptr_panics() {
+        let _ = LogEntry::put_ptr(1, 1, PmAddr(100));
+    }
+
+    #[test]
+    fn sixteen_ptr_entries_fill_one_xpline() {
+        let mut buf = Vec::new();
+        for k in 0..16u64 {
+            LogEntry::put_ptr(k, 1, PmAddr(0x100 * (k + 1))).encode_into(&mut buf);
+        }
+        assert_eq!(buf.len(), 256);
+    }
+}

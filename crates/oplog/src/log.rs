@@ -1,0 +1,562 @@
+//! The per-core operation log: batched, cacheline-padded appends over a
+//! chain of 4 MB PM chunks, with log cleaning and crash-recovery scan.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pmalloc::{ChunkManager, CHUNK_SIZE};
+use pmem::{PmAddr, PmRegion, CACHELINE};
+
+use crate::entry::{LogEntry, LogOp, PTR_ENTRY_LEN};
+use crate::error::LogError;
+
+/// Byte offset of the first entry in a chunk (the first cacheline holds the
+/// chunk header: reserved magic, next pointer, sequence number).
+pub const ENTRY_AREA: u64 = 64;
+
+/// Entries never extend past this offset; the reserved tail guarantees room
+/// for a 16 B seal marker plus padding.
+const ENTRY_END: u64 = CHUNK_SIZE - 64;
+
+const OFF_NEXT: u64 = 8;
+const OFF_SEQ: u64 = 16;
+
+const DESC_HEAD: u64 = 0;
+const DESC_TAIL: u64 = 8;
+
+/// Liveness accounting for one log chunk, driving victim selection for the
+/// cleaner (paper §3.4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkUsage {
+    /// Entries appended to this chunk (excluding seals/padding).
+    pub total: u32,
+    /// Entries known stale (superseded or deleted).
+    pub dead: u32,
+}
+
+impl ChunkUsage {
+    /// Entries still referenced.
+    pub fn live(&self) -> u32 {
+        self.total.saturating_sub(self.dead)
+    }
+
+    /// Fraction of entries still live (1.0 for an empty chunk).
+    pub fn live_ratio(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.live() as f64 / self.total as f64
+        }
+    }
+}
+
+/// A relocation performed by the cleaner: the entry moved from `old` to
+/// `new`; the volatile index must be CAS-updated accordingly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relocation {
+    /// Previous entry address.
+    pub old: PmAddr,
+    /// New entry address.
+    pub new: PmAddr,
+    /// The relocated entry.
+    pub entry: LogEntry,
+}
+
+/// A per-core compacted operation log (paper §3.2).
+///
+/// The log is a chain of 4 MB chunks taken whole from the shared
+/// [`ChunkManager`]. A tiny persistent descriptor (two 8-byte words: head
+/// chunk and tail address) anchors the chain; everything else — the chunk
+/// list, the per-chunk liveness table — is volatile and rebuilt by
+/// [`recover_with`](Self::recover_with).
+///
+/// ## Append path (paper's three-flush Put, steps 2–3)
+///
+/// [`append_batch`](Self::append_batch) encodes all entries back to back,
+/// **pads the batch to a cacheline boundary** so adjacent batches never share
+/// a cacheline (avoiding the repeat-flush stall of §2.3), flushes the batch
+/// with one flush per touched cacheline + one fence, then persists the tail
+/// pointer (one more flush + fence). Sixteen 16-byte pointer entries thus
+/// cost 4 cacheline flushes — one 256 B XPLine — no matter how many requests
+/// they represent.
+pub struct OpLog {
+    pm: Arc<PmRegion>,
+    mgr: Arc<ChunkManager>,
+    desc: PmAddr,
+    /// Chain order, head first. The tail chunk is always last.
+    chunks: Vec<PmAddr>,
+    tail: PmAddr,
+    usage: HashMap<u64, ChunkUsage>,
+    seq: u64,
+    scratch: Vec<u8>,
+    pad_batches: bool,
+}
+
+impl std::fmt::Debug for OpLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpLog")
+            .field("desc", &self.desc)
+            .field("chunks", &self.chunks.len())
+            .field("tail", &self.tail)
+            .finish()
+    }
+}
+
+impl OpLog {
+    /// Creates a fresh log anchored at descriptor `desc` (64 B-aligned, two
+    /// u64 words), allocating its first chunk.
+    ///
+    /// # Errors
+    ///
+    /// [`LogError::OutOfSpace`] if no chunk is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `desc` is not 64 B-aligned.
+    pub fn create(mgr: Arc<ChunkManager>, desc: PmAddr) -> Result<OpLog, LogError> {
+        assert!(desc.is_aligned(CACHELINE), "descriptor must own a cacheline");
+        let pm = Arc::clone(mgr.pm());
+        let first = mgr.take_raw_chunk().ok_or(LogError::OutOfSpace)?;
+        pm.write_u64(first + OFF_NEXT, 0);
+        pm.write_u64(first + OFF_SEQ, 0);
+        pm.persist(first + OFF_NEXT, 16);
+        let tail = first + ENTRY_AREA;
+        pm.write_u64(desc + DESC_HEAD, first.offset());
+        pm.write_u64(desc + DESC_TAIL, tail.offset());
+        pm.persist(desc, 16);
+        let mut usage = HashMap::new();
+        usage.insert(first.offset(), ChunkUsage::default());
+        Ok(OpLog {
+            pm,
+            mgr,
+            desc,
+            chunks: vec![first],
+            tail,
+            usage,
+            seq: 0,
+            scratch: Vec::with_capacity(4096),
+            pad_batches: true,
+        })
+    }
+
+    /// Enables or disables cacheline padding between batches. Padding is on
+    /// by default (paper §3.2: adjacent batches must not share a cacheline
+    /// or the later one hits the repeat-flush stall); turning it off exists
+    /// for the ablation benchmarks.
+    pub fn set_batch_padding(&mut self, on: bool) {
+        self.pad_batches = on;
+    }
+
+    /// Rebuilds a log from its persistent descriptor, invoking `f` for every
+    /// surviving entry (in chain order). Used both for crash recovery (the
+    /// caller replays entries into the volatile index, newest version wins)
+    /// and after clean shutdown (the caller may ignore the entries).
+    ///
+    /// # Errors
+    ///
+    /// [`LogError::Corrupt`] on undecodable state.
+    pub fn recover_with(
+        mgr: Arc<ChunkManager>,
+        desc: PmAddr,
+        f: impl FnMut(LogEntry, PmAddr),
+    ) -> Result<OpLog, LogError> {
+        Self::recover_from(mgr, desc, None, f)
+    }
+
+    /// Like [`recover_with`](Self::recover_with), but skips every entry
+    /// before `from` (a checkpoint cursor: a tail address recorded while
+    /// the log was quiescent). Chunks preceding the cursor's chunk are not
+    /// scanned at all — the checkpoint's recovery speedup (paper §3.5).
+    ///
+    /// Only sound while the chain has not been re-ordered by the cleaner
+    /// since the cursor was taken (the engine invalidates checkpoints
+    /// before cleaning).
+    ///
+    /// # Errors
+    ///
+    /// [`LogError::Corrupt`] on undecodable state.
+    pub fn recover_with_from(
+        mgr: Arc<ChunkManager>,
+        desc: PmAddr,
+        from: PmAddr,
+        f: impl FnMut(LogEntry, PmAddr),
+    ) -> Result<OpLog, LogError> {
+        Self::recover_from(mgr, desc, Some(from), f)
+    }
+
+    fn recover_from(
+        mgr: Arc<ChunkManager>,
+        desc: PmAddr,
+        from: Option<PmAddr>,
+        mut f: impl FnMut(LogEntry, PmAddr),
+    ) -> Result<OpLog, LogError> {
+        let pm = Arc::clone(mgr.pm());
+        let head = PmAddr(pm.read_u64(desc + DESC_HEAD));
+        let tail = PmAddr(pm.read_u64(desc + DESC_TAIL));
+        if head == PmAddr::NULL {
+            return Err(LogError::Corrupt {
+                addr: desc.offset(),
+            });
+        }
+        let mut chunks = Vec::new();
+        let mut usage = HashMap::new();
+        let mut seq = 0u64;
+        let mut cur = head;
+        let from_chunk = from.map(Self::chunk_of);
+        let mut reached_cursor = from.is_none();
+        loop {
+            chunks.push(cur);
+            seq = seq.max(pm.read_u64(cur + OFF_SEQ));
+            let mut count = 0u32;
+            let end = if tail.offset() >= cur.offset() && tail - cur < CHUNK_SIZE {
+                tail
+            } else {
+                PmAddr(cur.offset() + ENTRY_END)
+            };
+            let mut pos = cur + ENTRY_AREA;
+            if !reached_cursor {
+                if Some(cur) == from_chunk {
+                    // Resume scanning exactly at the checkpoint cursor.
+                    pos = from.expect("cursor present");
+                    reached_cursor = true;
+                } else {
+                    // Entirely pre-checkpoint: skip its contents.
+                    pos = end;
+                }
+            }
+            while pos < end {
+                match LogEntry::decode(&pm, pos)? {
+                    None => {
+                        // Padding: skip to the next cacheline.
+                        pos = (pos + 1).align_up(CACHELINE);
+                    }
+                    Some((e, _)) if e.op == LogOp::Seal => break,
+                    Some((e, len)) => {
+                        count += 1;
+                        f(e, pos);
+                        pos += len as u64;
+                    }
+                }
+            }
+            usage.insert(cur.offset(), ChunkUsage {
+                total: count,
+                dead: 0,
+            });
+            let next = PmAddr(pm.read_u64(cur + OFF_NEXT));
+            if next == PmAddr::NULL {
+                break;
+            }
+            cur = next;
+        }
+        if !reached_cursor {
+            return Err(LogError::Corrupt {
+                addr: from.expect("cursor present").offset(),
+            });
+        }
+        Ok(OpLog {
+            pm,
+            mgr,
+            desc,
+            chunks,
+            tail,
+            usage,
+            seq,
+            scratch: Vec::with_capacity(4096),
+            pad_batches: true,
+        })
+    }
+
+    /// The persistent descriptor address.
+    pub fn desc(&self) -> PmAddr {
+        self.desc
+    }
+
+    /// Current tail (next append position).
+    pub fn tail(&self) -> PmAddr {
+        self.tail
+    }
+
+    /// Chunk bases in chain order (head first; the tail chunk is last).
+    pub fn chunks(&self) -> &[PmAddr] {
+        &self.chunks
+    }
+
+    /// The underlying PM region.
+    pub fn pm(&self) -> &Arc<PmRegion> {
+        &self.pm
+    }
+
+    /// Base of the chunk containing `addr`.
+    pub fn chunk_of(addr: PmAddr) -> PmAddr {
+        addr.align_down(CHUNK_SIZE)
+    }
+
+    /// Liveness accounting for every chunk, chain order.
+    pub fn usages(&self) -> impl Iterator<Item = (PmAddr, ChunkUsage)> + '_ {
+        self.chunks
+            .iter()
+            .map(move |c| (*c, self.usage.get(&c.offset()).copied().unwrap_or_default()))
+    }
+
+    /// Records that the entry at `addr` became stale (superseded by a newer
+    /// Put, deleted, or lost a recovery-replay race).
+    pub fn note_dead(&mut self, addr: PmAddr) {
+        let chunk = Self::chunk_of(addr);
+        if let Some(u) = self.usage.get_mut(&chunk.offset()) {
+            u.dead = (u.dead + 1).min(u.total);
+        }
+    }
+
+    /// Appends `entries` as one durable batch; returns each entry's address.
+    ///
+    /// Costs `ceil(bytes / 64)` cacheline flushes + 1 fence for the entries,
+    /// plus 1 flush + 1 fence for the tail pointer — regardless of how many
+    /// entries the batch carries. The batch is padded to a cacheline
+    /// boundary so the next batch starts on a fresh line.
+    ///
+    /// # Errors
+    ///
+    /// [`LogError::BatchTooLarge`] if the encoded batch exceeds a chunk;
+    /// [`LogError::OutOfSpace`] if a new chunk was needed and none is free.
+    pub fn append_batch(&mut self, entries: &[LogEntry]) -> Result<Vec<PmAddr>, LogError> {
+        if entries.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.scratch.clear();
+        let mut offsets = Vec::with_capacity(entries.len());
+        for e in entries {
+            debug_assert!(e.op != LogOp::Seal, "seal entries are internal");
+            offsets.push(self.scratch.len() as u64);
+            e.encode_into(&mut self.scratch);
+        }
+        // Cacheline padding (explicit zeros: recycled chunks hold garbage).
+        // With padding disabled (ablation), batches still align to entry
+        // boundaries but may share cachelines — and pay the repeat-flush
+        // stall the paper's padding avoids.
+        if self.pad_batches {
+            while !self.scratch.len().is_multiple_of(CACHELINE as usize) {
+                self.scratch.push(0);
+            }
+        }
+        let len = self.scratch.len() as u64;
+        if len > ENTRY_END - ENTRY_AREA {
+            return Err(LogError::BatchTooLarge {
+                bytes: len as usize,
+            });
+        }
+        let chunk = Self::chunk_of(self.tail);
+        if self.tail - chunk + len > ENTRY_END {
+            self.seal_and_extend(chunk)?;
+        }
+
+        let base = self.tail;
+        self.pm.write(base, &self.scratch);
+        self.pm.flush(base, self.scratch.len());
+        self.pm.fence();
+
+        self.tail = base + len;
+        self.pm.write_u64(self.desc + DESC_TAIL, self.tail.offset());
+        self.pm.persist(self.desc + DESC_TAIL, 8);
+
+        let cur = Self::chunk_of(base);
+        self.usage.entry(cur.offset()).or_default().total += entries.len() as u32;
+        Ok(offsets.into_iter().map(|o| base + o).collect())
+    }
+
+    fn seal_and_extend(&mut self, chunk: PmAddr) -> Result<(), LogError> {
+        let new = self.mgr.take_raw_chunk().ok_or(LogError::OutOfSpace)?;
+        self.seq += 1;
+        self.pm.write_u64(new + OFF_NEXT, 0);
+        self.pm.write_u64(new + OFF_SEQ, self.seq);
+        self.pm.persist(new + OFF_NEXT, 16);
+        // Seal marker at the old tail + link to the new chunk; one fence
+        // covers both (they are independent writes, and the chain is only
+        // followed up to the persisted tail).
+        let mut seal = Vec::with_capacity(PTR_ENTRY_LEN);
+        LogEntry::seal().encode_into(&mut seal);
+        self.pm.write(self.tail, &seal);
+        self.pm.flush(self.tail, seal.len());
+        self.pm.write_u64(chunk + OFF_NEXT, new.offset());
+        self.pm.flush(chunk + OFF_NEXT, 8);
+        self.pm.fence();
+        self.chunks.push(new);
+        self.usage.insert(new.offset(), ChunkUsage::default());
+        self.tail = new + ENTRY_AREA;
+        Ok(())
+    }
+
+    /// Decodes the entry at `addr` (the Get path, via the volatile index).
+    ///
+    /// # Errors
+    ///
+    /// [`LogError::Corrupt`] if `addr` does not hold a valid entry.
+    pub fn read_entry(&self, addr: PmAddr) -> Result<LogEntry, LogError> {
+        match LogEntry::decode(&self.pm, addr)? {
+            Some((e, _)) if e.op != LogOp::Seal => Ok(e),
+            _ => Err(LogError::Corrupt {
+                addr: addr.offset(),
+            }),
+        }
+    }
+
+    /// Picks cleaning victims: chunks (never the active tail chunk) whose
+    /// live ratio is at most `max_live_ratio`, worst first.
+    pub fn victims(&self, max_live_ratio: f64) -> Vec<PmAddr> {
+        let tail_chunk = Self::chunk_of(self.tail);
+        let mut v: Vec<(PmAddr, f64)> = self
+            .usages()
+            .filter(|(c, u)| *c != tail_chunk && u.total > 0 && u.live_ratio() <= max_live_ratio)
+            .map(|(c, u)| (c, u.live_ratio()))
+            .collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("ratios are finite"));
+        v.into_iter().map(|(c, _)| c).collect()
+    }
+
+    /// Reclaims `victim`: copies the entries `is_live` approves to a fresh
+    /// chunk inserted at the chain head, unlinks the victim from the chain,
+    /// and returns the relocations. The victim chunk is **not** returned to
+    /// the pool — the caller must CAS the volatile index to the new
+    /// addresses first and only then call
+    /// [`ChunkManager::return_raw_chunk`] (typically after a grace period,
+    /// since concurrent readers may still hold pre-CAS entry addresses).
+    ///
+    /// Crash-safe by ordering: the relocated chunk is fully persisted and
+    /// linked before the victim is unlinked, and the victim is unlinked
+    /// before its chunk can return to the pool. A crash in between recovers
+    /// a superset of live entries; version comparison deduplicates.
+    ///
+    /// # Errors
+    ///
+    /// [`LogError::OutOfSpace`] if no relocation chunk is free;
+    /// [`LogError::Corrupt`] if `victim` is not a cleanable chunk of this
+    /// log.
+    pub fn clean_chunk(
+        &mut self,
+        victim: PmAddr,
+        mut is_live: impl FnMut(&LogEntry, PmAddr) -> bool,
+    ) -> Result<Vec<Relocation>, LogError> {
+        let idx = self
+            .chunks
+            .iter()
+            .position(|c| *c == victim)
+            .ok_or(LogError::Corrupt {
+                addr: victim.offset(),
+            })?;
+        if victim == Self::chunk_of(self.tail) {
+            return Err(LogError::Corrupt {
+                addr: victim.offset(),
+            });
+        }
+
+        // Collect live entries.
+        let mut live = Vec::new();
+        let mut pos = victim + ENTRY_AREA;
+        let end = PmAddr(victim.offset() + ENTRY_END);
+        while pos < end {
+            match LogEntry::decode(&self.pm, pos)? {
+                None => pos = (pos + 1).align_up(CACHELINE),
+                Some((e, _)) if e.op == LogOp::Seal => break,
+                Some((e, len)) => {
+                    if is_live(&e, pos) {
+                        live.push((e, pos));
+                    }
+                    pos += len as u64;
+                }
+            }
+        }
+
+        let mut relocations = Vec::with_capacity(live.len());
+        let old_head = self.chunks[0];
+        if live.is_empty() {
+            // Nothing to relocate; just unlink and free.
+            self.unlink(idx)?;
+            return Ok(relocations);
+        }
+
+        let target = self.mgr.take_raw_chunk().ok_or(LogError::OutOfSpace)?;
+        self.seq += 1;
+        self.pm.write_u64(target + OFF_SEQ, self.seq);
+
+        // Encode all live entries into the target chunk.
+        self.scratch.clear();
+        for (e, old) in &live {
+            relocations.push(Relocation {
+                old: *old,
+                new: target + ENTRY_AREA + self.scratch.len() as u64,
+                entry: e.clone(),
+            });
+            e.encode_into(&mut self.scratch);
+        }
+        while !self.scratch.len().is_multiple_of(CACHELINE as usize) {
+            self.scratch.push(0);
+        }
+        // Seal the target right after its content so scans stop there.
+        let mut seal = Vec::with_capacity(PTR_ENTRY_LEN);
+        LogEntry::seal().encode_into(&mut seal);
+        self.scratch.extend_from_slice(&seal);
+        self.pm.write(target + ENTRY_AREA, &self.scratch);
+        self.pm.flush(target + ENTRY_AREA, self.scratch.len());
+        // Link target at the chain head.
+        self.pm.write_u64(target + OFF_NEXT, old_head.offset());
+        self.pm.flush(target + OFF_NEXT, 8);
+        self.pm.fence();
+        self.pm.write_u64(self.desc + DESC_HEAD, target.offset());
+        self.pm.persist(self.desc + DESC_HEAD, 8);
+
+        self.chunks.insert(0, target);
+        self.usage.insert(target.offset(), ChunkUsage {
+            total: live.len() as u32,
+            dead: 0,
+        });
+
+        // Victim moved one position right after the head insert.
+        self.unlink(idx + 1)?;
+        Ok(relocations)
+    }
+
+    /// Unlinks `self.chunks[idx]` from the persistent chain. The chunk's
+    /// memory stays valid until the caller returns it to the pool.
+    fn unlink(&mut self, idx: usize) -> Result<(), LogError> {
+        let victim = self.chunks[idx];
+        let next = self.pm.read_u64(victim + OFF_NEXT);
+        if idx == 0 {
+            self.pm.write_u64(self.desc + DESC_HEAD, next);
+            self.pm.persist(self.desc + DESC_HEAD, 8);
+        } else {
+            let pred = self.chunks[idx - 1];
+            self.pm.write_u64(pred + OFF_NEXT, next);
+            self.pm.persist(pred + OFF_NEXT, 8);
+        }
+        self.chunks.remove(idx);
+        self.usage.remove(&victim.offset());
+        Ok(())
+    }
+
+    /// Scans all surviving entries in chain order (used by tests and the
+    /// recovery path of the engine).
+    ///
+    /// # Errors
+    ///
+    /// [`LogError::Corrupt`] on undecodable state.
+    pub fn scan(&self, mut f: impl FnMut(LogEntry, PmAddr)) -> Result<(), LogError> {
+        for &chunk in &self.chunks {
+            let end = if Self::chunk_of(self.tail) == chunk {
+                self.tail
+            } else {
+                PmAddr(chunk.offset() + ENTRY_END)
+            };
+            let mut pos = chunk + ENTRY_AREA;
+            while pos < end {
+                match LogEntry::decode(&self.pm, pos)? {
+                    None => pos = (pos + 1).align_up(CACHELINE),
+                    Some((e, _)) if e.op == LogOp::Seal => break,
+                    Some((e, len)) => {
+                        f(e, pos);
+                        pos += len as u64;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,331 @@
+//! Per-core allocation fast path.
+
+use std::sync::Arc;
+
+use pmem::PmAddr;
+
+use crate::chunk::ChunkManager;
+use crate::classes::{class_for, class_sizes};
+use crate::error::AllocError;
+
+/// A server core's private view of the allocator (paper §3.2: "these 4 MB
+/// NVM chunks are partitioned to different server cores").
+///
+/// The fast path allocates from privately owned, partially filled chunks
+/// without touching any global state; the shared [`ChunkManager`] is only
+/// consulted when a fresh chunk is needed.
+///
+/// `CoreAllocator` is intentionally `!Sync`: each server core owns exactly
+/// one.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use pmem::{PmRegion, PmAddr};
+/// use pmalloc::{ChunkManager, CoreAllocator, CHUNK_SIZE};
+///
+/// let pm = Arc::new(PmRegion::new(8 * CHUNK_SIZE as usize));
+/// let mgr = Arc::new(ChunkManager::format(pm, PmAddr(0), 8));
+/// let mut a = CoreAllocator::new(mgr, 0);
+/// let x = a.alloc(300)?;
+/// let y = a.alloc(300)?;
+/// assert_ne!(x, y);
+/// a.free(x)?;
+/// let z = a.alloc(300)?;
+/// assert_eq!(x, z, "freed blocks are reused immediately");
+/// # Ok::<(), pmalloc::AllocError>(())
+/// ```
+#[derive(Debug)]
+pub struct CoreAllocator {
+    mgr: Arc<ChunkManager>,
+    core: u32,
+    /// Per size class: chunk ids owned by this core that may have free
+    /// blocks.
+    partial: Vec<Vec<u32>>,
+}
+
+impl CoreAllocator {
+    /// Creates the allocator view for server core `core`.
+    pub fn new(mgr: Arc<ChunkManager>, core: u32) -> Self {
+        let n = class_sizes().len();
+        CoreAllocator {
+            mgr,
+            core,
+            partial: vec![Vec::new(); n],
+        }
+    }
+
+    /// The shared chunk manager.
+    pub fn manager(&self) -> &Arc<ChunkManager> {
+        &self.mgr
+    }
+
+    /// Allocates a block of at least `size` bytes, 256 B-aligned.
+    ///
+    /// The allocation itself performs **no flush** (lazy persist); only
+    /// formatting a brand-new chunk persists that chunk's header.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::ZeroSize`] for `size == 0`;
+    /// [`AllocError::OutOfMemory`] when no chunk can satisfy the request.
+    pub fn alloc(&mut self, size: u64) -> Result<PmAddr, AllocError> {
+        if size == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        let Some((class_idx, _)) = class_for(size) else {
+            return self.mgr.alloc_huge(size);
+        };
+        // Try privately owned partial chunks, dropping exhausted ones.
+        while let Some(&id) = self.partial[class_idx].last() {
+            if let Some(addr) = self.mgr.alloc_in_chunk(id, class_idx, self.core) {
+                return Ok(addr);
+            }
+            self.partial[class_idx].pop();
+        }
+        // Need a fresh chunk.
+        let id = self
+            .mgr
+            .take_free_chunk()
+            .ok_or(AllocError::OutOfMemory { requested: size })?;
+        self.mgr.format_class_chunk(id, class_idx, self.core);
+        self.partial[class_idx].push(id);
+        self.mgr
+            .alloc_in_chunk(id, class_idx, self.core)
+            .ok_or(AllocError::OutOfMemory { requested: size })
+    }
+
+    /// Frees the block at `addr`, returning its byte capacity. The block can
+    /// be reused immediately (FlatStore's per-key serialization prevents
+    /// read-after-delete anomalies; paper §3.2).
+    ///
+    /// # Errors
+    ///
+    /// See [`ChunkManager::free_block`].
+    pub fn free(&mut self, addr: PmAddr) -> Result<u64, AllocError> {
+        self.mgr.free_block(addr)
+    }
+
+    /// Adopts recovered (ownerless) chunks assigned to this core by the
+    /// `id % ncores` partitioning, adding them to the partial lists.
+    pub fn adopt_recovered(&mut self, ncores: u32) {
+        for (id, class_idx) in self.mgr.adopt_ownerless(self.core, ncores) {
+            self.partial[class_idx].push(id);
+        }
+    }
+
+    /// Returns fully empty owned chunks to the shared free list (called by
+    /// the log cleaner under space pressure). Returns how many were
+    /// released.
+    pub fn release_empty_chunks(&mut self) -> u32 {
+        let mut released = 0;
+        for list in &mut self.partial {
+            list.retain(|&id| {
+                if self.mgr.release_if_empty(id, self.core) {
+                    released += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{CHUNK_HEADER, CHUNK_SIZE};
+    use pmem::PmRegion;
+
+    fn setup(nchunks: u32) -> (Arc<ChunkManager>, CoreAllocator) {
+        let pm = Arc::new(PmRegion::new(nchunks as usize * CHUNK_SIZE as usize));
+        let mgr = Arc::new(ChunkManager::format(pm, PmAddr(0), nchunks));
+        let a = CoreAllocator::new(Arc::clone(&mgr), 0);
+        (mgr, a)
+    }
+
+    #[test]
+    fn blocks_are_256_aligned_and_disjoint() {
+        let (_, mut a) = setup(4);
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            let addr = a.alloc(700).unwrap();
+            assert_eq!(addr.offset() % 256, 0);
+            got.push(addr.offset());
+        }
+        got.sort_unstable();
+        for w in got.windows(2) {
+            assert!(w[1] - w[0] >= 768, "blocks overlap: {} {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn alloc_does_not_flush_after_first_chunk_format() {
+        let (mgr, mut a) = setup(4);
+        let _ = a.alloc(1000).unwrap();
+        let before = mgr.pm().stats().snapshot();
+        for _ in 0..50 {
+            a.alloc(1000).unwrap();
+        }
+        let d = mgr.pm().stats().snapshot().delta(&before);
+        assert_eq!(d.flushes, 0, "lazy-persist allocator must not flush");
+        assert_eq!(d.fences, 0);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let (_, mut a) = setup(1);
+        assert_eq!(a.alloc(0), Err(AllocError::ZeroSize));
+    }
+
+    #[test]
+    fn exhaustion_reports_oom() {
+        let (_, mut a) = setup(1);
+        // One chunk of 2 MB blocks: only one fits.
+        let first = a.alloc(2 * 1024 * 1024).unwrap();
+        assert_eq!(first.offset(), CHUNK_HEADER);
+        assert!(matches!(
+            a.alloc(2 * 1024 * 1024),
+            Err(AllocError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let (_, mut a) = setup(2);
+        let x = a.alloc(600).unwrap();
+        a.free(x).unwrap();
+        assert!(matches!(a.free(x), Err(AllocError::DoubleFree { .. })));
+    }
+
+    #[test]
+    fn two_cores_share_the_manager_without_overlap() {
+        let pm = Arc::new(PmRegion::new(8 * CHUNK_SIZE as usize));
+        let mgr = Arc::new(ChunkManager::format(pm, PmAddr(0), 8));
+        let mut a0 = CoreAllocator::new(Arc::clone(&mgr), 0);
+        let mut a1 = CoreAllocator::new(Arc::clone(&mgr), 1);
+        let mut all = Vec::new();
+        for _ in 0..200 {
+            all.push(a0.alloc(500).unwrap().offset());
+            all.push(a1.alloc(500).unwrap().offset());
+        }
+        let len = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), len, "cores handed out overlapping blocks");
+    }
+
+    #[test]
+    fn release_empty_chunks_returns_space() {
+        let (mgr, mut a) = setup(2);
+        let mut blocks = Vec::new();
+        for _ in 0..10 {
+            blocks.push(a.alloc(3000).unwrap());
+        }
+        assert_eq!(mgr.free_chunks(), 1);
+        for b in blocks {
+            a.free(b).unwrap();
+        }
+        assert_eq!(a.release_empty_chunks(), 1);
+        assert_eq!(mgr.free_chunks(), 2);
+    }
+
+    #[test]
+    fn crash_recovery_rebuilds_bitmaps_from_pointers() {
+        let pm = Arc::new(PmRegion::with_crash_tracking(4 * CHUNK_SIZE as usize));
+        let mgr = Arc::new(ChunkManager::format(Arc::clone(&pm), PmAddr(0), 4));
+        let mut a = CoreAllocator::new(Arc::clone(&mgr), 0);
+        let live1 = a.alloc(600).unwrap();
+        let live2 = a.alloc(600).unwrap();
+        let dead = a.alloc(600).unwrap();
+        let huge = mgr.alloc_huge(5 * 1024 * 1024).unwrap();
+        drop(a);
+        drop(mgr);
+
+        // Crash: bitmaps were never flushed, but chunk headers were.
+        pm.simulate_crash();
+        let mgr = ChunkManager::recover(Arc::clone(&pm), PmAddr(0), 4);
+        // The "log scan" found live1, live2 and huge, but not `dead`.
+        mgr.mark_allocated(live1).unwrap();
+        mgr.mark_allocated(live2).unwrap();
+        mgr.mark_allocated(huge).unwrap();
+        mgr.finish_recovery();
+
+        // `dead`'s block is free again: a fresh allocation of the same class
+        // from an adopting core reuses it or another block, but never
+        // collides with live1/live2.
+        let mgr = Arc::new(mgr);
+        let mut a = CoreAllocator::new(Arc::clone(&mgr), 0);
+        a.adopt_recovered(1);
+        let mut fresh = Vec::new();
+        for _ in 0..3 {
+            fresh.push(a.alloc(600).unwrap());
+        }
+        assert!(fresh.contains(&dead), "dead block was not reclaimed");
+        assert!(!fresh.contains(&live1));
+        assert!(!fresh.contains(&live2));
+        // Double-marking is rejected.
+        assert!(matches!(
+            mgr.mark_allocated(live1),
+            Err(AllocError::DoubleFree { .. })
+        ));
+    }
+
+    #[test]
+    fn clean_shutdown_round_trip() {
+        let pm = Arc::new(PmRegion::new(4 * CHUNK_SIZE as usize));
+        let mgr = Arc::new(ChunkManager::format(Arc::clone(&pm), PmAddr(0), 4));
+        let mut a = CoreAllocator::new(Arc::clone(&mgr), 0);
+        let x = a.alloc(600).unwrap();
+        let y = a.alloc(5000).unwrap();
+        mgr.persist_bitmaps();
+        drop(a);
+        drop(mgr);
+
+        let mgr = Arc::new(ChunkManager::load_clean(Arc::clone(&pm), PmAddr(0), 4));
+        assert_eq!(mgr.block_size(x).unwrap(), 768);
+        assert_eq!(mgr.block_size(y).unwrap(), 6144);
+        let s = mgr.stats();
+        assert_eq!(s.live_blocks, 2);
+        // Freeing still works after reload.
+        mgr.free_block(x).unwrap();
+        assert!(matches!(
+            mgr.free_block(x),
+            Err(AllocError::DoubleFree { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod eager_tests {
+    use super::*;
+    use crate::chunk::CHUNK_SIZE;
+    use pmem::PmRegion;
+
+    #[test]
+    fn eager_persist_flushes_bitmap_per_alloc_and_free() {
+        let pm = Arc::new(PmRegion::new(8 * CHUNK_SIZE as usize));
+        let mgr = Arc::new(ChunkManager::format(Arc::clone(&pm), PmAddr(0), 8));
+        mgr.set_eager_persist(true);
+        let mut a = CoreAllocator::new(Arc::clone(&mgr), 0);
+        let x = a.alloc(600).unwrap(); // formats a chunk (has its own persist)
+        let before = pm.stats().snapshot();
+        let y = a.alloc(600).unwrap();
+        a.free(x).unwrap();
+        a.free(y).unwrap();
+        let d = pm.stats().snapshot().delta(&before);
+        assert_eq!(d.fences, 3, "one persist per alloc/free");
+        assert!(d.flushes >= 3);
+
+        // And the persisted bitmap is consistent with the DRAM state after
+        // a crash-free reload of the headers.
+        mgr.set_eager_persist(false);
+        let before = pm.stats().snapshot();
+        let _z = a.alloc(600).unwrap();
+        let d = pm.stats().snapshot().delta(&before);
+        assert_eq!(d.fences, 0, "lazy mode is back");
+    }
+}

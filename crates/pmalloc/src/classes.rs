@@ -1,0 +1,89 @@
+//! Allocation size classes.
+//!
+//! Every class is a multiple of [`BLOCK_ALIGN`] (256 B) so that block
+//! addresses always have their low 8 bits zero — the operation log stores
+//! block pointers in 40 bits by dismissing those bits (paper §3.2, Fig. 3).
+
+use crate::chunk::{CHUNK_HEADER, CHUNK_SIZE};
+
+/// Alignment (and minimum granularity) of every allocated block.
+pub const BLOCK_ALIGN: u64 = 256;
+
+/// The size classes, ascending. Roughly ×1.5 steps, all multiples of 256 B,
+/// from 512 B (the allocator only ever stores records larger than 256 B) up
+/// to half a chunk.
+pub fn class_sizes() -> &'static [u64] {
+    const CLASSES: &[u64] = &[
+        512,
+        768,
+        1024,
+        1536,
+        2048,
+        3072,
+        4096,
+        6144,
+        8192,
+        12288,
+        16384,
+        24576,
+        32768,
+        49152,
+        65536,
+        98304,
+        131072,
+        196608,
+        262144,
+        393216,
+        524288,
+        786432,
+        1048576,
+        2097152,
+    ];
+    CLASSES
+}
+
+/// Returns `(class_index, class_size)` of the smallest class that fits
+/// `size`, or `None` when the request needs whole chunks.
+pub fn class_for(size: u64) -> Option<(usize, u64)> {
+    let usable = CHUNK_SIZE - CHUNK_HEADER;
+    class_sizes()
+        .iter()
+        .enumerate()
+        .find(|(_, &c)| c >= size && c <= usable)
+        .map(|(i, &c)| (i, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_sorted_aligned_and_fit_a_chunk() {
+        let cs = class_sizes();
+        for w in cs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &c in cs {
+            assert_eq!(c % BLOCK_ALIGN, 0, "class {c} not 256 B aligned");
+            assert!(c <= CHUNK_SIZE - CHUNK_HEADER);
+        }
+    }
+
+    #[test]
+    fn class_for_picks_smallest_fit() {
+        assert_eq!(class_for(1), Some((0, 512)));
+        assert_eq!(class_for(512), Some((0, 512)));
+        assert_eq!(class_for(513), Some((1, 768)));
+        assert_eq!(class_for(2097152), Some((23, 2097152)));
+        assert_eq!(class_for(2097153), None); // needs huge chunks
+    }
+
+    #[test]
+    fn internal_fragmentation_bounded() {
+        // ×1.5 spacing keeps waste under ~50 %.
+        for size in (257..2_000_000).step_by(997) {
+            let (_, c) = class_for(size).unwrap();
+            assert!(c < size * 2, "class {c} too large for {size}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Allocator errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the lazy-persist allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// No chunk (or contiguous chunk run) is available for the request.
+    OutOfMemory {
+        /// The requested size in bytes.
+        requested: u64,
+    },
+    /// A zero-sized allocation was requested.
+    ZeroSize,
+    /// The address passed to `free`/`mark_allocated` does not belong to a
+    /// formatted chunk or is not block-aligned.
+    BadAddress {
+        /// The offending address offset.
+        addr: u64,
+    },
+    /// The block at the address is not currently allocated (double free).
+    DoubleFree {
+        /// The offending address offset.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory { requested } => {
+                write!(f, "out of PM space for allocation of {requested} bytes")
+            }
+            AllocError::ZeroSize => write!(f, "zero-sized allocation"),
+            AllocError::BadAddress { addr } => {
+                write!(f, "address {addr:#x} is not an allocated PM block")
+            }
+            AllocError::DoubleFree { addr } => {
+                write!(f, "block at {addr:#x} freed twice")
+            }
+        }
+    }
+}
+
+impl Error for AllocError {}

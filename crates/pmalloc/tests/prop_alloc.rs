@@ -1,0 +1,108 @@
+//! Property-based tests: allocator invariants under random alloc/free
+//! sequences, including crash recovery.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pmalloc::{ChunkManager, CoreAllocator, CHUNK_SIZE};
+use pmem::{PmAddr, PmRegion};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u64),
+    /// Free the i-th (mod len) currently live allocation.
+    Free(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (257u64..100_000).prop_map(Op::Alloc),
+            (0usize..64).prop_map(Op::Free),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Live blocks never overlap, are 256 B aligned, and capacity covers
+    /// the request.
+    #[test]
+    fn live_blocks_are_disjoint(script in ops()) {
+        let pm = Arc::new(PmRegion::new(32 * CHUNK_SIZE as usize));
+        let mgr = Arc::new(ChunkManager::format(pm, PmAddr(0), 32));
+        let mut a = CoreAllocator::new(Arc::clone(&mgr), 0);
+        let mut live: Vec<(PmAddr, u64)> = Vec::new();
+        for op in script {
+            match op {
+                Op::Alloc(size) => {
+                    let addr = a.alloc(size).unwrap();
+                    prop_assert_eq!(addr.offset() % 256, 0);
+                    let cap = mgr.block_size(addr).unwrap();
+                    prop_assert!(cap >= size);
+                    live.push((addr, cap));
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let (addr, _) = live.swap_remove(i % live.len());
+                        a.free(addr).unwrap();
+                    }
+                }
+            }
+            // Disjointness of all live blocks.
+            let mut spans: Vec<(u64, u64)> =
+                live.iter().map(|(a, c)| (a.offset(), a.offset() + c)).collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap {:?} {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    /// After a crash and log-driven recovery, exactly the live blocks are
+    /// allocated and everything else is reusable.
+    #[test]
+    fn crash_recovery_matches_live_set(script in ops()) {
+        let pm = Arc::new(PmRegion::with_crash_tracking(32 * CHUNK_SIZE as usize));
+        let mgr = Arc::new(ChunkManager::format(Arc::clone(&pm), PmAddr(0), 32));
+        let mut a = CoreAllocator::new(Arc::clone(&mgr), 0);
+        let mut live: HashMap<u64, u64> = HashMap::new();
+        for op in script {
+            match op {
+                Op::Alloc(size) => {
+                    let addr = a.alloc(size).unwrap();
+                    live.insert(addr.offset(), size);
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let key = *live.keys().nth(i % live.len()).unwrap();
+                        live.remove(&key);
+                        a.free(PmAddr(key)).unwrap();
+                    }
+                }
+            }
+        }
+        drop(a);
+        drop(mgr);
+        pm.simulate_crash();
+
+        let mgr = ChunkManager::recover(Arc::clone(&pm), PmAddr(0), 32);
+        for &addr in live.keys() {
+            mgr.mark_allocated(PmAddr(addr)).unwrap();
+        }
+        mgr.finish_recovery();
+        // Every live block is findable with a plausible capacity…
+        for (&addr, &size) in &live {
+            prop_assert!(mgr.block_size(PmAddr(addr)).unwrap() >= size);
+        }
+        // …and can be freed exactly once.
+        for &addr in live.keys() {
+            mgr.free_block(PmAddr(addr)).unwrap();
+        }
+        let s = mgr.stats();
+        prop_assert_eq!(s.live_blocks, 0);
+    }
+}

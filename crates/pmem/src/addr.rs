@@ -1,0 +1,154 @@
+//! Addresses and hardware granularities.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// CPU cacheline size in bytes — the granularity of `clwb`-style flushes.
+pub const CACHELINE: u64 = 64;
+
+/// Optane DCPMM internal write granularity ("XPLine") in bytes.
+///
+/// Every media write, no matter how few bytes were actually dirtied, costs a
+/// full 256 B internal write — the mismatch FlatStore's batching exploits.
+pub const XPLINE: u64 = 256;
+
+/// A byte offset into a [`PmRegion`](crate::PmRegion).
+///
+/// Persistent pointers stored *inside* PM must be position-independent, so
+/// the whole reproduction addresses PM by offset rather than by virtual
+/// address (real PM systems re-map the device at arbitrary addresses across
+/// reboots).
+///
+/// # Example
+///
+/// ```
+/// use pmem::{PmAddr, CACHELINE};
+/// let a = PmAddr(100);
+/// assert_eq!(a.align_down(CACHELINE), PmAddr(64));
+/// assert_eq!(a.align_up(CACHELINE), PmAddr(128));
+/// assert_eq!(a.cacheline(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PmAddr(pub u64);
+
+impl PmAddr {
+    /// The null / invalid address (offset 0 is reserved by convention).
+    pub const NULL: PmAddr = PmAddr(0);
+
+    /// Returns the raw byte offset.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        self.0
+    }
+
+    /// Rounds down to a multiple of `align` (must be a power of two).
+    #[inline]
+    pub fn align_down(self, align: u64) -> PmAddr {
+        debug_assert!(align.is_power_of_two());
+        PmAddr(self.0 & !(align - 1))
+    }
+
+    /// Rounds up to a multiple of `align` (must be a power of two).
+    #[inline]
+    pub fn align_up(self, align: u64) -> PmAddr {
+        debug_assert!(align.is_power_of_two());
+        PmAddr((self.0 + align - 1) & !(align - 1))
+    }
+
+    /// Is this address a multiple of `align`?
+    #[inline]
+    pub fn is_aligned(self, align: u64) -> bool {
+        self.0.is_multiple_of(align)
+    }
+
+    /// Index of the 64 B cacheline containing this address.
+    #[inline]
+    pub fn cacheline(self) -> u64 {
+        self.0 / CACHELINE
+    }
+
+    /// Index of the 256 B XPLine block containing this address.
+    #[inline]
+    pub fn xpline(self) -> u64 {
+        self.0 / XPLINE
+    }
+}
+
+impl fmt::Debug for PmAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PmAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PmAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl Add<u64> for PmAddr {
+    type Output = PmAddr;
+    #[inline]
+    fn add(self, rhs: u64) -> PmAddr {
+        PmAddr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for PmAddr {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<PmAddr> for PmAddr {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: PmAddr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<u64> for PmAddr {
+    fn from(v: u64) -> Self {
+        PmAddr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_round_trips() {
+        for v in [0u64, 1, 63, 64, 65, 255, 256, 257, 4095] {
+            let a = PmAddr(v);
+            assert!(a.align_down(CACHELINE).0 <= v);
+            assert!(a.align_up(CACHELINE).0 >= v);
+            assert!(a.align_down(CACHELINE).is_aligned(CACHELINE));
+            assert!(a.align_up(CACHELINE).is_aligned(CACHELINE));
+            assert!(a.align_up(CACHELINE).0 - v < CACHELINE);
+        }
+    }
+
+    #[test]
+    fn line_and_block_indices() {
+        assert_eq!(PmAddr(0).cacheline(), 0);
+        assert_eq!(PmAddr(63).cacheline(), 0);
+        assert_eq!(PmAddr(64).cacheline(), 1);
+        assert_eq!(PmAddr(255).xpline(), 0);
+        assert_eq!(PmAddr(256).xpline(), 1);
+        // Four cachelines per XPLine.
+        assert_eq!(PmAddr(64 * 4).xpline(), 1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = PmAddr(100) + 28;
+        assert_eq!(a, PmAddr(128));
+        assert_eq!(a - PmAddr(100), 28);
+        let mut b = PmAddr(0);
+        b += 7;
+        assert_eq!(b.offset(), 7);
+    }
+}

@@ -1,0 +1,156 @@
+//! Persistence-operation counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters of every persistence-relevant operation performed on a
+/// [`PmRegion`](crate::PmRegion).
+///
+/// The FlatStore paper's central argument is about the *count* of flushes a
+/// KV store issues per operation; these counters let tests assert that, e.g.,
+/// a batched append of 16 log entries flushes 4 cachelines and not 16.
+///
+/// All counters are monotonically increasing and safe to read concurrently.
+///
+/// # Example
+///
+/// ```
+/// use pmem::{PmRegion, PmAddr};
+/// let pm = PmRegion::new(4096);
+/// pm.write(PmAddr(0), &[1u8; 128]);
+/// pm.flush(PmAddr(0), 128);
+/// pm.fence();
+/// let s = pm.stats().snapshot();
+/// assert_eq!(s.flushes, 2); // 128 B spans two cachelines
+/// assert_eq!(s.fences, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct PmStats {
+    writes: AtomicU64,
+    bytes_written: AtomicU64,
+    reads: AtomicU64,
+    bytes_read: AtomicU64,
+    flushes: AtomicU64,
+    redundant_flushes: AtomicU64,
+    fences: AtomicU64,
+}
+
+impl PmStats {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn record_write(&self, bytes: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_read(&self, bytes: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_flush(&self, redundant: bool) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        if redundant {
+            self.redundant_flushes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_fence(&self) {
+        self.fences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of cacheline flush operations issued so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Number of fences issued so far.
+    pub fn fences(&self) -> u64 {
+        self.fences.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes passed to `write`.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Takes a consistent-enough point-in-time copy of all counters.
+    pub fn snapshot(&self) -> PmStatsSnapshot {
+        PmStatsSnapshot {
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            redundant_flushes: self.redundant_flushes.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`PmStats`], suitable for diffing around an
+/// operation under test.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PmStatsSnapshot {
+    /// Number of `write` calls.
+    pub writes: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Number of `read` calls.
+    pub reads: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Number of cacheline flushes.
+    pub flushes: u64,
+    /// Flushes of cachelines that were not dirty (wasted work).
+    pub redundant_flushes: u64,
+    /// Number of fences.
+    pub fences: u64,
+}
+
+impl PmStatsSnapshot {
+    /// Difference `self - earlier`, counter by counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually earlier.
+    pub fn delta(&self, earlier: &PmStatsSnapshot) -> PmStatsSnapshot {
+        PmStatsSnapshot {
+            writes: self.writes - earlier.writes,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            reads: self.reads - earlier.reads,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            flushes: self.flushes - earlier.flushes,
+            redundant_flushes: self.redundant_flushes - earlier.redundant_flushes,
+            fences: self.fences - earlier.fences,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta() {
+        let s = PmStats::new();
+        s.record_write(10);
+        s.record_flush(false);
+        let a = s.snapshot();
+        s.record_write(5);
+        s.record_flush(true);
+        s.record_fence();
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.writes, 1);
+        assert_eq!(d.bytes_written, 5);
+        assert_eq!(d.flushes, 1);
+        assert_eq!(d.redundant_flushes, 1);
+        assert_eq!(d.fences, 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Measurement collection: throughput, latency percentiles, timelines.
+
+use pmem::cost::DeviceStats;
+
+/// Latency/throughput collector.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    pub completed: u64,
+    pub measured: u64,
+    pub warmup: u64,
+    pub measure_start_ns: f64,
+    pub last_completion_ns: f64,
+    pub latencies: Vec<f64>,
+    pub window_ns: f64,
+    pub windows: Vec<WindowStat>,
+}
+
+/// One timeline window (Figure 13's x-axis).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowStat {
+    /// Window start, in simulated seconds.
+    pub start_s: f64,
+    /// Operations completed in the window.
+    pub ops: u64,
+    /// Chunks cleaned in the window.
+    pub gc_chunks: u64,
+}
+
+impl Metrics {
+    pub fn new(warmup: u64, window_ns: f64) -> Metrics {
+        Metrics {
+            warmup,
+            window_ns,
+            ..Metrics::default()
+        }
+    }
+
+    pub fn record(&mut self, send_ns: f64, resp_ns: f64) {
+        self.completed += 1;
+        if self.completed == self.warmup {
+            self.measure_start_ns = resp_ns;
+        }
+        if self.completed > self.warmup {
+            self.measured += 1;
+            self.latencies.push(resp_ns - send_ns);
+            self.last_completion_ns = self.last_completion_ns.max(resp_ns);
+        }
+        if self.window_ns > 0.0 {
+            let w = (resp_ns / self.window_ns) as usize;
+            if self.windows.len() <= w {
+                self.windows.resize(w + 1, WindowStat::default());
+            }
+            self.windows[w].ops += 1;
+        }
+    }
+
+    pub fn record_gc(&mut self, at_ns: f64, chunks: u64) {
+        if self.window_ns > 0.0 {
+            let w = (at_ns / self.window_ns) as usize;
+            if self.windows.len() <= w {
+                self.windows.resize(w + 1, WindowStat::default());
+            }
+            self.windows[w].gc_chunks += chunks;
+        }
+    }
+
+    pub fn summary(mut self, device: DeviceStats, avg_batch: f64) -> Summary {
+        self.latencies
+            .sort_unstable_by(|a, b| a.total_cmp(b));
+        let n = self.latencies.len();
+        let pct = |p: f64| -> f64 {
+            if n == 0 {
+                0.0
+            } else {
+                self.latencies[((n as f64 * p) as usize).min(n - 1)]
+            }
+        };
+        let span = (self.last_completion_ns - self.measure_start_ns).max(1.0);
+        let window_ns = self.window_ns;
+        Summary {
+            ops: self.measured,
+            sim_ns: span,
+            mops: self.measured as f64 * 1e3 / span,
+            avg_latency_ns: if n == 0 {
+                0.0
+            } else {
+                self.latencies.iter().sum::<f64>() / n as f64
+            },
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+            avg_batch,
+            device,
+            timeline: self
+                .windows
+                .iter()
+                .enumerate()
+                .map(|(i, w)| WindowStat {
+                    start_s: i as f64 * window_ns / 1e9,
+                    ..*w
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Measured operations (after warm-up).
+    pub ops: u64,
+    /// Simulated nanoseconds spanned by the measured operations.
+    pub sim_ns: f64,
+    /// Throughput in million operations per second.
+    pub mops: f64,
+    /// Mean request latency (ns).
+    pub avg_latency_ns: f64,
+    /// Median request latency (ns).
+    pub p50_ns: f64,
+    /// 99th-percentile latency (ns).
+    pub p99_ns: f64,
+    /// Mean log entries per persisted batch (FlatStore engines).
+    pub avg_batch: f64,
+    /// Device activity counters.
+    pub device: DeviceStats,
+    /// Optional throughput/GC timeline.
+    pub timeline: Vec<WindowStat>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_math() {
+        let mut m = Metrics::new(1, 0.0);
+        m.record(0.0, 100.0); // warm-up
+        m.record(100.0, 300.0);
+        m.record(200.0, 500.0);
+        let s = m.summary(DeviceStats::default(), 1.0);
+        assert_eq!(s.ops, 2);
+        assert!((s.avg_latency_ns - 250.0).abs() < 1e-9);
+        assert!(s.p99_ns >= s.p50_ns);
+        assert!(s.mops > 0.0);
+    }
+
+    #[test]
+    fn windows_accumulate() {
+        let mut m = Metrics::new(0, 100.0);
+        m.record(0.0, 50.0);
+        m.record(0.0, 150.0);
+        m.record(0.0, 160.0);
+        m.record_gc(120.0, 2);
+        let s = m.summary(DeviceStats::default(), 0.0);
+        assert_eq!(s.timeline.len(), 2);
+        assert_eq!(s.timeline[0].ops, 1);
+        assert_eq!(s.timeline[1].ops, 2);
+        assert_eq!(s.timeline[1].gc_chunks, 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Raw-device probes reproducing the paper's Figure 1 measurements
+//! (§2.3's empirical study of Optane DCPMM).
+
+use pmem::cost::{CostParams, Device};
+
+/// Access pattern for [`write_latency`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Consecutive addresses.
+    Seq,
+    /// Random addresses.
+    Rnd,
+    /// Repeated write+flush of the same cacheline (Fig. 1c "In-place").
+    InPlace,
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+    *state >> 17
+}
+
+/// Simulates `threads` concurrent writers each issuing `ops_per_thread`
+/// writes of `io_size` bytes (flush + fence per write, as §2.3 measures),
+/// sequential or random. Returns aggregate bandwidth in GB/s.
+pub fn write_bandwidth(
+    params: &CostParams,
+    threads: usize,
+    io_size: u64,
+    seq: bool,
+    ops_per_thread: u64,
+) -> f64 {
+    let mut dev = Device::new(params.clone());
+    let mut clocks = vec![0.0f64; threads];
+    let mut cursors: Vec<u64> = (0..threads as u64).map(|t| t * (1 << 30)).collect();
+    let mut rng = 0x243F_6A88_85A3_08D3u64;
+    let lines_per_io = io_size.div_ceil(64);
+    for _ in 0..ops_per_thread {
+        for (t, clock) in clocks.iter_mut().enumerate() {
+            let addr = if seq {
+                let a = cursors[t];
+                cursors[t] += io_size;
+                a
+            } else {
+                (lcg(&mut rng) % (1 << 34)) & !(io_size - 1)
+            };
+            let mut tt = *clock;
+            let mut done = tt;
+            for l in 0..lines_per_io {
+                tt += params.flush_issue_ns;
+                done = done.max(dev.flush(tt, t as u64, addr / 64 + l));
+            }
+            *clock = tt.max(done); // fence
+        }
+    }
+    let end = clocks.iter().copied().fold(0.0, f64::max);
+    let bytes = threads as u64 * ops_per_thread * io_size;
+    bytes as f64 / end // B/ns == GB/s
+}
+
+/// Aggregate random-write throughput in Mops/s for `io_size`-byte writes —
+/// the "Optane 64B Writes" series of Fig. 1(a).
+pub fn write_throughput_mops(
+    params: &CostParams,
+    threads: usize,
+    io_size: u64,
+    ops_per_thread: u64,
+) -> f64 {
+    let gbps = write_bandwidth(params, threads, io_size, false, ops_per_thread);
+    gbps * 1e9 / io_size as f64 / 1e6
+}
+
+/// Mean single-thread write+flush+fence latency for the pattern (Fig. 1c).
+pub fn write_latency(params: &CostParams, pattern: Pattern, ops: u64) -> f64 {
+    let mut dev = Device::new(params.clone());
+    let mut clock = 0.0f64;
+    let mut rng = 0x13198A2E_03707344u64;
+    let mut cursor = 0u64;
+    for _ in 0..ops {
+        let line = match pattern {
+            Pattern::Seq => {
+                cursor += 1;
+                cursor
+            }
+            Pattern::Rnd => lcg(&mut rng) % (1 << 28),
+            Pattern::InPlace => 42,
+        };
+        clock += params.flush_issue_ns;
+        let done = dev.flush(clock, 0, line);
+        clock = clock.max(done);
+    }
+    clock / ops as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> CostParams {
+        CostParams::default()
+    }
+
+    #[test]
+    fn seq_beats_rnd_at_low_concurrency() {
+        let seq = write_bandwidth(&p(), 4, 256, true, 2000);
+        let rnd = write_bandwidth(&p(), 4, 256, false, 2000);
+        assert!(
+            seq > rnd * 1.3,
+            "sequential should be clearly faster: {seq} vs {rnd}"
+        );
+    }
+
+    #[test]
+    fn seq_and_rnd_converge_at_high_concurrency() {
+        let seq = write_bandwidth(&p(), 40, 256, true, 1000);
+        let rnd = write_bandwidth(&p(), 40, 256, false, 1000);
+        let ratio = seq / rnd;
+        assert!(
+            (0.8..1.3).contains(&ratio),
+            "at 40 threads seq/rnd should converge, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn bandwidth_is_not_scalable() {
+        let a = write_bandwidth(&p(), 8, 256, false, 2000);
+        let b = write_bandwidth(&p(), 40, 256, false, 2000);
+        assert!(
+            b < a * 1.5,
+            "write bandwidth must saturate: 8 thr {a} GB/s vs 40 thr {b} GB/s"
+        );
+    }
+
+    #[test]
+    fn in_place_latency_is_hundreds_of_ns_larger() {
+        let inplace = write_latency(&p(), Pattern::InPlace, 5000);
+        let seq = write_latency(&p(), Pattern::Seq, 5000);
+        let rnd = write_latency(&p(), Pattern::Rnd, 5000);
+        assert!(inplace > 700.0, "in-place {inplace} ns");
+        assert!(seq < rnd, "seq {seq} < rnd {rnd}");
+        assert!(inplace > rnd * 2.0);
+    }
+
+    #[test]
+    fn throughput_grows_then_plateaus() {
+        let t1 = write_throughput_mops(&p(), 1, 64, 4000);
+        let t8 = write_throughput_mops(&p(), 8, 64, 4000);
+        let t20 = write_throughput_mops(&p(), 20, 64, 4000);
+        assert!(t8 > t1 * 2.0, "scaling: {t1} -> {t8}");
+        assert!(t20 <= t8 * 2.0, "plateau: {t8} -> {t20}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Paper-claim shape tests: quick, reduced-scale versions of the
+//! evaluation's qualitative results, so regressions in the models or the
+//! engine logic fail CI rather than silently bending the figures.
+
+use simkv::{BaselineKind, Engine, ExecModel, SimConfig, SimIndex, WorkloadSpec};
+use workloads::KeyDist;
+
+fn base(engine: Engine, value_len: usize, put_ratio: f64) -> SimConfig {
+    SimConfig {
+        engine,
+        ncores: 8,
+        group_size: 4,
+        clients: 64,
+        client_batch: 8,
+        keyspace: 30_000,
+        pool_chunks: 128,
+        ops: 30_000,
+        warmup: 3_000,
+        workload: WorkloadSpec::Ycsb {
+            dist: KeyDist::Uniform,
+            value_len,
+            put_ratio,
+        },
+        ..SimConfig::default()
+    }
+}
+
+fn flat(index: SimIndex) -> Engine {
+    Engine::FlatStore {
+        model: ExecModel::PipelinedHb,
+        index,
+    }
+}
+
+#[test]
+fn tree_family_ordering_matches_paper() {
+    // Fig. 8 at 8 B: FlatStore-M > FlatStore-FF >> FPTree/FAST&FAIR. The
+    // shared trees' serialized update section only binds once enough cores
+    // compete, so this runs at a larger scale than the other shape tests.
+    let wide = |engine| {
+        let mut c = base(engine, 8, 1.0);
+        c.ncores = 24;
+        c.group_size = 12;
+        c.clients = 192;
+        c
+    };
+    let fm = simkv::run(&wide(flat(SimIndex::Masstree))).mops;
+    let ff = simkv::run(&wide(flat(SimIndex::FastFair))).mops;
+    let fp = simkv::run(&wide(Engine::Baseline(BaselineKind::FpTree))).mops;
+    let faf = simkv::run(&wide(Engine::Baseline(BaselineKind::FastFair))).mops;
+    assert!(fm >= ff, "FlatStore-M {fm} >= FlatStore-FF {ff}");
+    assert!(ff > fp * 1.5, "FlatStore-FF {ff} >> FPTree {fp}");
+    assert!(ff > faf * 1.5, "FlatStore-FF {ff} >> FAST&FAIR {faf}");
+}
+
+#[test]
+fn batching_models_order_correctly() {
+    // Fig. 11 ordering: NonBatch < NaiveHb <= PipelinedHb at small values.
+    let mk = |model| {
+        let mut c = base(
+            Engine::FlatStore {
+                model,
+                index: SimIndex::Hash,
+            },
+            8,
+            1.0,
+        );
+        c.net.nic_ns_per_msg = 5.0; // expose the engine, not the NIC
+        c
+    };
+    let non = simkv::run(&mk(ExecModel::NonBatch)).mops;
+    let naive = simkv::run(&mk(ExecModel::NaiveHb)).mops;
+    let pipe = simkv::run(&mk(ExecModel::PipelinedHb)).mops;
+    assert!(naive > non, "NaiveHb {naive} > NonBatch {non}");
+    assert!(pipe > naive, "Pipelined {pipe} > Naive {naive}");
+}
+
+#[test]
+fn large_values_converge_to_bandwidth_bound() {
+    // Fig. 7: at 1 KB everyone is bound by the record writes; FlatStore's
+    // advantage shrinks. The media wall CCEH hits needs enough cores to
+    // show, so this runs at 16.
+    let wide = |engine, len| {
+        let mut c = base(engine, len, 1.0);
+        c.ncores = 16;
+        c.group_size = 8;
+        c.clients = 128;
+        c
+    };
+    let f8 = simkv::run(&wide(flat(SimIndex::Hash), 8)).mops;
+    let c8 = simkv::run(&wide(Engine::Baseline(BaselineKind::Cceh), 8)).mops;
+    let f1k = simkv::run(&wide(flat(SimIndex::Hash), 1024)).mops;
+    let c1k = simkv::run(&wide(Engine::Baseline(BaselineKind::Cceh), 1024)).mops;
+    let small_ratio = f8 / c8;
+    let large_ratio = f1k / c1k;
+    assert!(small_ratio > 1.5, "small-value ratio {small_ratio}");
+    assert!(
+        large_ratio < small_ratio,
+        "advantage must shrink with size: {large_ratio} !< {small_ratio}"
+    );
+    assert!(f1k < f8, "1 KB values must be slower than 8 B: {f1k} vs {f8}");
+}
+
+#[test]
+fn read_heavy_mixes_converge_for_hash_systems() {
+    // Fig. 9: at 5:95 FlatStore-H ≈ CCEH (FlatStore optimizes writes).
+    let f = simkv::run(&base(flat(SimIndex::Hash), 64, 0.05)).mops;
+    let c = simkv::run(&base(Engine::Baseline(BaselineKind::Cceh), 64, 0.05)).mops;
+    let ratio = f / c;
+    assert!(
+        (0.7..1.6).contains(&ratio),
+        "5:95 hash systems should converge: ratio {ratio}"
+    );
+}
+
+#[test]
+fn skew_hurts_baselines_more_than_flatstore() {
+    // Fig. 7(b): the in-place baselines lose more to zipf than FlatStore.
+    let skewed = |engine| {
+        let mut c = base(engine, 8, 1.0);
+        c.workload = WorkloadSpec::Ycsb {
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            value_len: 8,
+            put_ratio: 1.0,
+        };
+        c
+    };
+    let f_uni = simkv::run(&base(flat(SimIndex::Hash), 8, 1.0));
+    let f_skew = simkv::run(&skewed(flat(SimIndex::Hash)));
+    let c_uni = simkv::run(&base(Engine::Baseline(BaselineKind::Cceh), 8, 1.0));
+    let c_skew = simkv::run(&skewed(Engine::Baseline(BaselineKind::Cceh)));
+    assert!(
+        f_skew.mops / f_uni.mops >= c_skew.mops / c_uni.mops * 0.9,
+        "FlatStore must retain at least as much of its throughput under skew: \
+         FS {:.2}->{:.2}, CCEH {:.2}->{:.2}",
+        f_uni.mops,
+        f_skew.mops,
+        c_uni.mops,
+        c_skew.mops
+    );
+    assert!(
+        c_skew.device.repeat_stalls > f_skew.device.repeat_stalls,
+        "in-place baselines must hit more repeat-flush stalls"
+    );
+}

@@ -1,0 +1,229 @@
+//! The Facebook ETC pool emulation (paper §5.2).
+//!
+//! Trimodal item sizes over the key space: 40 % of keys are *tiny*
+//! (1–13 B), 55 % *small* (14–300 B), 5 % *large* (> 300 B with high
+//! variability). Requests to tiny+small keys follow a zipfian(0.99)
+//! popularity; large keys are chosen uniformly. A key's size class and
+//! exact value length are deterministic functions of the key, as in a real
+//! store.
+
+use rand::Rng;
+
+use crate::zipf::Zipfian;
+use crate::{rng, Op};
+
+/// Fraction of keys that are tiny (1–13 B).
+pub const ETC_TINY_PCT: u64 = 40;
+/// Fraction of keys that are small (14–300 B).
+pub const ETC_SMALL_PCT: u64 = 55;
+/// Fraction of keys that are large (> 300 B).
+pub const ETC_LARGE_PCT: u64 = 5;
+
+/// Upper bound for large values (log-uniform in (300, 4096]).
+const LARGE_MAX: usize = 4096;
+
+/// An item's size class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeClass {
+    /// 1–13 bytes.
+    Tiny,
+    /// 14–300 bytes.
+    Small,
+    /// 301–4096 bytes (log-uniform).
+    Large,
+}
+
+#[inline]
+fn mix(mut k: u64) -> u64 {
+    k ^= k >> 30;
+    k = k.wrapping_mul(0xbf58476d1ce4e5b9);
+    k ^= k >> 27;
+    k = k.wrapping_mul(0x94d049bb133111eb);
+    k ^= k >> 31;
+    k
+}
+
+/// The ETC workload generator.
+///
+/// Keys are laid out so classes are decided by position: keys
+/// `[0, 40 % · n)` are tiny, `[40 %, 95 %)` small, `[95 %, n)` large —
+/// then scrambled per-draw so the classes interleave across the hash space
+/// the server cores shard on.
+///
+/// # Example
+///
+/// ```
+/// use workloads::{EtcWorkload, SizeClass};
+/// let mut w = EtcWorkload::new(10_000, 0.5, 1);
+/// let op = w.next_op();
+/// let class = EtcWorkload::size_class(op.key(), 10_000);
+/// let len = EtcWorkload::value_len(op.key(), 10_000);
+/// match class {
+///     SizeClass::Tiny => assert!((1..=13).contains(&len)),
+///     SizeClass::Small => assert!((14..=300).contains(&len)),
+///     SizeClass::Large => assert!(len > 300),
+/// }
+/// ```
+#[derive(Debug)]
+pub struct EtcWorkload {
+    keyspace: u64,
+    put_ratio: f64,
+    zipf: Zipfian,
+    rng: rand::rngs::SmallRng,
+}
+
+impl EtcWorkload {
+    /// Creates a generator over `keyspace` keys with the given Put ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keyspace < 100` (the class split needs headroom) or the
+    /// ratio is out of [0, 1].
+    pub fn new(keyspace: u64, put_ratio: f64, seed: u64) -> EtcWorkload {
+        assert!(keyspace >= 100, "ETC key space too small");
+        assert!((0.0..=1.0).contains(&put_ratio));
+        let non_large = keyspace * (ETC_TINY_PCT + ETC_SMALL_PCT) / 100;
+        EtcWorkload {
+            keyspace,
+            put_ratio,
+            zipf: Zipfian::new(non_large, 0.99),
+            rng: rng(seed),
+        }
+    }
+
+    /// The size class of `key` in a key space of `keyspace`.
+    pub fn size_class(key: u64, keyspace: u64) -> SizeClass {
+        let tiny_end = keyspace * ETC_TINY_PCT / 100;
+        let small_end = keyspace * (ETC_TINY_PCT + ETC_SMALL_PCT) / 100;
+        if key < tiny_end {
+            SizeClass::Tiny
+        } else if key < small_end {
+            SizeClass::Small
+        } else {
+            SizeClass::Large
+        }
+    }
+
+    /// The deterministic value length of `key`.
+    pub fn value_len(key: u64, keyspace: u64) -> usize {
+        let h = mix(key);
+        match Self::size_class(key, keyspace) {
+            SizeClass::Tiny => 1 + (h % 13) as usize,
+            SizeClass::Small => 14 + (h % 287) as usize,
+            SizeClass::Large => {
+                // Log-uniform in (300, LARGE_MAX]: high variability with
+                // small values dominating in count.
+                let lo = (301f64).ln();
+                let hi = (LARGE_MAX as f64).ln();
+                let u = (h % 10_000) as f64 / 10_000.0;
+                (lo + u * (hi - lo)).exp().round() as usize
+            }
+        }
+    }
+
+    /// Draws the next key: 5 % of requests go uniformly to large keys, the
+    /// rest zipfian over tiny+small keys.
+    pub fn next_key(&mut self) -> u64 {
+        let non_large = self.keyspace * (ETC_TINY_PCT + ETC_SMALL_PCT) / 100;
+        if self.rng.gen_range(0..100u32) < ETC_LARGE_PCT as u32 {
+            self.rng.gen_range(non_large..self.keyspace)
+        } else {
+            self.zipf.next(&mut self.rng)
+        }
+    }
+
+    /// Draws the next operation; Puts carry the key's deterministic length.
+    pub fn next_op(&mut self) -> Op {
+        let key = self.next_key();
+        if self.rng.gen_bool(self.put_ratio) {
+            Op::Put {
+                key,
+                value_len: Self::value_len(key, self.keyspace),
+            }
+        } else {
+            Op::Get { key }
+        }
+    }
+
+    /// The key-space size.
+    pub fn keyspace(&self) -> u64 {
+        self.keyspace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_fractions_match_spec() {
+        let n = 100_000u64;
+        let (mut tiny, mut small, mut large) = (0u64, 0u64, 0u64);
+        for k in 0..n {
+            match EtcWorkload::size_class(k, n) {
+                SizeClass::Tiny => tiny += 1,
+                SizeClass::Small => small += 1,
+                SizeClass::Large => large += 1,
+            }
+        }
+        assert_eq!(tiny, n * 40 / 100);
+        assert_eq!(small, n * 55 / 100);
+        assert_eq!(large, n * 5 / 100);
+    }
+
+    #[test]
+    fn value_lengths_in_class_bounds() {
+        let n = 10_000u64;
+        for k in 0..n {
+            let len = EtcWorkload::value_len(k, n);
+            match EtcWorkload::size_class(k, n) {
+                SizeClass::Tiny => assert!((1..=13).contains(&len)),
+                SizeClass::Small => assert!((14..=300).contains(&len)),
+                SizeClass::Large => assert!((301..=4096).contains(&len)),
+            }
+        }
+    }
+
+    #[test]
+    fn large_requests_are_about_5_percent() {
+        let n = 100_000u64;
+        let mut w = EtcWorkload::new(n, 1.0, 9);
+        let draws = 50_000;
+        let large = (0..draws)
+            .filter(|_| {
+                matches!(
+                    EtcWorkload::size_class(w.next_key(), n),
+                    SizeClass::Large
+                )
+            })
+            .count();
+        let frac = large as f64 / draws as f64;
+        assert!((0.03..0.08).contains(&frac), "large fraction {frac}");
+    }
+
+    #[test]
+    fn tiny_and_small_are_skewed() {
+        let n = 100_000u64;
+        let mut w = EtcWorkload::new(n, 1.0, 11);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            let k = w.next_key();
+            if EtcWorkload::size_class(k, n) != SizeClass::Large {
+                *counts.entry(k).or_insert(0u32) += 1;
+            }
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u32 = freqs.iter().take(100).sum();
+        assert!(top > 25_000, "ETC tiny/small traffic not skewed: {top}");
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let mut a = EtcWorkload::new(10_000, 0.5, 3);
+        let mut b = EtcWorkload::new(10_000, 0.5, 3);
+        for _ in 0..1000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+}

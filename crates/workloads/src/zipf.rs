@@ -1,0 +1,168 @@
+//! Scrambled zipfian key popularity (Gray et al., "Quickly Generating
+//! Billion-Record Synthetic Databases", as used by YCSB).
+
+use rand::Rng;
+
+/// A zipfian rank generator over `n` items with exponent `theta`, scrambled
+/// so the hottest ranks are scattered across the key space (YCSB's
+/// `ScrambledZipfianGenerator`).
+///
+/// # Example
+///
+/// ```
+/// use workloads::Zipfian;
+/// use rand::SeedableRng;
+/// let mut z = Zipfian::new(1000, 0.99);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let k = z.next(&mut rng);
+/// assert!(k < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    scramble: bool,
+}
+
+impl Zipfian {
+    /// Builds the generator; `zeta(n)` is computed once in O(n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in (0, 1).
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        Self::build(n, theta, true)
+    }
+
+    /// Like [`new`](Self::new) but without rank scrambling: rank 0 is the
+    /// hottest key. Useful for tests that need to know the hot keys.
+    pub fn new_unscrambled(n: u64, theta: f64) -> Zipfian {
+        Self::build(n, theta, false)
+    }
+
+    fn build(n: u64, theta: f64, scramble: bool) -> Zipfian {
+        assert!(n > 0, "empty key space");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            scramble,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact for small n; integral approximation for the tail keeps
+        // construction O(min(n, 10^6)).
+        let exact = n.min(1_000_000);
+        let mut sum = 0.0;
+        for i in 1..=exact {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > exact {
+            // ∫ x^-θ dx from `exact` to `n`.
+            let a = 1.0 - theta;
+            sum += ((n as f64).powf(a) - (exact as f64).powf(a)) / a;
+        }
+        sum
+    }
+
+    /// Draws the next key in `[0, n)`.
+    pub fn next<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        let rank = if uz < 1.0 {
+            0
+        } else if uz < 1.0 + 0.5f64.powf(self.theta) {
+            1
+        } else {
+            ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64
+        };
+        let rank = rank.min(self.n - 1);
+        if self.scramble {
+            // FNV-style scramble of the rank into the key space.
+            let mut h = rank ^ 0xcbf29ce484222325;
+            h = h.wrapping_mul(0x100000001b3);
+            h ^= h >> 31;
+            h % self.n
+        } else {
+            rank
+        }
+    }
+
+    /// The key-space size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unscrambled_rank0_is_hottest() {
+        let mut z = Zipfian::new_unscrambled(10_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut c0 = 0u32;
+        let mut c_rest = 0u32;
+        for _ in 0..100_000 {
+            if z.next(&mut rng) == 0 {
+                c0 += 1;
+            } else {
+                c_rest += 1;
+            }
+        }
+        // With theta 0.99 over 10k items, rank 0 draws ~10 % of traffic.
+        assert!(c0 > 5_000, "rank 0 drew only {c0}");
+        assert!(c_rest > 0);
+    }
+
+    #[test]
+    fn skew_concentrates_mass() {
+        let n = 100_000u64;
+        let mut z = Zipfian::new(n, 0.99);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = std::collections::HashMap::new();
+        let draws = 200_000;
+        for _ in 0..draws {
+            *counts.entry(z.next(&mut rng)).or_insert(0u32) += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top100: u32 = freqs.iter().take(100).sum();
+        assert!(
+            top100 as f64 > 0.3 * draws as f64,
+            "zipf 0.99 should put >30 % of traffic on the top 100 keys (got {top100})"
+        );
+        // Still touches a broad tail.
+        assert!(counts.len() > 10_000);
+    }
+
+    #[test]
+    fn all_draws_in_range() {
+        let mut z = Zipfian::new(97, 0.5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.next(&mut rng) < 97);
+        }
+    }
+
+    #[test]
+    fn large_n_constructs_fast_via_tail_approximation() {
+        let z = Zipfian::new(192_000_000, 0.99);
+        assert_eq!(z.n(), 192_000_000);
+        assert!(z.zetan.is_finite() && z.zetan > 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Crash recovery demo: acknowledged writes survive a simulated power
+//! failure; unacknowledged state is discarded; the allocator's bitmaps are
+//! rebuilt from the operation log (the paper's §3.5 recovery).
+//!
+//! ```sh
+//! cargo run --release --example crash_recovery
+//! ```
+
+use flatstore::{Config, FlatStore, StoreError};
+use workloads::value_bytes;
+
+fn main() -> Result<(), StoreError> {
+    let cfg = Config {
+        pm_bytes: 256 << 20,
+        ncores: 2,
+        group_size: 2,
+        crash_tracking: true, // keep a shadow of flushed state
+        ..Config::default()
+    };
+    let store = FlatStore::create(cfg.clone())?;
+
+    // A mix of inline (≤256 B) and allocator-backed (>256 B) values,
+    // overwrites, and a delete.
+    for k in 0..1_000u64 {
+        store.put(k, &value_bytes(k, 64))?;
+    }
+    for k in 0..100u64 {
+        store.put(k, &value_bytes(k + 7, 2000))?;
+    }
+    store.delete(500)?;
+    store.barrier(); // every op above is acknowledged == durable
+
+    println!("before crash: {} keys", store.len());
+
+    // Pull the plug: everything not flushed to the persistence domain is
+    // lost, exactly as on real PM hardware.
+    let pm = store.kill();
+    pm.simulate_crash();
+
+    // Reopen: the clean-shutdown flag is absent, so FlatStore scans every
+    // core's OpLog, rebuilds the volatile index (newest version wins) and
+    // reconstructs the lazy-persist allocator's bitmaps from the live
+    // pointers.
+    let t = std::time::Instant::now();
+    let store = FlatStore::open(pm, cfg)?;
+    println!(
+        "recovered {} keys in {:?} (log scan + index rebuild)",
+        store.len(),
+        t.elapsed()
+    );
+
+    for k in 0..1_000u64 {
+        let expect = if k == 500 {
+            None
+        } else if k < 100 {
+            Some(value_bytes(k + 7, 2000))
+        } else {
+            Some(value_bytes(k, 64))
+        };
+        assert_eq!(store.get(k)?, expect, "key {k}");
+    }
+    println!("all acknowledged writes intact; deleted key stayed deleted");
+
+    // The store is fully writable again — including keys whose version
+    // history spans the crash.
+    store.put(500, b"back again")?;
+    assert_eq!(store.get(500)?.as_deref(), Some(&b"back again"[..]));
+    println!("post-recovery writes OK");
+    Ok(())
+}

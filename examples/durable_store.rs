@@ -1,0 +1,52 @@
+//! Actually-durable FlatStore: the simulated PM region is saved to a file
+//! at shutdown and reloaded on the next run, so data survives process
+//! restarts. Run it twice:
+//!
+//! ```sh
+//! cargo run --release --example durable_store   # first run: creates
+//! cargo run --release --example durable_store   # second run: reopens
+//! ```
+
+use std::sync::Arc;
+
+use flatstore::{Config, FlatStore, StoreError};
+use pmem::PmRegion;
+
+fn main() -> Result<(), StoreError> {
+    let path = std::env::temp_dir().join("flatstore-demo.pm");
+    let cfg = Config {
+        pm_bytes: 128 << 20,
+        ncores: 2,
+        group_size: 2,
+        ..Config::default()
+    };
+
+    let store = if path.exists() {
+        let pm = Arc::new(PmRegion::load(&path, false).expect("load PM image"));
+        println!("reopening existing image {}", path.display());
+        FlatStore::open(pm, cfg)?
+    } else {
+        println!("creating fresh store (run again to reopen it)");
+        FlatStore::create(cfg)?
+    };
+
+    let runs = store
+        .get(0)?
+        .map(|v| u64::from_le_bytes(v.try_into().expect("8-byte counter")))
+        .unwrap_or(0);
+    println!("this store has been opened {runs} time(s) before");
+    store.put(0, &(runs + 1).to_le_bytes())?;
+    store.put(1_000 + runs, format!("run #{runs}").as_bytes())?;
+
+    for r in 0..=runs {
+        if let Some(v) = store.get(1_000 + r)? {
+            println!("  remembered: {}", String::from_utf8_lossy(&v));
+        }
+    }
+
+    // Clean shutdown, then persist the PM image to disk.
+    let pm = store.shutdown()?;
+    pm.save(&path).expect("save PM image");
+    println!("saved {} ({} MB)", path.display(), pm.len() >> 20);
+    Ok(())
+}

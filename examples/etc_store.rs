@@ -1,0 +1,77 @@
+//! A Facebook-ETC-style workload (the paper's §5.2 production emulation)
+//! driven by several concurrent client threads against the real engine.
+//!
+//! ```sh
+//! cargo run --release --example etc_store
+//! ```
+
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use flatstore::{Config, FlatStore, StoreError};
+use workloads::{value_bytes, EtcWorkload, Op};
+
+const KEYSPACE: u64 = 20_000;
+const CLIENTS: u64 = 4;
+const OPS_PER_CLIENT: u64 = 10_000;
+
+fn main() -> Result<(), StoreError> {
+    let cfg = Config {
+        pm_bytes: 512 << 20,
+        ncores: 4,
+        group_size: 4,
+        ..Config::default()
+    };
+    let store = FlatStore::create(cfg)?;
+
+    // Preload every key with its class-determined size (40 % tiny 1–13 B,
+    // 55 % small 14–300 B, 5 % large > 300 B).
+    for key in 0..KEYSPACE {
+        let len = EtcWorkload::value_len(key, KEYSPACE);
+        store.put(key, &value_bytes(key, len))?;
+    }
+    println!("preloaded {} keys", store.len());
+
+    let start = Instant::now();
+    let mut joins = Vec::new();
+    for client in 0..CLIENTS {
+        let h = store.handle();
+        joins.push(std::thread::spawn(move || -> Result<(), StoreError> {
+            // 50:50 Put:Get, zipfian over tiny+small keys.
+            let mut gen = EtcWorkload::new(KEYSPACE, 0.5, client + 1);
+            for _ in 0..OPS_PER_CLIENT {
+                match gen.next_op() {
+                    Op::Put { key, value_len } => h.put(key, &value_bytes(key, value_len))?,
+                    Op::Get { key } => {
+                        let _ = h.get(key)?;
+                    }
+                    Op::Delete { key } => {
+                        let _ = h.delete(key)?;
+                    }
+                }
+            }
+            Ok(())
+        }));
+    }
+    for j in joins {
+        j.join().expect("client thread")?;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let stats = store.stats();
+    let total = CLIENTS * OPS_PER_CLIENT;
+    println!(
+        "{} ops in {:.2}s ({:.0} Kops/s host time) — batches {}, avg batch {:.2}, conflicts deferred {}",
+        total,
+        secs,
+        total as f64 / secs / 1e3,
+        stats.batches.load(Ordering::Relaxed),
+        stats.avg_batch(),
+        stats.conflicts_deferred.load(Ordering::Relaxed),
+    );
+    println!(
+        "free PM chunks {}, GC chunks cleaned {}",
+        store.free_chunks(),
+        stats.gc_chunks.load(Ordering::Relaxed)
+    );
+    Ok(())
+}

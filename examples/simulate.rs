@@ -1,0 +1,57 @@
+//! Drive the discrete-event evaluation testbed directly: compare
+//! FlatStore-H against CCEH on your own workload point and inspect the
+//! device counters (a miniature of the paper's Figure 7).
+//!
+//! ```sh
+//! cargo run --release --example simulate
+//! ```
+
+use simkv::{
+    BaselineKind, Engine, ExecModel, SimConfig, SimIndex, WorkloadSpec,
+};
+use workloads::KeyDist;
+
+fn main() {
+    let base = SimConfig {
+        ncores: 16,
+        group_size: 8,
+        clients: 128,
+        keyspace: 50_000,
+        ops: 60_000,
+        warmup: 6_000,
+        pool_chunks: 256,
+        workload: WorkloadSpec::Ycsb {
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            value_len: 64,
+            put_ratio: 1.0,
+        },
+        ..SimConfig::default()
+    };
+
+    for (name, engine) in [
+        (
+            "FlatStore-H",
+            Engine::FlatStore {
+                model: ExecModel::PipelinedHb,
+                index: SimIndex::Hash,
+            },
+        ),
+        ("CCEH", Engine::Baseline(BaselineKind::Cceh)),
+    ] {
+        let mut cfg = base.clone();
+        cfg.engine = engine;
+        let s = simkv::run(&cfg);
+        println!(
+            "{name:<12}: {:6.2} Mops/s  p50 {:5.1} us  p99 {:5.1} us  avg batch {:4.1}",
+            s.mops,
+            s.p50_ns / 1e3,
+            s.p99_ns / 1e3,
+            s.avg_batch
+        );
+        println!(
+            "              media writes {:>8}  merged flushes {:>8}  repeat stalls {:>6}",
+            s.device.media_writes, s.device.merged_flushes, s.device.repeat_stalls
+        );
+    }
+    println!("\n(16 simulated cores; vary SimConfig to sweep the design space)");
+}

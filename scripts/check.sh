@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full validation pipeline for the FlatStore reproduction.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+cargo build --workspace --all-targets
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests (unit + integration + property) =="
+cargo test --workspace
+
+echo "== docs =="
+cargo doc --workspace --no-deps
+
+echo "== smoke-scale figures =="
+FLATBENCH_QUICK=1 cargo bench --workspace
+
+echo "All checks passed."
