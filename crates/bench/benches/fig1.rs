@@ -34,7 +34,10 @@ fn main() {
     let ops = 20_000;
 
     println!("== Figure 1(a): Optane 64B random writes vs FAST&FAIR Put (Mops/s) ==");
-    println!("{:<10} {:>14} {:>14} {:>8}", "threads", "Optane-64B", "FAST&FAIR", "ratio");
+    println!(
+        "{:<10} {:>14} {:>14} {:>8}",
+        "threads", "Optane-64B", "FAST&FAIR", "ratio"
+    );
     for threads in [1usize, 2, 4, 8, 12, 16, 20] {
         let raw = write_throughput_mops(&p, threads, 64, ops);
         let ff = fastfair_put_mops(threads, &scale);

@@ -14,10 +14,7 @@ fn main() {
         .collect();
 
     println!("== Figure 10: throughput with varying server cores (Mops/s) ==");
-    print_header(
-        "cores",
-        &["FS-H uni", "FS-H skew", "FS-M uni", "FS-M skew"],
-    );
+    print_header("cores", &["FS-H uni", "FS-H skew", "FS-M uni", "FS-M skew"]);
     for &cores in &steps {
         let mut cells = Vec::new();
         // Header order: hash-uni, hash-skew, mass-uni, mass-skew.

@@ -16,7 +16,10 @@ fn main() {
             },
         ),
         ("CCEH", Engine::Baseline(BaselineKind::Cceh)),
-        ("Level-Hashing", Engine::Baseline(BaselineKind::LevelHashing)),
+        (
+            "Level-Hashing",
+            Engine::Baseline(BaselineKind::LevelHashing),
+        ),
     ];
 
     for (title, skew) in [("(a) Uniform", false), ("(b) Skew (zipf 0.99)", true)] {

@@ -27,7 +27,10 @@ fn main() {
                 index: SimIndex::Hash,
             },
         ),
-        ("Level-Hashing", Engine::Baseline(BaselineKind::LevelHashing)),
+        (
+            "Level-Hashing",
+            Engine::Baseline(BaselineKind::LevelHashing),
+        ),
         ("CCEH", Engine::Baseline(BaselineKind::Cceh)),
     ];
 

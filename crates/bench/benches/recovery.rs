@@ -28,7 +28,11 @@ fn main() {
     let t = Instant::now();
     for k in 0..keys {
         // ETC-ish mix: mostly small inline values, occasional large ones.
-        let len = if k % 20 == 0 { 700 } else { 8 + (k % 120) as usize };
+        let len = if k % 20 == 0 {
+            700
+        } else {
+            8 + (k % 120) as usize
+        };
         store.put(k, &value_bytes(k, len)).expect("put");
     }
     store.barrier();

@@ -44,8 +44,14 @@ fn main() {
     );
 
     let pm = Arc::new(PmRegion::new(512 << 20));
-    let mut level =
-        LevelHash::new(Arc::clone(&pm), PmAddr(0), 256 << 20, Mode::Persistent, 16_384).unwrap();
+    let mut level = LevelHash::new(
+        Arc::clone(&pm),
+        PmAddr(0),
+        256 << 20,
+        Mode::Persistent,
+        16_384,
+    )
+    .unwrap();
     profile(
         "Level-Hashing",
         "two-level (top/bottom level), 4 slots in a bucket",
@@ -55,7 +61,12 @@ fn main() {
 
     let pm = Arc::new(PmRegion::new(512 << 20));
     let mut ff = FastFair::new(Arc::clone(&pm), PmAddr(0), 256 << 20, Mode::Persistent).unwrap();
-    profile("FAST&FAIR", "B+-tree, all nodes are placed in PM", &mut ff, &pm);
+    profile(
+        "FAST&FAIR",
+        "B+-tree, all nodes are placed in PM",
+        &mut ff,
+        &pm,
+    );
 
     let pm = Arc::new(PmRegion::new(512 << 20));
     let mut fp = FpTree::new(Arc::clone(&pm), PmAddr(0), 256 << 20, Mode::Persistent).unwrap();

@@ -176,11 +176,7 @@ impl<Req: Send, Resp: Send> Fabric<Req, Resp> {
                 delegate: if core == 0 {
                     None
                 } else {
-                    Some(
-                        w.del_prod[core]
-                            .take()
-                            .expect("server cores already taken"),
-                    )
+                    Some(w.del_prod[core].take().expect("server cores already taken"))
                 },
                 agent: if core == 0 { agent_state.take() } else { None },
                 next_client: 0,
@@ -240,9 +236,7 @@ impl<Req, Resp> ClientPort<Req, Resp> {
     /// Returns the request back when the ring is full.
     pub fn send(&self, core: usize, req: Req) -> Result<(), Req> {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
-        self.to_core[core]
-            .push((self.id, req))
-            .map_err(|(_, r)| r)
+        self.to_core[core].push((self.id, req)).map_err(|(_, r)| r)
     }
 
     /// Polls for one response.
@@ -383,10 +377,7 @@ mod tests {
         cores[0].respond(from, req * 2);
         // Direct path: no pump needed.
         assert_eq!(client.try_recv(), Some(18));
-        assert_eq!(
-            fabric.stats().direct_responses.load(Ordering::Relaxed),
-            1
-        );
+        assert_eq!(fabric.stats().direct_responses.load(Ordering::Relaxed), 1);
     }
 
     #[test]

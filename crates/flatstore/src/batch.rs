@@ -273,7 +273,8 @@ impl Quarantine {
     }
 }
 
-/// Engine-wide activity counters (all monotonic).
+/// Engine-wide activity counters (all monotonic) and latency/batch-size
+/// histograms.
 #[derive(Debug, Default)]
 pub struct EngineStats {
     /// Completed Put operations.
@@ -292,6 +293,20 @@ pub struct EngineStats {
     pub gc_chunks: AtomicU64,
     /// Entries relocated by the cleaner.
     pub gc_relocated: AtomicU64,
+    /// Checkpoints taken (paper §3.5).
+    pub checkpoints: AtomicU64,
+    /// Client-observed Put latency (ns, recorded by [`StoreHandle`]).
+    ///
+    /// [`StoreHandle`]: crate::StoreHandle
+    pub put_latency: obs::LogHistogram,
+    /// Client-observed Get latency (ns).
+    pub get_latency: obs::LogHistogram,
+    /// Client-observed Delete latency (ns).
+    pub delete_latency: obs::LogHistogram,
+    /// Client-observed Range latency (ns).
+    pub range_latency: obs::LogHistogram,
+    /// Entries per persisted batch, recorded by the group leader.
+    pub batch_size: obs::LogHistogram,
 }
 
 impl EngineStats {
@@ -303,5 +318,47 @@ impl EngineStats {
         } else {
             self.batched_entries.load(Ordering::Relaxed) as f64 / b as f64
         }
+    }
+
+    /// Reduces the counters and histograms to the shared
+    /// [`obs::StatsReport`] sections (the engine adds its PM section on
+    /// top in [`FlatStore::stats_report`]).
+    ///
+    /// [`FlatStore::stats_report`]: crate::FlatStore::stats_report
+    pub fn fill_report(&self, r: &mut obs::StatsReport) {
+        r.section("ops")
+            .row("puts", self.puts.load(Ordering::Relaxed))
+            .row("gets", self.gets.load(Ordering::Relaxed))
+            .row("deletes", self.deletes.load(Ordering::Relaxed))
+            .row(
+                "conflicts_deferred",
+                self.conflicts_deferred.load(Ordering::Relaxed),
+            );
+        {
+            let batch = self.batch_size.snapshot();
+            let sec = r.section("batching");
+            sec.row("batches", self.batches.load(Ordering::Relaxed))
+                .row(
+                    "batched_entries",
+                    self.batched_entries.load(Ordering::Relaxed),
+                )
+                .row("avg_batch", self.avg_batch());
+            if batch.count > 0 {
+                sec.row("batch_p50_entries", batch.percentile(50.0))
+                    .row("batch_p99_entries", batch.percentile(99.0))
+                    .row("batch_max_entries", batch.max);
+            }
+        }
+        {
+            let sec = r.section("latency");
+            sec.latency_rows("put", &self.put_latency.snapshot());
+            sec.latency_rows("get", &self.get_latency.snapshot());
+            sec.latency_rows("delete", &self.delete_latency.snapshot());
+            sec.latency_rows("range", &self.range_latency.snapshot());
+        }
+        r.section("maintenance")
+            .row("gc_chunks", self.gc_chunks.load(Ordering::Relaxed))
+            .row("gc_relocated", self.gc_relocated.load(Ordering::Relaxed))
+            .row("checkpoints", self.checkpoints.load(Ordering::Relaxed));
     }
 }

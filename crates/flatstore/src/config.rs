@@ -111,7 +111,11 @@ impl Config {
             "superblock layout supports at most 60 cores"
         );
         assert!(self.group_size > 0, "group size must be positive");
-        assert_eq!(self.pm_bytes % (4 << 20), 0, "pm_bytes must be 4 MB aligned");
+        assert_eq!(
+            self.pm_bytes % (4 << 20),
+            0,
+            "pm_bytes must be 4 MB aligned"
+        );
         assert!(
             self.pm_bytes >= (self.ncores + 3) * (4 << 20),
             "pm_bytes too small for {} cores",

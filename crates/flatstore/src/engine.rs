@@ -19,14 +19,23 @@ use crate::superblock::{Superblock, POOL_BASE};
 use crate::value::{pack, unpack};
 use crate::vindex::VolatileIndex;
 
+/// Nanoseconds since `start`, saturated into a histogram sample.
+#[inline]
+fn elapsed_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// A clonable, thread-safe client handle to a running [`FlatStore`].
 ///
 /// Methods block until the engine acknowledges the operation (a Put is
-/// acknowledged only after its log entry is durable — paper §3.2).
+/// acknowledged only after its log entry is durable — paper §3.2), and
+/// record the client-observed latency of every call into the engine's
+/// [`EngineStats`] histograms.
 #[derive(Clone)]
 pub struct StoreHandle {
     senders: Arc<Vec<Sender<Request>>>,
     ncores: usize,
+    stats: Arc<EngineStats>,
 }
 
 impl std::fmt::Debug for StoreHandle {
@@ -51,6 +60,7 @@ impl StoreHandle {
     /// [`StoreError::EmptyValue`], [`StoreError::ReservedKey`],
     /// [`StoreError::OutOfSpace`], [`StoreError::ShuttingDown`].
     pub fn put(&self, key: u64, value: &[u8]) -> Result<(), StoreError> {
+        let start = std::time::Instant::now();
         let (tx, rx) = resp_channel();
         self.send(
             core_of(key, self.ncores),
@@ -60,7 +70,9 @@ impl StoreHandle {
                 resp: tx,
             },
         )?;
-        rx.recv().map_err(|_| StoreError::ShuttingDown)?
+        let result = rx.recv().map_err(|_| StoreError::ShuttingDown)?;
+        self.stats.put_latency.record(elapsed_ns(start));
+        result
     }
 
     /// Reads `key`.
@@ -69,9 +81,12 @@ impl StoreHandle {
     ///
     /// [`StoreError::ShuttingDown`] or corruption errors.
     pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        let start = std::time::Instant::now();
         let (tx, rx) = resp_channel();
         self.send(core_of(key, self.ncores), Request::Get { key, resp: tx })?;
-        rx.recv().map_err(|_| StoreError::ShuttingDown)?
+        let result = rx.recv().map_err(|_| StoreError::ShuttingDown)?;
+        self.stats.get_latency.record(elapsed_ns(start));
+        result
     }
 
     /// Deletes `key`; returns whether it existed.
@@ -80,9 +95,12 @@ impl StoreHandle {
     ///
     /// As for [`put`](Self::put).
     pub fn delete(&self, key: u64) -> Result<bool, StoreError> {
+        let start = std::time::Instant::now();
         let (tx, rx) = resp_channel();
         self.send(core_of(key, self.ncores), Request::Delete { key, resp: tx })?;
-        rx.recv().map_err(|_| StoreError::ShuttingDown)?
+        let result = rx.recv().map_err(|_| StoreError::ShuttingDown)?;
+        self.stats.delete_latency.record(elapsed_ns(start));
+        result
     }
 
     /// Range scan over `lo..hi`, at most `limit` items (FlatStore-M/-FF).
@@ -93,6 +111,7 @@ impl StoreHandle {
     ///
     /// [`StoreError::RangeUnsupported`] on FlatStore-H.
     pub fn range(&self, lo: u64, hi: u64, limit: usize) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+        let start = std::time::Instant::now();
         let (tx, rx) = resp_channel();
         self.send(
             core_of(lo, self.ncores),
@@ -103,7 +122,9 @@ impl StoreHandle {
                 resp: tx,
             },
         )?;
-        rx.recv().map_err(|_| StoreError::ShuttingDown)?
+        let result = rx.recv().map_err(|_| StoreError::ShuttingDown)?;
+        self.stats.range_latency.record(elapsed_ns(start));
+        result
     }
 
     /// Blocks until every request sent before this call has fully
@@ -252,8 +273,7 @@ impl FlatStore {
             for core in 0..ncores {
                 let desc = Superblock::log_desc(core);
                 let tail = PmAddr(pm.read_u64(desc + 8));
-                let log =
-                    OpLog::recover_with_from(Arc::clone(&mgr), desc, tail, |_, _| {})?;
+                let log = OpLog::recover_with_from(Arc::clone(&mgr), desc, tail, |_, _| {})?;
                 logs.push(log);
             }
         } else if !clean && ckpt_valid && snapshot_loaded {
@@ -380,9 +400,7 @@ impl FlatStore {
                     if let Some((_, tomb)) = deleted.remove(owner, e.key) {
                         usage.note_dead(tomb);
                     }
-                } else if cur_ver == Some(e.version)
-                    && cur.map(|c| unpack(c).1) == Some(addr)
-                {
+                } else if cur_ver == Some(e.version) && cur.map(|c| unpack(c).1) == Some(addr) {
                     // The snapshot already references exactly this entry;
                     // just make sure its block is accounted for.
                     if let Payload::Ptr(b) = e.payload {
@@ -558,6 +576,9 @@ impl FlatStore {
         // 4. Publish.
         Superblock::new(&self.pm).set_ckpt_valid(true);
         self.ckpt.arm();
+        self.stats
+            .checkpoints
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(())
     }
 
@@ -618,6 +639,7 @@ impl FlatStore {
         let handle = StoreHandle {
             senders: Arc::new(senders),
             ncores,
+            stats: Arc::clone(&stats),
         };
         Ok(FlatStore {
             pm,
@@ -685,6 +707,20 @@ impl FlatStore {
         &self.stats
     }
 
+    /// One coherent report over the whole engine: operation counters,
+    /// client-observed latency percentiles, batching and cleaning
+    /// activity, and the underlying region's persistence-op counters.
+    /// Render it with `Display`, [`obs::StatsReport::to_json`] or
+    /// [`obs::StatsReport::to_jsonl`].
+    pub fn stats_report(&self) -> obs::StatsReport {
+        let mut r = obs::StatsReport::new("flatstore");
+        self.stats.fill_report(&mut r);
+        let sec = r.section("pm");
+        self.pm.stats().snapshot().fill_section(sec);
+        sec.row("free_chunks", self.mgr.free_chunks());
+        r
+    }
+
     /// Number of live keys.
     pub fn len(&self) -> usize {
         self.index.len()
@@ -709,7 +745,10 @@ impl FlatStore {
         for s in self.handle.senders.iter() {
             let _ = s.send(Request::Shutdown);
         }
-        self.workers.drain(..).map(|w| w.join().expect("worker panicked")).collect()
+        self.workers
+            .drain(..)
+            .map(|w| w.join().expect("worker panicked"))
+            .collect()
     }
 
     /// Clean shutdown (paper §3.5): drains all cores, snapshots the

@@ -12,7 +12,9 @@ use oplog::{LogEntry, LogOp, OpLog, Payload, INLINE_MAX};
 use pmalloc::{ChunkManager, CoreAllocator};
 use pmem::{PmAddr, PmRegion};
 
-use crate::batch::{CkptGuard, Completion, DeletedTable, EngineStats, Group, Posted, Quarantine, UsageTable};
+use crate::batch::{
+    CkptGuard, Completion, DeletedTable, EngineStats, Group, Posted, Quarantine, UsageTable,
+};
 use crate::config::{ExecutionModel, GcConfig};
 use crate::error::StoreError;
 use crate::request::{BarrierResp, DelResp, GetResp, PutResp, Request};
@@ -202,10 +204,11 @@ impl Shard {
             // wait for in-flight Puts. Put-after-Put pipelines through
             // versioning.
             let blocked = self.conflicts.contains(&key)
-                || (!matches!(req, Request::Put { .. })
-                    && self.pending_puts.contains_key(&key));
+                || (!matches!(req, Request::Put { .. }) && self.pending_puts.contains_key(&key));
             if blocked {
-                self.stats.conflicts_deferred.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .conflicts_deferred
+                    .fetch_add(1, Ordering::Relaxed);
                 self.deferred.push_back(req);
                 return;
             }
@@ -346,13 +349,7 @@ impl Shard {
         }
     }
 
-    fn serve_range(
-        &mut self,
-        lo: u64,
-        hi: u64,
-        limit: usize,
-        resp: crate::request::RangeResp,
-    ) {
+    fn serve_range(&mut self, lo: u64, hi: u64, limit: usize, resp: crate::request::RangeResp) {
         let mut out = Vec::new();
         let r = self.index.range(lo, hi, &mut |k, packed| {
             let (_, addr) = unpack(packed);
@@ -458,6 +455,7 @@ impl Shard {
                 self.stats
                     .batched_entries
                     .fetch_add(addrs.len() as u64, Ordering::Relaxed);
+                self.stats.batch_size.record(addrs.len() as u64);
             }
             Err(_) => {
                 for c in &completions {
@@ -580,8 +578,7 @@ impl Shard {
             let req = self.deferred.pop_front().expect("len checked");
             if let Some(k) = req.conflict_key() {
                 let blocked = self.conflicts.contains(&k)
-                    || (!matches!(req, Request::Put { .. })
-                        && self.pending_puts.contains_key(&k));
+                    || (!matches!(req, Request::Put { .. }) && self.pending_puts.contains_key(&k));
                 if blocked {
                     self.deferred.push_back(req);
                     continue;

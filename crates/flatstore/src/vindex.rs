@@ -95,7 +95,12 @@ impl VolatileIndex {
     }
 
     /// Ordered scan; `None` for the hash index.
-    pub fn range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64) -> bool) -> Result<(), StoreError> {
+    pub fn range(
+        &self,
+        lo: u64,
+        hi: u64,
+        f: &mut dyn FnMut(u64, u64) -> bool,
+    ) -> Result<(), StoreError> {
         match self {
             VolatileIndex::PerCoreHash(_) => Err(StoreError::RangeUnsupported),
             VolatileIndex::SharedMasstree(t) => {

@@ -49,7 +49,11 @@ fn checkpoint_then_crash_recovers_everything() {
         if k == 5 {
             continue;
         }
-        assert_eq!(store.get(k).unwrap(), Some(value_bytes(k + 1, 700)), "key {k}");
+        assert_eq!(
+            store.get(k).unwrap(),
+            Some(value_bytes(k + 1, 700)),
+            "key {k}"
+        );
     }
     for k in 200..800u64 {
         assert_eq!(store.get(k).unwrap(), Some(value_bytes(k, 90)), "key {k}");
@@ -148,7 +152,11 @@ fn cleaner_invalidates_checkpoints() {
     // and still be exactly right.
     let store = FlatStore::open(pm, c).unwrap();
     for k in 0..400u64 {
-        assert_eq!(store.get(k).unwrap(), Some(value_bytes(k + 259, 200)), "key {k}");
+        assert_eq!(
+            store.get(k).unwrap(),
+            Some(value_bytes(k + 259, 200)),
+            "key {k}"
+        );
     }
     for k in 400..500u64 {
         assert_eq!(store.get(k).unwrap(), Some(value_bytes(k, 150)), "key {k}");

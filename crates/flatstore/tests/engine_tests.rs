@@ -1,7 +1,6 @@
 //! End-to-end engine tests: correctness across execution models and index
 //! kinds, concurrency, crash recovery, clean shutdown and log cleaning.
 
-
 use flatstore::{Config, ExecutionModel, FlatStore, IndexKind, StoreError};
 use workloads::value_bytes;
 
@@ -54,7 +53,11 @@ fn values_span_inline_and_allocator_paths() {
         store.put(k, &value_bytes(k, len)).unwrap();
     }
     for (k, len) in [(1u64, 1usize), (2, 256), (3, 257), (4, 4096), (5, 1 << 20)] {
-        assert_eq!(store.get(k).unwrap(), Some(value_bytes(k, len)), "len {len}");
+        assert_eq!(
+            store.get(k).unwrap(),
+            Some(value_bytes(k, len)),
+            "len {len}"
+        );
     }
 }
 
@@ -183,7 +186,13 @@ fn concurrent_mixed_clients() {
     }
     store.barrier();
     // Batching actually happened under concurrency.
-    assert!(store.stats().batches.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    assert!(
+        store
+            .stats()
+            .batches
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0
+    );
 }
 
 #[test]
@@ -424,7 +433,10 @@ fn pipelined_same_key_puts_keep_version_order() {
         .map(|t| value_bytes(t * 10_000 + 499, 32))
         .collect();
     let got = store.get(42).unwrap().unwrap();
-    assert!(finals.contains(&got), "final value is not any client's last write");
+    assert!(
+        finals.contains(&got),
+        "final value is not any client's last write"
+    );
     assert_eq!(store.len(), 1);
 
     let pm = store.kill();
@@ -518,7 +530,13 @@ fn soak_mixed_ops_with_periodic_crashes() {
     c.crash_tracking = true;
     let mut store = FlatStore::create(c.clone()).unwrap();
     let mut model: std::collections::HashMap<u64, Vec<u8>> = std::collections::HashMap::new();
-    let mut gen = workloads::Workload::new(20_000, workloads::KeyDist::Zipfian { theta: 0.99 }, 0, 0.6, 99);
+    let mut gen = workloads::Workload::new(
+        20_000,
+        workloads::KeyDist::Zipfian { theta: 0.99 },
+        0,
+        0.6,
+        99,
+    );
     let mut serial = 0u64;
     for cycle in 0..6 {
         for _ in 0..100_000 {

@@ -19,11 +19,10 @@ fn script() -> impl Strategy<Value = (Vec<Cmd>, usize)> {
         4 => (0u64..60, 1usize..600).prop_map(|(key, len)| Cmd::Put { key, len }),
         1 => (0u64..60).prop_map(|key| Cmd::Delete { key }),
     ];
-    prop::collection::vec(cmd, 1..120)
-        .prop_flat_map(|cmds| {
-            let n = cmds.len();
-            (Just(cmds), 0..n)
-        })
+    prop::collection::vec(cmd, 1..120).prop_flat_map(|cmds| {
+        let n = cmds.len();
+        (Just(cmds), 0..n)
+    })
 }
 
 fn small_cfg() -> Config {

@@ -1,0 +1,64 @@
+//! `FlatStore::stats_report` end-to-end: drive real operations through the
+//! engine and check that the unified report carries coherent counters and
+//! latency percentiles from the client-observed histograms.
+
+use flatstore::{Config, FlatStore};
+use obs::Value;
+use workloads::value_bytes;
+
+fn num(report: &obs::StatsReport, section: &str, row: &str) -> f64 {
+    match report.get(section, row) {
+        Some(Value::U64(v)) => *v as f64,
+        Some(Value::F64(v)) => *v,
+        other => panic!("missing numeric row [{section}] {row}: {other:?}"),
+    }
+}
+
+#[test]
+fn report_carries_op_counts_and_latency_percentiles() {
+    let store = FlatStore::create(Config {
+        pm_bytes: 64 << 20,
+        dram_bytes: 8 << 20,
+        ncores: 2,
+        group_size: 2,
+        crash_tracking: false,
+        ..Config::default()
+    })
+    .unwrap();
+
+    for k in 0..200u64 {
+        store.put(k, &value_bytes(k, 32)).unwrap();
+    }
+    for k in 0..200u64 {
+        assert!(store.get(k).unwrap().is_some());
+    }
+    assert!(store.delete(7).unwrap());
+    store.checkpoint().unwrap();
+
+    let r = store.stats_report();
+
+    assert_eq!(num(&r, "ops", "puts"), 200.0);
+    assert_eq!(num(&r, "ops", "gets"), 200.0);
+    assert_eq!(num(&r, "ops", "deletes"), 1.0);
+    assert_eq!(num(&r, "maintenance", "checkpoints"), 1.0);
+
+    // Latency histograms: every op was recorded, and the percentile chain
+    // is ordered the way percentiles must be.
+    assert_eq!(num(&r, "latency", "put_count"), 200.0);
+    assert_eq!(num(&r, "latency", "get_count"), 200.0);
+    let p50 = num(&r, "latency", "put_p50_ns");
+    let p99 = num(&r, "latency", "put_p99_ns");
+    let max = num(&r, "latency", "put_max_ns");
+    assert!(p50 > 0.0, "put p50 {p50}");
+    assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+    assert!(p99 <= max, "p99 {p99} > max {max}");
+
+    // The region's persistence counters ride along in the same report.
+    assert!(num(&r, "pm", "flushes") > 0.0);
+    assert!(num(&r, "pm", "fences") > 0.0);
+    assert!(num(&r, "batching", "batches") >= 1.0);
+
+    // And the whole thing serialises to valid JSON.
+    let json = r.to_json();
+    obs::Json::parse(&json).expect("stats report JSON must parse");
+}

@@ -36,7 +36,10 @@ pub(crate) struct Store {
 
 impl Store {
     pub fn new(pm: Arc<PmRegion>, base: PmAddr, len: u64, mode: Mode) -> Self {
-        assert!(base.offset() + len <= pm.len() as u64, "arena exceeds region");
+        assert!(
+            base.offset() + len <= pm.len() as u64,
+            "arena exceeds region"
+        );
         Store {
             pm,
             mode,

@@ -73,7 +73,12 @@ impl FastFair {
     /// # Errors
     ///
     /// [`IndexError::OutOfSpace`] if the arena cannot hold the root node.
-    pub fn new(pm: Arc<PmRegion>, base: PmAddr, len: u64, mode: Mode) -> Result<FastFair, IndexError> {
+    pub fn new(
+        pm: Arc<PmRegion>,
+        base: PmAddr,
+        len: u64,
+        mode: Mode,
+    ) -> Result<FastFair, IndexError> {
         let mut store = Store::new(pm, base, len, mode);
         let root = Self::fresh_node(&mut store, true)?;
         Ok(FastFair {
@@ -228,11 +233,7 @@ impl FastFair {
         Ok((sep, right))
     }
 
-    fn insert_recursive(
-        &mut self,
-        key: u64,
-        val: u64,
-    ) -> Result<Option<u64>, IndexError> {
+    fn insert_recursive(&mut self, key: u64, val: u64) -> Result<Option<u64>, IndexError> {
         let (leaf, path) = self.descend(key);
         // Existing key: in-place update.
         let pos = self.lower_bound(leaf, key);
@@ -392,7 +393,9 @@ mod tests {
     #[test]
     fn random_insert_get_remove() {
         let mut t = tree();
-        let mut keys: Vec<u64> = (0..5000u64).map(|k| k.wrapping_mul(0x9E3779B97F4A7C15) >> 8).collect();
+        let mut keys: Vec<u64> = (0..5000u64)
+            .map(|k| k.wrapping_mul(0x9E3779B97F4A7C15) >> 8)
+            .collect();
         for &k in &keys {
             t.insert(k, k ^ 1).unwrap();
         }
@@ -452,8 +455,7 @@ mod tests {
         // more cachelines than appending at the back — FAST's signature
         // write pattern.
         let pm = Arc::new(PmRegion::new(8 << 20));
-        let mut t =
-            FastFair::new(Arc::clone(&pm), PmAddr(0), 8 << 20, Mode::Persistent).unwrap();
+        let mut t = FastFair::new(Arc::clone(&pm), PmAddr(0), 8 << 20, Mode::Persistent).unwrap();
         for k in 10..38u64 {
             t.insert(k, k).unwrap();
         }

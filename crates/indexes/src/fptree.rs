@@ -82,7 +82,12 @@ impl FpTree {
     /// # Errors
     ///
     /// [`IndexError::OutOfSpace`] if the arena cannot hold the first leaf.
-    pub fn new(pm: Arc<PmRegion>, base: PmAddr, len: u64, mode: Mode) -> Result<FpTree, IndexError> {
+    pub fn new(
+        pm: Arc<PmRegion>,
+        base: PmAddr,
+        len: u64,
+        mode: Mode,
+    ) -> Result<FpTree, IndexError> {
         let mut store = Store::new(pm, base, len, mode);
         let leaf = Self::fresh_leaf(&mut store)?;
         Ok(FpTree {
@@ -366,7 +371,9 @@ mod tests {
     #[test]
     fn random_order_inserts() {
         let mut t = tree();
-        let keys: Vec<u64> = (0..8000u64).map(|k| k.wrapping_mul(0x9E3779B97F4A7C15) >> 4).collect();
+        let keys: Vec<u64> = (0..8000u64)
+            .map(|k| k.wrapping_mul(0x9E3779B97F4A7C15) >> 4)
+            .collect();
         for &k in &keys {
             t.insert(k, !k).unwrap();
         }

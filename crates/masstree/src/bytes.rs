@@ -109,9 +109,7 @@ impl MassBytes {
             Some(_) => {
                 // Lost the race — someone else's insert overwrote ours or
                 // ours overwrote theirs; re-read the authoritative one.
-                self.layer
-                    .get(slice)
-                    .expect("slice just inserted") as usize
+                self.layer.get(slice).expect("slice just inserted") as usize
             }
         }
     }

@@ -112,7 +112,9 @@ pub struct Masstree {
 
 impl std::fmt::Debug for Masstree {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Masstree").field("len", &self.len()).finish()
+        f.debug_struct("Masstree")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

@@ -1,0 +1,35 @@
+//! Observability primitives shared by every layer of the repository.
+//!
+//! The crate is deliberately `std`-only (no external dependencies) and
+//! split along the pipeline an observation travels:
+//!
+//! * [`counter`] / [`hist`] — lock-free accumulation: monotonic
+//!   [`Counter`]s and power-of-two-bucketed [`LogHistogram`]s whose
+//!   snapshots answer p50/p95/p99/p999/max queries.
+//! * [`ring`] — a bounded [`EventRing`] of typed spans and instants,
+//!   drop-oldest on overflow, used by the simulator to record
+//!   virtual-time activity per core.
+//! * [`trace`] — renders events as Chrome trace-event JSON, loadable in
+//!   `chrome://tracing` or Perfetto, one track per `tid`.
+//! * [`report`] — [`StatsReport`], a sectioned name/value table with an
+//!   aligned `Display` form and JSON / JSONL serialisers, so every crate
+//!   prints statistics the same way.
+//! * [`json`] — a minimal JSON value model and parser, used by tests to
+//!   validate exporter output without external crates.
+//!
+//! Virtual time and host time both fit: everything takes plain `u64`
+//! nanoseconds and never reads a clock itself.
+
+pub mod counter;
+pub mod hist;
+pub mod json;
+pub mod report;
+pub mod ring;
+pub mod trace;
+
+pub use counter::Counter;
+pub use hist::{HistSnapshot, LogHistogram};
+pub use json::Json;
+pub use report::{Section, StatsReport, Value};
+pub use ring::{Event, EventKind, EventRing};
+pub use trace::chrome_trace;

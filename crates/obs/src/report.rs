@@ -1,0 +1,290 @@
+//! Sectioned statistics reports.
+//!
+//! Every layer of the repository reduces its counters and histograms to
+//! a [`StatsReport`]: named sections of name/value rows. One type, three
+//! renderings — an aligned human table (`Display`), a JSON object
+//! ([`StatsReport::to_json`]), and JSON-lines ([`StatsReport::to_jsonl`])
+//! for appending runs to a metrics log.
+
+use crate::hist::HistSnapshot;
+use crate::json::{escape_into, number, quote};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A single metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    U64(u64),
+    F64(f64),
+    Text(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Text(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v:.3}"),
+            Value::Text(v) => f.write_str(v),
+        }
+    }
+}
+
+impl Value {
+    fn to_json(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::F64(v) => number(*v),
+            Value::Text(v) => quote(v),
+        }
+    }
+}
+
+/// A titled group of rows within a [`StatsReport`].
+#[derive(Debug, Clone, Default)]
+pub struct Section {
+    pub title: String,
+    pub rows: Vec<(String, Value)>,
+}
+
+impl Section {
+    /// Appends one row (builder-style, chainable).
+    pub fn row(&mut self, name: impl Into<String>, value: impl Into<Value>) -> &mut Section {
+        self.rows.push((name.into(), value.into()));
+        self
+    }
+
+    /// Appends the standard latency rows for a histogram snapshot:
+    /// count, mean, p50/p95/p99/p999, max. No rows for an empty
+    /// histogram — absent beats all-zeros in a report.
+    pub fn latency_rows(&mut self, prefix: &str, h: &HistSnapshot) -> &mut Section {
+        if h.count == 0 {
+            return self;
+        }
+        self.row(format!("{prefix}_count"), h.count)
+            .row(format!("{prefix}_mean_ns"), h.mean())
+            .row(format!("{prefix}_p50_ns"), h.p50())
+            .row(format!("{prefix}_p95_ns"), h.p95())
+            .row(format!("{prefix}_p99_ns"), h.p99())
+            .row(format!("{prefix}_p999_ns"), h.p999())
+            .row(format!("{prefix}_max_ns"), h.max)
+    }
+}
+
+/// A titled collection of [`Section`]s.
+#[derive(Debug, Clone)]
+pub struct StatsReport {
+    pub title: String,
+    pub sections: Vec<Section>,
+}
+
+impl StatsReport {
+    pub fn new(title: impl Into<String>) -> StatsReport {
+        StatsReport {
+            title: title.into(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Adds an (initially empty) section and returns it for filling.
+    pub fn section(&mut self, title: impl Into<String>) -> &mut Section {
+        self.sections.push(Section {
+            title: title.into(),
+            rows: Vec::new(),
+        });
+        self.sections.last_mut().unwrap()
+    }
+
+    /// Looks a value up as `"section.row"`, mainly for tests.
+    pub fn get(&self, section: &str, row: &str) -> Option<&Value> {
+        self.sections
+            .iter()
+            .find(|s| s.title == section)?
+            .rows
+            .iter()
+            .find(|(n, _)| n == row)
+            .map(|(_, v)| v)
+    }
+
+    /// One JSON object: `{"title": ..., "sections": {sec: {row: val}}}`.
+    /// Row order within a section is preserved.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"title\":");
+        out.push_str(&quote(&self.title));
+        out.push_str(",\"sections\":{");
+        for (si, sec) in self.sections.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            out.push_str(&quote(&sec.title));
+            out.push_str(":{");
+            for (ri, (name, value)) in sec.rows.iter().enumerate() {
+                if ri > 0 {
+                    out.push(',');
+                }
+                out.push_str(&quote(name));
+                out.push(':');
+                out.push_str(&value.to_json());
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// One JSON object per line, one line per row:
+    /// `{"report":T,"section":S,"name":N,"value":V}`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for sec in &self.sections {
+            for (name, value) in &sec.rows {
+                out.push_str("{\"report\":\"");
+                escape_into(&mut out, &self.title);
+                out.push_str("\",\"section\":\"");
+                escape_into(&mut out, &sec.title);
+                out.push_str("\",\"name\":\"");
+                escape_into(&mut out, name);
+                out.push_str("\",\"value\":");
+                out.push_str(&value.to_json());
+                out.push_str("}\n");
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name_width = self
+            .sections
+            .iter()
+            .flat_map(|s| s.rows.iter())
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max(4);
+        writeln!(f, "=== {} ===", self.title)?;
+        for sec in &self.sections {
+            writeln!(f, "[{}]", sec.title)?;
+            for (name, value) in &sec.rows {
+                let mut rendered = String::new();
+                let _ = write!(rendered, "{value}");
+                writeln!(f, "  {name:<name_width$}  {rendered:>14}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LogHistogram;
+    use crate::json::Json;
+
+    fn sample_report() -> StatsReport {
+        let mut r = StatsReport::new("engine");
+        r.section("ops").row("puts", 10u64).row("mops", 1.25);
+        r.section("device").row("model", "optane");
+        r
+    }
+
+    #[test]
+    fn display_is_aligned_and_complete() {
+        let text = sample_report().to_string();
+        assert!(text.contains("=== engine ==="));
+        assert!(text.contains("[ops]"));
+        assert!(text.contains("puts"));
+        assert!(text.contains("1.250"));
+        assert!(text.contains("optane"));
+        // fixed name column + right-aligned value column → every row line
+        // has the same width
+        let widths: Vec<usize> = text
+            .lines()
+            .filter(|l| l.starts_with("  "))
+            .map(|l| l.chars().count())
+            .collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged table: {text}"
+        );
+    }
+
+    #[test]
+    fn json_roundtrips_through_parser() {
+        let r = sample_report();
+        let v = Json::parse(&r.to_json()).unwrap();
+        assert_eq!(v.get("title").unwrap().as_str(), Some("engine"));
+        let ops = v.get("sections").unwrap().get("ops").unwrap();
+        assert_eq!(ops.get("puts").unwrap().as_f64(), Some(10.0));
+        assert_eq!(ops.get("mops").unwrap().as_f64(), Some(1.25));
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_row() {
+        let r = sample_report();
+        let jsonl = r.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            let v = Json::parse(line).unwrap();
+            assert!(v.get("section").is_some());
+            assert!(v.get("name").is_some());
+            assert!(v.get("value").is_some());
+        }
+    }
+
+    #[test]
+    fn latency_rows_come_from_snapshot() {
+        let h = LogHistogram::new();
+        for v in [100u64, 200, 300, 400] {
+            h.record(v);
+        }
+        let mut r = StatsReport::new("t");
+        r.section("lat").latency_rows("put", &h.snapshot());
+        assert_eq!(r.get("lat", "put_count"), Some(&Value::U64(4)));
+        assert_eq!(r.get("lat", "put_max_ns"), Some(&Value::U64(400)));
+        assert!(r.get("lat", "put_p50_ns").is_some());
+
+        let empty = LogHistogram::new();
+        let mut r2 = StatsReport::new("t2");
+        r2.section("lat").latency_rows("get", &empty.snapshot());
+        assert!(r2.get("lat", "get_count").is_none());
+    }
+}

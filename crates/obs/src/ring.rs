@@ -1,0 +1,148 @@
+//! Bounded rings of trace events.
+
+use std::collections::VecDeque;
+
+/// What a recorded [`Event`] represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An interval: `ts_ns .. ts_ns + dur_ns`.
+    Span { dur_ns: u64 },
+    /// A point in time.
+    Instant,
+}
+
+/// One trace event. Names are `&'static str` so recording never
+/// allocates for the common case; `args` carries small numeric payloads
+/// (batch size, entry count, …) into the exported trace.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub name: &'static str,
+    /// Trace category (used for filtering in the viewer).
+    pub cat: &'static str,
+    /// Start (spans) or occurrence (instants) time in nanoseconds.
+    pub ts_ns: u64,
+    /// Track the event renders on — the (simulated) core id.
+    pub tid: u32,
+    pub kind: EventKind,
+    pub args: Vec<(&'static str, u64)>,
+}
+
+impl Event {
+    pub fn span(
+        name: &'static str,
+        cat: &'static str,
+        tid: u32,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> Event {
+        Event {
+            name,
+            cat,
+            ts_ns: start_ns,
+            tid,
+            kind: EventKind::Span {
+                dur_ns: end_ns.saturating_sub(start_ns),
+            },
+            args: Vec::new(),
+        }
+    }
+
+    pub fn instant(name: &'static str, cat: &'static str, tid: u32, ts_ns: u64) -> Event {
+        Event {
+            name,
+            cat,
+            ts_ns,
+            tid,
+            kind: EventKind::Instant,
+            args: Vec::new(),
+        }
+    }
+
+    /// Attaches a numeric argument (builder-style).
+    pub fn arg(mut self, key: &'static str, value: u64) -> Event {
+        self.args.push((key, value));
+        self
+    }
+}
+
+/// A bounded event buffer: pushing past capacity drops the *oldest*
+/// event and counts the drop, so a long run keeps its most recent
+/// window instead of aborting collection.
+#[derive(Debug)]
+pub struct EventRing {
+    buf: VecDeque<Event>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// `cap` is clamped to at least 1.
+    pub fn new(cap: usize) -> EventRing {
+        let cap = cap.max(1);
+        EventRing {
+            buf: VecDeque::with_capacity(cap),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    pub fn push(&mut self, ev: Event) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events evicted by overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Oldest-to-newest iteration.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    pub fn into_events(self) -> Vec<Event> {
+        self.buf.into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let mut ring = EventRing::new(3);
+        for i in 0..5u64 {
+            ring.push(Event::instant("tick", "test", 0, i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let ts: Vec<u64> = ring.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4], "oldest events evicted first");
+    }
+
+    #[test]
+    fn span_duration_saturates() {
+        let s = Event::span("s", "test", 1, 100, 40);
+        assert_eq!(s.kind, EventKind::Span { dur_ns: 0 });
+        let s = Event::span("s", "test", 1, 40, 100).arg("n", 7);
+        assert_eq!(s.kind, EventKind::Span { dur_ns: 60 });
+        assert_eq!(s.args, vec![("n", 7)]);
+    }
+}

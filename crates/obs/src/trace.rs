@@ -1,0 +1,144 @@
+//! Chrome trace-event exporter.
+//!
+//! Renders [`Event`]s as the JSON object format understood by
+//! `chrome://tracing` and Perfetto: spans become `ph: "X"` complete
+//! events, instants become `ph: "i"`, and per-tid `thread_name`
+//! metadata turns each simulated core into its own named track.
+//! Timestamps are microseconds (the format's unit) with nanosecond
+//! precision preserved in the fraction.
+
+use crate::json::{number, quote};
+use crate::ring::{Event, EventKind};
+use std::fmt::Write as _;
+
+/// Process id used for all exported events; the trace models one
+/// engine/simulator instance.
+pub const TRACE_PID: u32 = 1;
+
+fn ts_us(ts_ns: u64) -> String {
+    number(ts_ns as f64 / 1000.0)
+}
+
+fn write_args(out: &mut String, args: &[(&str, u64)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", quote(k), v);
+    }
+    out.push('}');
+}
+
+/// Serialises `events` (plus track-naming metadata) into a complete
+/// Chrome trace JSON document.
+///
+/// `thread_names` maps a `tid` to the label shown on its track, e.g.
+/// `(2, "core 2")`. Unnamed tids still render, labelled by number.
+pub fn chrome_trace<'a>(
+    process_name: &str,
+    thread_names: impl IntoIterator<Item = (u32, String)>,
+    events: impl IntoIterator<Item = &'a Event>,
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |out: &mut String, body: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&body);
+    };
+
+    emit(
+        &mut out,
+        format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{TRACE_PID},\"tid\":0,\
+             \"args\":{{\"name\":{}}}}}",
+            quote(process_name)
+        ),
+    );
+    for (tid, name) in thread_names {
+        emit(
+            &mut out,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{TRACE_PID},\"tid\":{tid},\
+                 \"args\":{{\"name\":{}}}}}",
+                quote(&name)
+            ),
+        );
+    }
+
+    for ev in events {
+        let mut body = String::with_capacity(128);
+        let _ = write!(
+            body,
+            "{{\"name\":{},\"cat\":{},\"pid\":{TRACE_PID},\"tid\":{},\"ts\":{}",
+            quote(ev.name),
+            quote(ev.cat),
+            ev.tid,
+            ts_us(ev.ts_ns)
+        );
+        match ev.kind {
+            EventKind::Span { dur_ns } => {
+                let _ = write!(body, ",\"ph\":\"X\",\"dur\":{}", ts_us(dur_ns));
+            }
+            EventKind::Instant => {
+                // Thread-scoped instant.
+                body.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+            }
+        }
+        if !ev.args.is_empty() {
+            body.push_str(",\"args\":");
+            write_args(&mut body, &ev.args);
+        }
+        body.push('}');
+        emit(&mut out, body);
+    }
+
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn exporter_emits_valid_chrome_trace() {
+        let events = vec![
+            Event::span("batch_flush", "engine", 2, 1_500, 4_500).arg("entries", 9),
+            Event::instant("steal", "engine", 3, 2_000),
+        ];
+        let doc = chrome_trace(
+            "simkv",
+            [(2, "core 2".to_string()), (3, "core 3".to_string())],
+            &events,
+        );
+        let parsed = Json::parse(&doc).expect("exporter must emit valid JSON");
+        let list = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        // 1 process_name + 2 thread_name + 2 events
+        assert_eq!(list.len(), 5);
+        for ev in list {
+            for field in ["ph", "pid", "tid", "name"] {
+                assert!(ev.get(field).is_some(), "missing {field} in {ev:?}");
+            }
+        }
+        let span = &list[3];
+        assert_eq!(span.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(1.5));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(3.0));
+        assert_eq!(
+            span.get("args").unwrap().get("entries").unwrap().as_f64(),
+            Some(9.0)
+        );
+        let inst = &list[4];
+        assert_eq!(inst.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(inst.get("tid").unwrap().as_f64(), Some(3.0));
+    }
+}

@@ -130,7 +130,10 @@ impl LogEntry {
     ///
     /// Panics if `block` is not 256 B-aligned or exceeds 48 bits.
     pub fn put_ptr(key: u64, version: u32, block: PmAddr) -> LogEntry {
-        assert!(block.is_aligned(256), "block pointers must be 256 B aligned");
+        assert!(
+            block.is_aligned(256),
+            "block pointers must be 256 B aligned"
+        );
         assert!(block.offset() >> 48 == 0, "pointer exceeds 48 bits");
         LogEntry {
             op: LogOp::Put,

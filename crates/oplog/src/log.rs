@@ -114,7 +114,10 @@ impl OpLog {
     ///
     /// Panics if `desc` is not 64 B-aligned.
     pub fn create(mgr: Arc<ChunkManager>, desc: PmAddr) -> Result<OpLog, LogError> {
-        assert!(desc.is_aligned(CACHELINE), "descriptor must own a cacheline");
+        assert!(
+            desc.is_aligned(CACHELINE),
+            "descriptor must own a cacheline"
+        );
         let pm = Arc::clone(mgr.pm());
         let first = mgr.take_raw_chunk().ok_or(LogError::OutOfSpace)?;
         pm.write_u64(first + OFF_NEXT, 0);
@@ -238,10 +241,13 @@ impl OpLog {
                     }
                 }
             }
-            usage.insert(cur.offset(), ChunkUsage {
-                total: count,
-                dead: 0,
-            });
+            usage.insert(
+                cur.offset(),
+                ChunkUsage {
+                    total: count,
+                    dead: 0,
+                },
+            );
             let next = PmAddr(pm.read_u64(cur + OFF_NEXT));
             if next == PmAddr::NULL {
                 break;
@@ -504,10 +510,13 @@ impl OpLog {
         self.pm.persist(self.desc + DESC_HEAD, 8);
 
         self.chunks.insert(0, target);
-        self.usage.insert(target.offset(), ChunkUsage {
-            total: live.len() as u32,
-            dead: 0,
-        });
+        self.usage.insert(
+            target.offset(),
+            ChunkUsage {
+                total: live.len() as u32,
+                dead: 0,
+            },
+        );
 
         // Victim moved one position right after the head insert.
         self.unlink(idx + 1)?;

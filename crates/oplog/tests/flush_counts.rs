@@ -1,0 +1,79 @@
+//! Flush-count regression tests: batching is the whole point of the
+//! paper's horizontal batching, so lock in the device-level contract that
+//! one batched append of N small entries costs ~ceil(bytes/64) cacheline
+//! flushes — not N per-entry flushes — using `PmStats` deltas.
+
+use std::sync::Arc;
+
+use oplog::{LogEntry, OpLog};
+use pmalloc::{ChunkManager, CHUNK_SIZE};
+use pmem::{PmAddr, PmRegion};
+
+fn fresh_log() -> (Arc<PmRegion>, OpLog) {
+    let pm = Arc::new(PmRegion::new(8 * CHUNK_SIZE as usize + CHUNK_SIZE as usize));
+    let mgr = Arc::new(ChunkManager::format(Arc::clone(&pm), PmAddr(CHUNK_SIZE), 8));
+    let log = OpLog::create(mgr, PmAddr(0)).expect("create log");
+    (pm, log)
+}
+
+/// A 16-byte compacted entry: 12 B header + 4 B inline value.
+fn small_entry(key: u64) -> LogEntry {
+    LogEntry::put_inline(key, 1, vec![0xAB; 4]).expect("inline entry")
+}
+
+#[test]
+fn batched_append_flushes_cachelines_not_entries() {
+    let (pm, mut log) = fresh_log();
+    let entries: Vec<LogEntry> = (0..16).map(small_entry).collect();
+
+    let before = pm.stats().snapshot();
+    log.append_batch(&entries).expect("batched append");
+    let delta = pm.stats().snapshot().delta(&before);
+
+    // 16 entries x 16 B = 256 B = 4 cachelines, plus the tail-pointer
+    // flush: far fewer than one flush per entry.
+    assert!(
+        delta.flushes < 16,
+        "batched append of 16 entries should flush cachelines, not entries \
+         (got {} flushes)",
+        delta.flushes
+    );
+    // Entry data (4 lines) + tail pointer (1 line).
+    assert_eq!(delta.flushes, 5, "4 data cachelines + 1 tail-pointer flush");
+    // One fence for the entry data, one ordering the tail-pointer persist.
+    assert_eq!(delta.fences, 2);
+}
+
+#[test]
+fn singleton_appends_cost_more_flushes_than_one_batch() {
+    let (batched_pm, mut batched_log) = fresh_log();
+    let (single_pm, mut single_log) = fresh_log();
+    let entries: Vec<LogEntry> = (0..16).map(small_entry).collect();
+
+    let before = batched_pm.stats().snapshot();
+    batched_log.append_batch(&entries).expect("batched append");
+    let batched = batched_pm.stats().snapshot().delta(&before);
+
+    let before = single_pm.stats().snapshot();
+    for e in &entries {
+        single_log
+            .append_batch(std::slice::from_ref(e))
+            .expect("singleton append");
+    }
+    let singles = single_pm.stats().snapshot().delta(&before);
+
+    assert!(
+        batched.flushes < singles.flushes,
+        "one batch of 16 ({} flushes) must beat 16 singleton appends ({} flushes)",
+        batched.flushes,
+        singles.flushes
+    );
+    assert!(
+        batched.fences < singles.fences,
+        "one batch of 16 ({} fences) must beat 16 singleton appends ({} fences)",
+        batched.fences,
+        singles.fences
+    );
+    // Each singleton pays a (padded) data flush + a tail flush.
+    assert_eq!(singles.flushes, 32);
+}

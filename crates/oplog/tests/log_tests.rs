@@ -207,7 +207,9 @@ fn cleaning_relocates_live_and_frees_the_chunk() {
     let index_ref = index.clone();
     let relocs = log
         .clean_chunk(victim, |e, addr| {
-            index_ref.get(&e.key).is_some_and(|(v, a)| *v == e.version && *a == addr)
+            index_ref
+                .get(&e.key)
+                .is_some_and(|(v, a)| *v == e.version && *a == addr)
         })
         .unwrap();
     // Dead entries (old versions) were dropped.
@@ -229,7 +231,10 @@ fn cleaning_relocates_live_and_frees_the_chunk() {
     // Full scan still yields exactly the live set.
     let mut live_seen: HashMap<u64, u32> = HashMap::new();
     log.scan(|e, addr| {
-        if index.get(&e.key).is_some_and(|(v, a)| *v == e.version && *a == addr) {
+        if index
+            .get(&e.key)
+            .is_some_and(|(v, a)| *v == e.version && *a == addr)
+        {
             live_seen.insert(e.key, e.version);
         }
     })

@@ -29,7 +29,11 @@ const OFF_BITMAP: u64 = 64;
 enum ChunkMeta {
     Free,
     Class(ClassChunk),
-    HugeHead { nchunks: u32, size: u64, live: bool },
+    HugeHead {
+        nchunks: u32,
+        size: u64,
+        live: bool,
+    },
     HugeTail,
     /// Handed out whole via [`ChunkManager::take_raw_chunk`]; the operation
     /// log manages its contents (the manager only remembers it is taken).
@@ -109,7 +113,10 @@ impl ChunkManager {
     ///
     /// Panics if `base` is unaligned or the range exceeds the region.
     pub fn format(pm: Arc<PmRegion>, base: PmAddr, nchunks: u32) -> Self {
-        assert!(base.is_aligned(CHUNK_SIZE), "chunk base must be 4 MB aligned");
+        assert!(
+            base.is_aligned(CHUNK_SIZE),
+            "chunk base must be 4 MB aligned"
+        );
         assert!(
             base.offset() + nchunks as u64 * CHUNK_SIZE <= pm.len() as u64,
             "chunk range exceeds PM region"
@@ -183,7 +190,10 @@ impl ChunkManager {
     }
 
     fn load_headers(pm: Arc<PmRegion>, base: PmAddr, nchunks: u32, trust_bitmaps: bool) -> Self {
-        assert!(base.is_aligned(CHUNK_SIZE), "chunk base must be 4 MB aligned");
+        assert!(
+            base.is_aligned(CHUNK_SIZE),
+            "chunk base must be 4 MB aligned"
+        );
         let mut slots = Vec::with_capacity(nchunks as usize);
         let mut i = 0u32;
         while i < nchunks {
@@ -558,7 +568,9 @@ impl ChunkManager {
         let (id, off) = self.locate(addr)?;
         let meta = self.slots[id as usize].lock();
         match &*meta {
-            ChunkMeta::Class(c) if off >= CHUNK_HEADER && (off - CHUNK_HEADER).is_multiple_of(c.class) => {
+            ChunkMeta::Class(c)
+                if off >= CHUNK_HEADER && (off - CHUNK_HEADER).is_multiple_of(c.class) =>
+            {
                 let block = ((off - CHUNK_HEADER) / c.class) as u32;
                 if block < c.used.capacity() && c.used.is_set(block) {
                     Ok(c.class)
@@ -568,7 +580,9 @@ impl ChunkManager {
                     })
                 }
             }
-            ChunkMeta::HugeHead { size, live: true, .. } if off == CHUNK_HEADER => Ok(*size),
+            ChunkMeta::HugeHead {
+                size, live: true, ..
+            } if off == CHUNK_HEADER => Ok(*size),
             _ => Err(AllocError::BadAddress {
                 addr: addr.offset(),
             }),

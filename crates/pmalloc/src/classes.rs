@@ -14,30 +14,8 @@ pub const BLOCK_ALIGN: u64 = 256;
 /// to half a chunk.
 pub fn class_sizes() -> &'static [u64] {
     const CLASSES: &[u64] = &[
-        512,
-        768,
-        1024,
-        1536,
-        2048,
-        3072,
-        4096,
-        6144,
-        8192,
-        12288,
-        16384,
-        24576,
-        32768,
-        49152,
-        65536,
-        98304,
-        131072,
-        196608,
-        262144,
-        393216,
-        524288,
-        786432,
-        1048576,
-        2097152,
+        512, 768, 1024, 1536, 2048, 3072, 4096, 6144, 8192, 12288, 16384, 24576, 32768, 49152,
+        65536, 98304, 131072, 196608, 262144, 393216, 524288, 786432, 1048576, 2097152,
     ];
     CLASSES
 }

@@ -153,6 +153,18 @@ pub struct DeviceStats {
     pub media_busy_ns: f64,
 }
 
+impl DeviceStats {
+    /// Appends these counters as rows of `section` (the shared
+    /// [`obs::StatsReport`] vocabulary every layer reports in).
+    pub fn fill_section(&self, section: &mut obs::Section) {
+        section
+            .row("media_writes", self.media_writes)
+            .row("merged_flushes", self.merged_flushes)
+            .row("repeat_stalls", self.repeat_stalls)
+            .row("media_busy_ns", self.media_busy_ns);
+    }
+}
+
 /// The shared device: a bandwidth server plus write-combining and
 /// stream-tracking state.
 ///

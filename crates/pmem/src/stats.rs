@@ -130,6 +130,38 @@ impl PmStatsSnapshot {
             fences: self.fences - earlier.fences,
         }
     }
+
+    /// Fraction of flushes that targeted clean cachelines (wasted work);
+    /// 0 when no flush was issued.
+    pub fn redundant_flush_ratio(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.redundant_flushes as f64 / self.flushes as f64
+        }
+    }
+
+    /// Appends these counters as rows of `section` (the shared
+    /// [`obs::StatsReport`] vocabulary every layer reports in).
+    pub fn fill_section(&self, section: &mut obs::Section) {
+        section
+            .row("writes", self.writes)
+            .row("bytes_written", self.bytes_written)
+            .row("reads", self.reads)
+            .row("bytes_read", self.bytes_read)
+            .row("flushes", self.flushes)
+            .row("redundant_flushes", self.redundant_flushes)
+            .row("redundant_flush_ratio", self.redundant_flush_ratio())
+            .row("fences", self.fences);
+    }
+}
+
+impl std::fmt::Display for PmStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut report = obs::StatsReport::new("pm");
+        self.fill_section(report.section("pm"));
+        report.fmt(f)
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +184,22 @@ mod tests {
         assert_eq!(d.flushes, 1);
         assert_eq!(d.redundant_flushes, 1);
         assert_eq!(d.fences, 1);
+    }
+
+    #[test]
+    fn display_and_report_rows() {
+        let s = PmStats::new();
+        s.record_flush(false);
+        s.record_flush(false);
+        s.record_flush(true);
+        s.record_fence();
+        let snap = s.snapshot();
+        assert!((snap.redundant_flush_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        let text = snap.to_string();
+        assert!(text.contains("[pm]"));
+        assert!(text.contains("redundant_flush_ratio"));
+        let mut report = obs::StatsReport::new("t");
+        snap.fill_section(report.section("pm"));
+        assert_eq!(report.get("pm", "flushes"), Some(&obs::Value::U64(3)));
     }
 }

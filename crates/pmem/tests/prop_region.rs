@@ -14,7 +14,10 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..REGION as u64 - 512, prop::collection::vec(any::<u8>(), 1..256))
+        (
+            0..REGION as u64 - 512,
+            prop::collection::vec(any::<u8>(), 1..256)
+        )
             .prop_map(|(addr, data)| Op::Write { addr, data }),
         (0..REGION as u64 - 512, 1..512u16).prop_map(|(addr, len)| Op::Flush { addr, len }),
         Just(Op::Fence),

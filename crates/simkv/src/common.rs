@@ -180,7 +180,9 @@ impl Gen {
                 value_len,
                 put_ratio,
             } => Gen::Ycsb(Workload::new(keyspace, dist, value_len, put_ratio, seed)),
-            WorkloadSpec::Etc { put_ratio } => Gen::Etc(EtcWorkload::new(keyspace, put_ratio, seed)),
+            WorkloadSpec::Etc { put_ratio } => {
+                Gen::Etc(EtcWorkload::new(keyspace, put_ratio, seed))
+            }
         }
     }
 

@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use indexes::{Cceh, FastFair, Index, Mode};
 use masstree::Masstree;
+use obs::{Event, EventRing};
 use oplog::{LogEntry, LogOp, OpLog, Payload, INLINE_MAX};
 use pmalloc::{ChunkManager, CoreAllocator, CHUNK_SIZE};
 use pmem::cost::Device;
@@ -36,7 +37,10 @@ fn pack(version: u32, addr: u64) -> u64 {
 
 #[inline]
 fn unpack(v: u64) -> (u32, u64) {
-    (((v >> ADDR_BITS) & VERSION_MASK as u64) as u32, v & ADDR_MASK)
+    (
+        ((v >> ADDR_BITS) & VERSION_MASK as u64) as u32,
+        v & ADDR_MASK,
+    )
 }
 
 /// FlatStore's volatile index inside the simulation.
@@ -157,9 +161,9 @@ impl Usage {
     }
 
     fn live_ratio(&self, chunk: PmAddr) -> Option<f64> {
-        self.map.get(&chunk.offset()).and_then(|&(total, dead)| {
-            (total > 0).then(|| (total - dead) as f64 / total as f64)
-        })
+        self.map
+            .get(&chunk.offset())
+            .and_then(|&(total, dead)| (total > 0).then(|| (total - dead) as f64 / total as f64))
     }
 
     fn cleaned(&mut self, victim: PmAddr, target: Option<(PmAddr, u32)>) {
@@ -187,6 +191,10 @@ pub(crate) struct FlatSim {
     nic: Nic,
     batches: u64,
     batched_entries: u64,
+    /// Virtual-time trace events, on when `cfg.trace_events > 0`. The
+    /// simulated core id doubles as the trace `tid`; cleaners render on
+    /// tracks `ncores + group`.
+    events: Option<EventRing>,
 }
 
 impl FlatSim {
@@ -229,7 +237,11 @@ impl FlatSim {
             .collect();
         let cleaners = (0..ngroups)
             .map(|_| CleanerSim {
-                clock: if cfg.gc { CLEANER_POLL_NS } else { f64::INFINITY },
+                clock: if cfg.gc {
+                    CLEANER_POLL_NS
+                } else {
+                    f64::INFINITY
+                },
             })
             .collect();
         let device = Device::new(cfg.cost.clone());
@@ -261,6 +273,7 @@ impl FlatSim {
             nic: Nic::new(cfg.net.nic_ns_per_msg),
             batches: 0,
             batched_entries: 0,
+            events: (cfg.trace_events > 0).then(|| EventRing::new(cfg.trace_events)),
             cfg,
         }
     }
@@ -373,7 +386,13 @@ impl FlatSim {
         } else {
             self.batched_entries as f64 / self.batches as f64
         };
-        self.clients.metrics.summary(device, avg_batch)
+        let ring = self.events.take();
+        let mut summary = self.clients.metrics.summary(device, avg_batch);
+        if let Some(ring) = ring {
+            summary.events_dropped = ring.dropped();
+            summary.events = ring.into_events();
+        }
+        summary
     }
 
     #[allow(clippy::too_many_lines)]
@@ -391,7 +410,11 @@ impl FlatSim {
             // Small per-step drain budget keeps virtual clocks close
             // together (device causality) and phase interleaving fine-
             // grained, as in the real engine loop.
-            let budget = if self.model == ExecModel::NonBatch { 1 } else { 4 };
+            let budget = if self.model == ExecModel::NonBatch {
+                1
+            } else {
+                4
+            };
             let mut taken = 0;
             // Deferred requests whose conflicts cleared go first.
             let deferred: Vec<SimReq> = {
@@ -585,6 +608,7 @@ impl FlatSim {
 
     /// Appends the posts in `ids` to core `i`'s log and marks them done.
     fn persist_ids(&mut self, i: usize, mut t: f64, ids: Vec<usize>) -> f64 {
+        let flush_start = t;
         let entries: Vec<LogEntry> = ids.iter().map(|&id| self.posts[id].entry.clone()).collect();
         match self.cores[i].log.append_batch(&entries) {
             Ok(addrs) => {
@@ -603,6 +627,14 @@ impl FlatSim {
                 }
                 self.batches += 1;
                 self.batched_entries += ids.len() as u64;
+                let stolen = ids.iter().filter(|&&id| self.posts[id].core != i).count();
+                if let Some(events) = self.events.as_mut() {
+                    events.push(
+                        Event::span("batch_flush", "hb", i as u32, flush_start as u64, t as u64)
+                            .arg("entries", ids.len() as u64)
+                            .arg("stolen", stolen as u64),
+                    );
+                }
             }
             Err(_) => {
                 // Out of chunks: return the posts to the pool and retry
@@ -646,6 +678,7 @@ impl FlatSim {
         if self.groups[g].pool.is_empty() || self.groups[g].lock_free_at > t {
             return t;
         }
+        let lock_start = t;
         t += self.cfg.cpu.lock_ns;
         let mut ids = Vec::new();
         self.groups[g].pool.retain(|&id| {
@@ -657,15 +690,40 @@ impl FlatSim {
             }
         });
         t += ids.len() as f64 * self.cfg.cpu.collect_per_entry_ns;
+        let stolen = ids.iter().filter(|&&id| self.posts[id].core != i).count();
+        if stolen > 0 {
+            if let Some(events) = self.events.as_mut() {
+                events.push(
+                    Event::instant("steal", "hb", i as u32, t as u64)
+                        .arg("stolen", stolen as u64)
+                        .arg("collected", ids.len() as u64),
+                );
+            }
+        }
         if self.model == ExecModel::PipelinedHb {
             // Early release: the next leader can collect while we flush.
             self.groups[g].lock_free_at = t;
+            if let Some(ring) = self.events.as_mut() {
+                ring.push(
+                    Event::span("group_lock", "hb", i as u32, lock_start as u64, t as u64)
+                        .arg("collected", ids.len() as u64),
+                );
+            }
         }
         if !ids.is_empty() {
             t = self.persist_ids(i, t, ids);
         }
         if self.model == ExecModel::NaiveHb {
             self.groups[g].lock_free_at = t;
+            if let Some(ring) = self.events.as_mut() {
+                ring.push(Event::span(
+                    "group_lock",
+                    "hb",
+                    i as u32,
+                    lock_start as u64,
+                    t as u64,
+                ));
+            }
         }
         t
     }
@@ -808,6 +866,7 @@ impl FlatSim {
                 return;
             }
         };
+        let clean_start = t;
         let ev = self.pm.take_events();
         t = self.charger.charge(stream, t, &ev, GC_SCAN_READ_NS);
         let target = relocs
@@ -830,6 +889,18 @@ impl FlatSim {
         self.mgr
             .return_raw_chunk(victim)
             .expect("victim was reserved");
+        if let Some(ring) = self.events.as_mut() {
+            ring.push(
+                Event::span(
+                    "gc_clean",
+                    "gc",
+                    stream as u32,
+                    clean_start as u64,
+                    t as u64,
+                )
+                .arg("relocated", relocs.len() as u64),
+            );
+        }
         self.clients.metrics.record_gc(t, 1);
         self.cleaners[g].clock = t;
     }

@@ -1,5 +1,6 @@
 //! Measurement collection: throughput, latency percentiles, timelines.
 
+use obs::{Event, HistSnapshot, LogHistogram, StatsReport};
 use pmem::cost::DeviceStats;
 
 /// Latency/throughput collector.
@@ -11,6 +12,7 @@ pub(crate) struct Metrics {
     pub measure_start_ns: f64,
     pub last_completion_ns: f64,
     pub latencies: Vec<f64>,
+    pub hist: LogHistogram,
     pub window_ns: f64,
     pub windows: Vec<WindowStat>,
 }
@@ -36,13 +38,22 @@ impl Metrics {
     }
 
     pub fn record(&mut self, send_ns: f64, resp_ns: f64) {
+        // With no warm-up, measurement starts when the first measured
+        // request was *sent*; otherwise `measure_start_ns` would keep its
+        // default of 0 and the throughput span would silently include the
+        // idle ramp before the first request.
+        if self.warmup == 0 && self.completed == 0 {
+            self.measure_start_ns = send_ns;
+        }
         self.completed += 1;
         if self.completed == self.warmup {
             self.measure_start_ns = resp_ns;
         }
         if self.completed > self.warmup {
             self.measured += 1;
-            self.latencies.push(resp_ns - send_ns);
+            let lat = resp_ns - send_ns;
+            self.latencies.push(lat);
+            self.hist.record(lat.max(0.0) as u64);
             self.last_completion_ns = self.last_completion_ns.max(resp_ns);
         }
         if self.window_ns > 0.0 {
@@ -65,8 +76,7 @@ impl Metrics {
     }
 
     pub fn summary(mut self, device: DeviceStats, avg_batch: f64) -> Summary {
-        self.latencies
-            .sort_unstable_by(|a, b| a.total_cmp(b));
+        self.latencies.sort_unstable_by(|a, b| a.total_cmp(b));
         let n = self.latencies.len();
         let pct = |p: f64| -> f64 {
             if n == 0 {
@@ -77,6 +87,7 @@ impl Metrics {
         };
         let span = (self.last_completion_ns - self.measure_start_ns).max(1.0);
         let window_ns = self.window_ns;
+        let hist = self.hist.snapshot();
         Summary {
             ops: self.measured,
             sim_ns: span,
@@ -88,6 +99,10 @@ impl Metrics {
             },
             p50_ns: pct(0.50),
             p99_ns: pct(0.99),
+            p95_ns: hist.p95() as f64,
+            p999_ns: hist.p999() as f64,
+            max_ns: hist.max as f64,
+            latency_hist: hist,
             avg_batch,
             device,
             timeline: self
@@ -99,6 +114,8 @@ impl Metrics {
                     ..*w
                 })
                 .collect(),
+            events: Vec::new(),
+            events_dropped: 0,
         }
     }
 }
@@ -114,16 +131,59 @@ pub struct Summary {
     pub mops: f64,
     /// Mean request latency (ns).
     pub avg_latency_ns: f64,
-    /// Median request latency (ns).
+    /// Median request latency (ns, exact — from the sorted sample list).
     pub p50_ns: f64,
-    /// 99th-percentile latency (ns).
+    /// 99th-percentile latency (ns, exact).
     pub p99_ns: f64,
+    /// 95th-percentile latency (ns, histogram-interpolated).
+    pub p95_ns: f64,
+    /// 99.9th-percentile latency (ns, histogram-interpolated).
+    pub p999_ns: f64,
+    /// Worst observed latency (ns).
+    pub max_ns: f64,
+    /// The full log-bucketed latency distribution of the measured ops.
+    pub latency_hist: HistSnapshot,
     /// Mean log entries per persisted batch (FlatStore engines).
     pub avg_batch: f64,
     /// Device activity counters.
     pub device: DeviceStats,
     /// Optional throughput/GC timeline.
     pub timeline: Vec<WindowStat>,
+    /// Virtual-time trace events ([`SimConfig::trace_events`] > 0),
+    /// exportable with [`obs::chrome_trace`].
+    ///
+    /// [`SimConfig::trace_events`]: crate::SimConfig::trace_events
+    pub events: Vec<Event>,
+    /// Events evicted from the trace ring by overflow.
+    pub events_dropped: u64,
+}
+
+impl Summary {
+    /// Reduces the run to the shared [`StatsReport`] vocabulary. The
+    /// latency rows quote exactly the `Summary` fields, so an exported
+    /// metrics file always agrees with the struct a test asserts on.
+    pub fn report(&self, title: impl Into<String>) -> StatsReport {
+        let mut r = StatsReport::new(title);
+        r.section("throughput")
+            .row("ops", self.ops)
+            .row("sim_ns", self.sim_ns)
+            .row("mops", self.mops)
+            .row("avg_batch", self.avg_batch);
+        r.section("latency")
+            .row("avg_ns", self.avg_latency_ns)
+            .row("p50_ns", self.p50_ns)
+            .row("p95_ns", self.p95_ns)
+            .row("p99_ns", self.p99_ns)
+            .row("p999_ns", self.p999_ns)
+            .row("max_ns", self.max_ns);
+        self.device.fill_section(r.section("device"));
+        if !self.events.is_empty() || self.events_dropped > 0 {
+            r.section("trace")
+                .row("events", self.events.len())
+                .row("events_dropped", self.events_dropped);
+        }
+        r
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +201,8 @@ mod tests {
         assert!((s.avg_latency_ns - 250.0).abs() < 1e-9);
         assert!(s.p99_ns >= s.p50_ns);
         assert!(s.mops > 0.0);
+        assert_eq!(s.latency_hist.count, 2);
+        assert_eq!(s.max_ns, 300.0);
     }
 
     #[test]
@@ -155,5 +217,37 @@ mod tests {
         assert_eq!(s.timeline[0].ops, 1);
         assert_eq!(s.timeline[1].ops, 2);
         assert_eq!(s.timeline[1].gc_chunks, 2);
+    }
+
+    #[test]
+    fn zero_warmup_measures_from_first_send() {
+        // Regression: with warmup == 0 `measure_start_ns` was never
+        // assigned, so the throughput span stretched back to t = 0 and
+        // understated mops for runs that start late in virtual time.
+        let mut m = Metrics::new(0, 0.0);
+        m.record(1_000_000.0, 1_000_100.0);
+        m.record(1_000_100.0, 1_000_200.0);
+        let s = m.summary(DeviceStats::default(), 1.0);
+        assert_eq!(s.ops, 2);
+        assert!((s.sim_ns - 200.0).abs() < 1e-9, "span {}", s.sim_ns);
+        assert!((s.mops - 2.0 * 1e3 / 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_quotes_summary_fields() {
+        let mut m = Metrics::new(0, 0.0);
+        for i in 0..100u64 {
+            let t = i as f64 * 1_000.0;
+            m.record(t, t + 100.0 + i as f64);
+        }
+        let s = m.summary(DeviceStats::default(), 4.0);
+        let r = s.report("sim");
+        assert_eq!(r.get("latency", "p50_ns"), Some(&obs::Value::F64(s.p50_ns)));
+        assert_eq!(r.get("latency", "p99_ns"), Some(&obs::Value::F64(s.p99_ns)));
+        assert_eq!(r.get("throughput", "ops"), Some(&obs::Value::U64(s.ops)));
+        // Histogram-backed percentiles bracket the exact ones within a
+        // power-of-two bucket.
+        assert!(s.p95_ns >= s.p50_ns);
+        assert!(s.p999_ns <= s.max_ns);
     }
 }

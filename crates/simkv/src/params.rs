@@ -219,6 +219,11 @@ pub struct SimConfig {
     pub seed: u64,
     /// Throughput-timeline window (ns); 0 disables the timeline.
     pub window_ns: f64,
+    /// Capacity of the virtual-time trace-event ring (batch flushes, group
+    /// locking, stealing, cleaning); 0 disables event collection. When the
+    /// ring overflows the oldest events are dropped, so a long run keeps
+    /// its most recent window.
+    pub trace_events: usize,
 }
 
 impl Default for SimConfig {
@@ -250,6 +255,7 @@ impl Default for SimConfig {
             ablate: Ablation::default(),
             seed: 42,
             window_ns: 0.0,
+            trace_events: 0,
         }
     }
 }

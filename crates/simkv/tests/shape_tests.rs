@@ -98,7 +98,10 @@ fn large_values_converge_to_bandwidth_bound() {
         large_ratio < small_ratio,
         "advantage must shrink with size: {large_ratio} !< {small_ratio}"
     );
-    assert!(f1k < f8, "1 KB values must be slower than 8 B: {f1k} vs {f8}");
+    assert!(
+        f1k < f8,
+        "1 KB values must be slower than 8 B: {f1k} vs {f8}"
+    );
 }
 
 #[test]

@@ -190,12 +190,7 @@ mod tests {
         let mut w = EtcWorkload::new(n, 1.0, 9);
         let draws = 50_000;
         let large = (0..draws)
-            .filter(|_| {
-                matches!(
-                    EtcWorkload::size_class(w.next_key(), n),
-                    SizeClass::Large
-                )
-            })
+            .filter(|_| matches!(EtcWorkload::size_class(w.next_key(), n), SizeClass::Large))
             .count();
         let frac = large as f64 / draws as f64;
         assert!((0.03..0.08).contains(&frac), "large fraction {frac}");

@@ -145,17 +145,35 @@ impl Workload {
 
     /// YCSB workload A: 50 % reads, 50 % updates, zipfian.
     pub fn ycsb_a(keyspace: u64, value_len: usize, seed: u64) -> Workload {
-        Workload::new(keyspace, KeyDist::Zipfian { theta: 0.99 }, value_len, 0.5, seed)
+        Workload::new(
+            keyspace,
+            KeyDist::Zipfian { theta: 0.99 },
+            value_len,
+            0.5,
+            seed,
+        )
     }
 
     /// YCSB workload B: 95 % reads, 5 % updates, zipfian.
     pub fn ycsb_b(keyspace: u64, value_len: usize, seed: u64) -> Workload {
-        Workload::new(keyspace, KeyDist::Zipfian { theta: 0.99 }, value_len, 0.05, seed)
+        Workload::new(
+            keyspace,
+            KeyDist::Zipfian { theta: 0.99 },
+            value_len,
+            0.05,
+            seed,
+        )
     }
 
     /// YCSB workload C: 100 % reads, zipfian.
     pub fn ycsb_c(keyspace: u64, value_len: usize, seed: u64) -> Workload {
-        Workload::new(keyspace, KeyDist::Zipfian { theta: 0.99 }, value_len, 0.0, seed)
+        Workload::new(
+            keyspace,
+            KeyDist::Zipfian { theta: 0.99 },
+            value_len,
+            0.0,
+            seed,
+        )
     }
 }
 
@@ -221,7 +239,10 @@ mod tests {
             counts[w.next_key() as usize] += 1;
         }
         for &c in &counts {
-            assert!((700..1300).contains(&c), "uniform counts skewed: {counts:?}");
+            assert!(
+                (700..1300).contains(&c),
+                "uniform counts skewed: {counts:?}"
+            );
         }
     }
 

@@ -35,18 +35,10 @@ fn main() -> Result<(), StoreError> {
     assert!(store.delete(2)?);
     assert_eq!(store.get(2)?, None);
 
-    println!(
-        "puts={} gets={} avg batch={:.1}",
-        store
-            .stats()
-            .puts
-            .load(std::sync::atomic::Ordering::Relaxed),
-        store
-            .stats()
-            .gets
-            .load(std::sync::atomic::Ordering::Relaxed),
-        store.stats().avg_batch()
-    );
+    // Everything the engine measured — op counts, client-observed latency
+    // percentiles, batch sizes, PM flush/fence counters — in one report
+    // (also available as JSON via `.to_json()`).
+    println!("{}", store.stats_report());
 
     // Clean shutdown snapshots the volatile index into PM…
     let pm = store.shutdown()?;

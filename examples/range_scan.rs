@@ -35,7 +35,11 @@ fn main() -> Result<(), StoreError> {
     let rows = store.range(key(2, 100), key(2, 110), 100)?;
     println!("sensor 2, ts 100..110 -> {} rows", rows.len());
     for (k, v) in &rows {
-        println!("  ts {:>4}: {}", k & 0xFFFF_FFFF, String::from_utf8_lossy(v));
+        println!(
+            "  ts {:>4}: {}",
+            k & 0xFFFF_FFFF,
+            String::from_utf8_lossy(v)
+        );
     }
     assert_eq!(rows.len(), 10);
     // Keys come back in order.
@@ -46,7 +50,10 @@ fn main() -> Result<(), StoreError> {
     assert_eq!(first3.len(), 3);
     println!(
         "first 3 rows of sensor 1: ts {:?}",
-        first3.iter().map(|(k, _)| k & 0xFFFF_FFFF).collect::<Vec<_>>()
+        first3
+            .iter()
+            .map(|(k, _)| k & 0xFFFF_FFFF)
+            .collect::<Vec<_>>()
     );
 
     // Point ops still work as usual on the ordered index.

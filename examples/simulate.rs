@@ -1,17 +1,64 @@
 //! Drive the discrete-event evaluation testbed directly: compare
-//! FlatStore-H against CCEH on your own workload point and inspect the
-//! device counters (a miniature of the paper's Figure 7).
+//! FlatStore-H against CCEH on your own workload point, inspect the
+//! device counters (a miniature of the paper's Figure 7), and optionally
+//! export the run's metrics and virtual-time trace:
 //!
 //! ```sh
-//! cargo run --release --example simulate
+//! cargo run --release --example simulate -- \
+//!     --metrics-out /tmp/metrics.json --trace-out /tmp/trace.json
 //! ```
+//!
+//! `--metrics-out` writes the FlatStore-H run's [`simkv::Summary`] as a
+//! JSON [`obs::StatsReport`]; `--trace-out` writes a Chrome trace-event
+//! file (open it in Perfetto or `chrome://tracing`) with one track per
+//! simulated core showing batch-flush spans, group-lock holds and steals.
 
-use simkv::{
-    BaselineKind, Engine, ExecModel, SimConfig, SimIndex, WorkloadSpec,
-};
+use simkv::{BaselineKind, Engine, ExecModel, SimConfig, SimIndex, Summary, WorkloadSpec};
 use workloads::KeyDist;
 
+/// `--metrics-out <path>` / `--trace-out <path>`, no external parser.
+struct Args {
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        metrics_out: None,
+        trace_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a path argument"))
+        };
+        match flag.as_str() {
+            "--metrics-out" => args.metrics_out = Some(take("--metrics-out")),
+            "--trace-out" => args.trace_out = Some(take("--trace-out")),
+            other => panic!("unknown argument {other:?} (expected --metrics-out/--trace-out)"),
+        }
+    }
+    args
+}
+
+fn export_trace(path: &str, cfg: &SimConfig, summary: &Summary) {
+    let ngroups = cfg.ncores.div_ceil(cfg.group_size);
+    let mut tracks: Vec<(u32, String)> = (0..cfg.ncores)
+        .map(|c| (c as u32, format!("core {c}")))
+        .collect();
+    tracks.extend((0..ngroups).map(|g| ((cfg.ncores + g) as u32, format!("cleaner {g}"))));
+    let doc = obs::chrome_trace("simkv FlatStore-H", tracks, &summary.events);
+    std::fs::write(path, doc).expect("write trace file");
+    println!(
+        "trace: {} events ({} dropped) -> {path}",
+        summary.events.len(),
+        summary.events_dropped
+    );
+}
+
 fn main() {
+    let args = parse_args();
     let base = SimConfig {
         ncores: 16,
         group_size: 8,
@@ -40,6 +87,10 @@ fn main() {
     ] {
         let mut cfg = base.clone();
         cfg.engine = engine;
+        let exporting = name == "FlatStore-H";
+        if exporting && args.trace_out.is_some() {
+            cfg.trace_events = 1 << 17;
+        }
         let s = simkv::run(&cfg);
         println!(
             "{name:<12}: {:6.2} Mops/s  p50 {:5.1} us  p99 {:5.1} us  avg batch {:4.1}",
@@ -48,10 +99,16 @@ fn main() {
             s.p99_ns / 1e3,
             s.avg_batch
         );
-        println!(
-            "              media writes {:>8}  merged flushes {:>8}  repeat stalls {:>6}",
-            s.device.media_writes, s.device.merged_flushes, s.device.repeat_stalls
-        );
+        println!("{}", s.report(name));
+        if exporting {
+            if let Some(path) = &args.metrics_out {
+                std::fs::write(path, s.report(name).to_json()).expect("write metrics file");
+                println!("metrics -> {path}");
+            }
+            if let Some(path) = &args.trace_out {
+                export_trace(path, &cfg, &s);
+            }
+        }
     }
     println!("\n(16 simulated cores; vary SimConfig to sweep the design space)");
 }

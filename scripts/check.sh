@@ -1,21 +1,34 @@
 #!/usr/bin/env bash
-# Full validation pipeline for the FlatStore reproduction.
+# Full validation pipeline for the FlatStore reproduction — the same gate
+# CI runs (.github/workflows/ci.yml). Everything is --offline: the
+# workspace has no registry dependencies (std-only shims under shims/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build =="
-cargo build --workspace --all-targets
+echo "== format =="
+cargo fmt --all -- --check
+
+echo "== build (release) =="
+cargo build --release --workspace --all-targets --offline
 
 echo "== clippy =="
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== tests (unit + integration + property) =="
-cargo test --workspace
+cargo test --workspace -q --offline
 
 echo "== docs =="
-cargo doc --workspace --no-deps
+cargo doc --workspace --no-deps --offline
+
+echo "== observability smoke: simulate with exporters =="
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release --offline --example simulate -- \
+    --metrics-out "$tmpdir/metrics.json" --trace-out "$tmpdir/trace.json"
+test -s "$tmpdir/metrics.json"
+test -s "$tmpdir/trace.json"
 
 echo "== smoke-scale figures =="
-FLATBENCH_QUICK=1 cargo bench --workspace
+FLATBENCH_QUICK=1 cargo bench --workspace --offline
 
 echo "All checks passed."

@@ -1,0 +1,308 @@
+//! Local, std-only stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API surface its benches use: [`Criterion`] with the
+//! builder knobs, [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! benchmark groups, and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! There are no statistics, plots, or saved baselines: each benchmark is
+//! warmed up, timed over `sample_size` samples, and the per-iteration
+//! mean / min across samples is printed. Good enough to spot order-of-
+//! magnitude regressions by eye, which is all the repo's bench targets
+//! promise (the simulator, not host time, is the measured artifact).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup; the shim times one routine call
+/// per setup regardless, so the variants only exist for signature
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver (builder + registry of results).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its per-iteration timing.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: Mode::Warmup,
+            deadline: Instant::now() + self.warm_up_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+
+        b.mode = Mode::Measure;
+        b.samples.clear();
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        for _ in 0..self.sample_size {
+            b.deadline = Instant::now() + per_sample.max(Duration::from_micros(100));
+            f(&mut b);
+        }
+
+        report(id.as_ref(), &b.samples);
+        self
+    }
+
+    /// Namespaces a set of related benchmarks (`group/name` ids).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Real criterion parses CLI args here; the shim has none.
+    pub fn final_summary(&mut self) {}
+}
+
+/// See [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Warmup,
+    Measure,
+}
+
+/// Passed to each benchmark closure; runs the routine until the current
+/// sample's deadline and records mean ns/iter per sample.
+pub struct Bencher {
+    mode: Mode,
+    deadline: Instant,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back until the sample deadline.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            // Batch the clock reads: Instant::now() costs ~20ns, which
+            // would swamp sub-100ns routines if checked every iteration.
+            if iters.is_multiple_of(64) && Instant::now() >= self.deadline {
+                break;
+            }
+        }
+        self.record(start.elapsed(), iters);
+    }
+
+    /// Like [`Bencher::iter`], but `setup` runs outside the timed span.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+            if iters.is_multiple_of(16) && Instant::now() >= self.deadline {
+                break;
+            }
+        }
+        self.record(spent, iters);
+    }
+
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        if self.mode == Mode::Measure && iters > 0 {
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn report(id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{id:<40} {:>12}/iter  (min {:>12}, {} samples)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        samples.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a bench entry point `name()` running every target, matching
+/// criterion's `name/config/targets` form and the positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main()` for a bench target (`harness = false` in the manifest).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(6))
+    }
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = fast_config();
+        let mut calls = 0u64;
+        c.bench_function("shim/add", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls) + 1
+            })
+        });
+        // warmup + 3 measurement samples all invoked the routine
+        assert!(calls > 4);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iter() {
+        let mut c = fast_config();
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 32],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = fast_config();
+        let mut g = c.benchmark_group("grp");
+        g.bench_function(format!("case_{}", 1), |b| b.iter(|| 2 + 2));
+        g.finish();
+    }
+
+    mod as_macro_user {
+        use super::super::*;
+
+        fn target(c: &mut Criterion) {
+            c.bench_function("macro/one", |b| b.iter(|| black_box(1u64) * 2));
+        }
+
+        criterion_group! {
+            name = benches;
+            config = Criterion::default()
+                .sample_size(2)
+                .warm_up_time(std::time::Duration::from_millis(1))
+                .measurement_time(std::time::Duration::from_millis(4));
+            targets = target
+        }
+
+        #[test]
+        fn group_macro_entrypoint_runs() {
+            benches();
+        }
+    }
+}

@@ -1,0 +1,592 @@
+//! Local, std-only stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of proptest it uses: the [`Strategy`] combinators
+//! (`prop_map`, `prop_flat_map`, `boxed`), [`Just`], integer-range and
+//! tuple strategies, `prop::collection::vec`, `any::<T>()`, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_oneof!`
+//! macros.
+//!
+//! Differences from real proptest, deliberate for a shim:
+//! * **no shrinking** — a failing case reports the case number and the
+//!   assertion message, not a minimised input;
+//! * the RNG is a fixed-seed xoshiro256++, so every run explores the same
+//!   deterministic case sequence (re-running reproduces failures exactly);
+//! * only the configuration knob the workspace touches (`cases`) exists.
+
+use std::fmt;
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic generator feeding every strategy (xoshiro256++,
+    /// fixed seed: failures reproduce across runs).
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        pub fn deterministic() -> TestRng {
+            // SplitMix64 expansion of an arbitrary fixed seed.
+            let mut x = 0x9D8F_7A6B_5C4D_3E2Fu64;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, bound)`; modulo bias is negligible for
+        /// the small bounds test strategies use.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    /// A failed (or rejected) test case. `prop_assert*` produce these;
+    /// the `proptest!` harness turns them into panics.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+
+        /// Rejection is treated the same as failure here: the shim has no
+        /// case-regeneration loop.
+        pub fn reject(message: impl Into<String>) -> TestCaseError {
+            TestCaseError::fail(message)
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+pub use test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a deterministic function of the runner RNG.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes every drawn value with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Draws a value, then draws from the strategy `f` builds out of it —
+    /// for dependent generation such as "a vec and an index into it".
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!` to mix arms of
+    /// different concrete types).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe view of [`Strategy`] backing [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy producing `T`.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample_dyn(rng)
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy { .. }")
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        let mid = self.inner.sample(rng);
+        (self.f)(mid).sample(rng)
+    }
+}
+
+/// Weighted choice among type-erased arms — the engine behind
+/// `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return arm.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights summed to total")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128 - lo as u128 + 1) as u64;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident.$idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Full-domain strategies, reachable through [`any`].
+pub mod arbitrary {
+    use super::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary() -> Any<Self>;
+    }
+
+    /// The strategy returned by [`super::any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary() -> Any<$t> {
+                    Any(PhantomData)
+                }
+            }
+
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary() -> Any<bool> {
+            Any(PhantomData)
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() >> 63 == 1
+        }
+    }
+}
+
+/// `any::<T>()` — every value of `T` equally likely.
+pub fn any<T: arbitrary::Arbitrary>() -> arbitrary::Any<T> {
+    T::arbitrary()
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length bound for [`vec`]; build from `usize` or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> SizeRange {
+            SizeRange {
+                lo: exact,
+                hi_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runs each `fn name(pat in strategy, ...) { body }` as a `#[test]`
+/// over `config.cases` deterministic samples. The body runs inside a
+/// closure returning `Result<(), TestCaseError>`, so `prop_assert*` can
+/// early-return and `?` works on helper functions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@harness ($cfg) $($rest)*);
+    };
+    (@harness ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut prop_rng = $crate::TestRng::deterministic();
+            for prop_case in 0..config.cases {
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut prop_rng);)+
+                let result: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        prop_case,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@harness ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert_eq!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Picks one arm per sample; `weight => strategy` arms bias the choice.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+    pub use crate as prop;
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::{any, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_respect_bounds() {
+        let mut rng = crate::TestRng::deterministic();
+        let s = prop::collection::vec(3u64..7, 2..5);
+        for _ in 0..200 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (3..7).contains(x)));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_bias_choice() {
+        let mut rng = crate::TestRng::deterministic();
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let hits = (0..1000).filter(|_| Strategy::sample(&s, &mut rng)).count();
+        assert!((800..=990).contains(&hits), "weight 9:1 gave {hits}/1000");
+    }
+
+    #[test]
+    fn flat_map_generates_dependent_values() {
+        let mut rng = crate::TestRng::deterministic();
+        let s = prop::collection::vec(any::<u8>(), 1..20).prop_flat_map(|v| {
+            let n = v.len();
+            (Just(v), 0..n)
+        });
+        for _ in 0..200 {
+            let (v, i) = Strategy::sample(&s, &mut rng);
+            assert!(i < v.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        fn harness_runs_and_assertions_pass(x in 0u64..100, ys in prop::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.len(), ys.iter().map(|&b| usize::from(b < 255) + usize::from(b == 255)).sum::<usize>());
+        }
+    }
+
+    proptest! {
+        fn harness_default_config_works((a, b) in (0u32..10, 0u32..10)) {
+            prop_assert!(a < 10 && b < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_case_panics_with_context() {
+        // Reuse the harness machinery via a nested proptest-like loop.
+        let config = ProptestConfig::with_cases(4);
+        let mut rng = crate::TestRng::deterministic();
+        for case in 0..config.cases {
+            let x = Strategy::sample(&(0u64..10), &mut rng);
+            let result: Result<(), TestCaseError> = (|| {
+                prop_assert!(x > 100, "x was {}", x);
+                Ok(())
+            })();
+            if let Err(e) = result {
+                panic!("proptest failed at case {case}: {e}");
+            }
+        }
+    }
+}

@@ -71,7 +71,11 @@ fn etc_mix_survives_crash() {
     let store = FlatStore::open(pm, c).unwrap();
     assert_eq!(store.len(), model.len());
     for (k, v) in &model {
-        assert_eq!(store.get(*k).unwrap().as_deref(), Some(v.as_slice()), "key {k}");
+        assert_eq!(
+            store.get(*k).unwrap().as_deref(),
+            Some(v.as_slice()),
+            "key {k}"
+        );
     }
 }
 
