@@ -96,22 +96,24 @@ fn index_ops(c: &mut Criterion) {
 fn engine_ops(c: &mut Criterion) {
     use flatstore::{Config, FlatStore};
 
-    let store = FlatStore::create(Config {
-        pm_bytes: 512 << 20,
-        ncores: 2,
-        group_size: 2,
-        ..Config::default()
-    })
+    let store = FlatStore::create(
+        Config::builder()
+            .pm_bytes(512 << 20)
+            .ncores(2)
+            .group_size(2)
+            .build()
+            .expect("engine config"),
+    )
     .expect("engine");
     for k in 0..10_000u64 {
-        store.put(k, &[0xAB; 64]).expect("prefill");
+        store.put(k, [0xAB; 64]).expect("prefill");
     }
 
     let mut k = 0u64;
     c.bench_function("engine/put_inline_64B", |b| {
         b.iter(|| {
             k = (k + 1) % 10_000;
-            store.put(k, &[0xCD; 64]).expect("put");
+            store.put(k, [0xCD; 64]).expect("put");
         });
     });
     c.bench_function("engine/put_allocator_1KB", |b| {

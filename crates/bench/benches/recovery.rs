@@ -14,14 +14,14 @@ use workloads::value_bytes;
 fn main() {
     let quick = std::env::var("FLATBENCH_QUICK").is_ok_and(|v| v != "0");
     let keys: u64 = if quick { 100_000 } else { 400_000 };
-    let cfg = Config {
-        pm_bytes: 1 << 30,
-        dram_bytes: 64 << 20,
-        ncores: 4,
-        group_size: 4,
-        crash_tracking: true,
-        ..Config::default()
-    };
+    let cfg = Config::builder()
+        .pm_bytes(1 << 30)
+        .dram_bytes(64 << 20)
+        .ncores(4)
+        .group_size(4)
+        .crash_tracking(true)
+        .build()
+        .expect("bench config");
 
     println!("== Recovery speed (paper §3.5) ==");
     let store = FlatStore::create(cfg.clone()).expect("create");
@@ -33,7 +33,7 @@ fn main() {
         } else {
             8 + (k % 120) as usize
         };
-        store.put(k, &value_bytes(k, len)).expect("put");
+        store.put(k, value_bytes(k, len)).expect("put");
     }
     store.barrier();
     println!("loaded {keys} keys in {:?}", t.elapsed());

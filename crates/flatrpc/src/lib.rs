@@ -23,6 +23,12 @@
 //!   it drains the delegation rings and completes the responses into the
 //!   per-client rings.
 //!
+//! Clients can also join a live fabric: [`Fabric::attach_client`] grows the
+//! ring matrix by one client while the server cores keep polling; each core
+//! claims the new rings lazily on its next poll (the paper's connection
+//! setup — registering a freshly allocated message buffer with the server —
+//! without stopping the world).
+//!
 //! # Example
 //!
 //! ```
@@ -47,21 +53,44 @@ mod ring;
 
 pub use ring::{ring, Consumer, Producer};
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Identifies a client connection.
 pub type ClientId = usize;
 
+/// A sequenced message: the fixed header every RPC payload travels under.
+///
+/// FlatRPC responses are completed by the agent core, not the core that
+/// executed the request, and a pipelined client keeps many requests in
+/// flight — so the wire format needs a client-chosen sequence number to
+/// match completions back to submissions. `seq` is opaque to the fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<T> {
+    /// Client-chosen correlation id, echoed back in the response envelope.
+    pub seq: u64,
+    /// The actual payload.
+    pub body: T,
+}
+
+impl<T> Envelope<T> {
+    /// Wraps `body` under sequence number `seq`.
+    pub fn new(seq: u64, body: T) -> Self {
+        Envelope { seq, body }
+    }
+}
+
 /// Fabric-wide counters.
 #[derive(Debug, Default)]
 pub struct FabricStats {
-    /// Requests delivered to server cores.
+    /// Requests delivered to server cores (successful sends only).
     pub requests: AtomicU64,
     /// Responses sent directly by the agent core.
     pub direct_responses: AtomicU64,
     /// Responses delegated from another core to the agent.
     pub delegated_responses: AtomicU64,
+    /// Clients attached after construction via [`Fabric::attach_client`].
+    pub clients_attached: AtomicU64,
 }
 
 /// `[core][client]` request-ring halves.
@@ -69,7 +98,6 @@ type ReqProducers<Req> = Vec<Vec<Option<Producer<(ClientId, Req)>>>>;
 type ReqConsumers<Req> = Vec<Vec<Option<Consumer<(ClientId, Req)>>>>;
 
 struct Wiring<Req, Resp> {
-    ncores: usize,
     nclients: usize,
     /// `[core][client]` request rings.
     req_prod: ReqProducers<Req>,
@@ -80,6 +108,27 @@ struct Wiring<Req, Resp> {
     /// Per-client response rings out of the agent.
     resp_prod: Vec<Option<Producer<Resp>>>,
     resp_cons: Vec<Option<Consumer<Resp>>>,
+}
+
+/// Ring ends for one dynamically attached client, waiting to be claimed:
+/// each server core takes its request-ring consumer, the agent takes the
+/// response-ring producer.
+struct PendingClient<Req, Resp> {
+    req_cons: Vec<Option<Consumer<(ClientId, Req)>>>,
+    resp_prod: Option<Producer<Resp>>,
+}
+
+/// State shared between the fabric handle and every endpoint; carries the
+/// growth list server cores sync against.
+struct Shared<Req, Resp> {
+    ncores: usize,
+    /// Clients wired at construction (ids `0..base_clients`).
+    base_clients: usize,
+    capacity: usize,
+    /// Number of entries published to `growth`; endpoints compare against
+    /// their claimed count to skip the lock on the fast path.
+    grown: AtomicUsize,
+    growth: Mutex<Vec<PendingClient<Req, Resp>>>,
     stats: Arc<FabricStats>,
 }
 
@@ -87,9 +136,11 @@ struct Wiring<Req, Resp> {
 ///
 /// Construction order: create the fabric, then take the [`ServerCore`]s
 /// (once) and each client's [`ClientPort`] (once each); endpoints are
-/// free-standing and can move to their threads.
+/// free-standing and can move to their threads. Additional clients can
+/// join later through [`Fabric::attach_client`].
 pub struct Fabric<Req, Resp> {
-    wiring: std::sync::Mutex<Wiring<Req, Resp>>,
+    wiring: Mutex<Wiring<Req, Resp>>,
+    shared: Arc<Shared<Req, Resp>>,
 }
 
 impl<Req: Send, Resp: Send> Fabric<Req, Resp> {
@@ -132,8 +183,7 @@ impl<Req: Send, Resp: Send> Fabric<Req, Resp> {
             resp_cons.push(Some(c));
         }
         Fabric {
-            wiring: std::sync::Mutex::new(Wiring {
-                ncores,
+            wiring: Mutex::new(Wiring {
                 nclients,
                 req_prod,
                 req_cons,
@@ -141,6 +191,13 @@ impl<Req: Send, Resp: Send> Fabric<Req, Resp> {
                 del_cons,
                 resp_prod,
                 resp_cons,
+            }),
+            shared: Arc::new(Shared {
+                ncores,
+                base_clients: nclients,
+                capacity,
+                grown: AtomicUsize::new(0),
+                growth: Mutex::new(Vec::new()),
                 stats,
             }),
         }
@@ -164,9 +221,10 @@ impl<Req: Send, Resp: Send> Fabric<Req, Resp> {
                 .iter_mut()
                 .map(|p| p.take().expect("server cores already taken"))
                 .collect(),
+            claimed: 0,
         };
         let mut agent_state = Some(agent_state);
-        (0..w.ncores)
+        (0..self.shared.ncores)
             .map(|core| ServerCore {
                 core,
                 rx: w.req_cons[core]
@@ -180,12 +238,13 @@ impl<Req: Send, Resp: Send> Fabric<Req, Resp> {
                 },
                 agent: if core == 0 { agent_state.take() } else { None },
                 next_client: 0,
-                stats: Arc::clone(&w.stats),
+                claimed: 0,
+                shared: Arc::clone(&self.shared),
             })
             .collect()
     }
 
-    /// Takes client `id`'s endpoint.
+    /// Takes client `id`'s endpoint (ids wired at construction).
     ///
     /// # Panics
     ///
@@ -195,7 +254,7 @@ impl<Req: Send, Resp: Send> Fabric<Req, Resp> {
         assert!(id < w.nclients, "client id out of range");
         ClientPort {
             id,
-            to_core: (0..w.ncores)
+            to_core: (0..self.shared.ncores)
                 .map(|core| {
                     w.req_prod[core][id]
                         .take()
@@ -203,13 +262,51 @@ impl<Req: Send, Resp: Send> Fabric<Req, Resp> {
                 })
                 .collect(),
             rx: w.resp_cons[id].take().expect("client port already taken"),
-            stats: Arc::clone(&w.stats),
+            stats: Arc::clone(&self.shared.stats),
+        }
+    }
+
+    /// Attaches a new client to a live fabric and returns its port.
+    ///
+    /// The new rings are published to a growth list; each server core (and
+    /// the agent) claims its ends lazily on its next [`ServerCore::poll`] /
+    /// [`ServerCore::respond`], so attachment never blocks the data path.
+    /// Requests sent before every core has synced simply wait in the ring.
+    pub fn attach_client(&self) -> ClientPort<Req, Resp> {
+        let shared = &self.shared;
+        let mut to_core = Vec::with_capacity(shared.ncores);
+        let mut req_cons = Vec::with_capacity(shared.ncores);
+        for _ in 0..shared.ncores {
+            let (p, c) = ring(shared.capacity);
+            to_core.push(p);
+            req_cons.push(Some(c));
+        }
+        let (resp_p, resp_c) = ring(shared.capacity);
+        let mut growth = shared.growth.lock().expect("fabric growth lock");
+        let id = shared.base_clients + growth.len();
+        growth.push(PendingClient {
+            req_cons,
+            resp_prod: Some(resp_p),
+        });
+        // Publish while still holding the lock so `grown` stays monotonic
+        // under concurrent attaches.
+        shared.grown.store(growth.len(), Ordering::Release);
+        drop(growth);
+        shared
+            .stats
+            .clients_attached
+            .fetch_add(1, Ordering::Relaxed);
+        ClientPort {
+            id,
+            to_core,
+            rx: resp_c,
+            stats: Arc::clone(&shared.stats),
         }
     }
 
     /// Fabric counters.
     pub fn stats(&self) -> Arc<FabricStats> {
-        Arc::clone(&self.wiring.lock().expect("fabric lock").stats)
+        Arc::clone(&self.shared.stats)
     }
 }
 
@@ -235,8 +332,13 @@ impl<Req, Resp> ClientPort<Req, Resp> {
     ///
     /// Returns the request back when the ring is full.
     pub fn send(&self, core: usize, req: Req) -> Result<(), Req> {
-        self.stats.requests.fetch_add(1, Ordering::Relaxed);
-        self.to_core[core].push((self.id, req)).map_err(|(_, r)| r)
+        match self.to_core[core].push((self.id, req)) {
+            Ok(()) => {
+                self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err((_, r)) => Err(r),
+        }
     }
 
     /// Polls for one response.
@@ -266,6 +368,8 @@ impl<Req, Resp> ClientPort<Req, Resp> {
 struct AgentState<Resp> {
     delegations: Vec<Consumer<(ClientId, Resp)>>,
     responses: Vec<Producer<Resp>>,
+    /// Growth entries whose response producer this agent has claimed.
+    claimed: usize,
 }
 
 /// One server core's endpoint: poll requests, post responses. Core 0 is
@@ -279,7 +383,9 @@ pub struct ServerCore<Req, Resp> {
     /// Core 0 only: the agent state.
     agent: Option<AgentState<Resp>>,
     next_client: usize,
-    stats: Arc<FabricStats>,
+    /// Growth entries whose request consumer this core has claimed.
+    claimed: usize,
+    shared: Arc<Shared<Req, Resp>>,
 }
 
 impl<Req, Resp> ServerCore<Req, Resp> {
@@ -288,8 +394,41 @@ impl<Req, Resp> ServerCore<Req, Resp> {
         self.core
     }
 
+    /// Claims request rings of clients attached since the last sync.
+    fn sync_clients(&mut self) {
+        if self.shared.grown.load(Ordering::Acquire) == self.claimed {
+            return;
+        }
+        let mut growth = self.shared.growth.lock().expect("fabric growth lock");
+        while self.claimed < growth.len() {
+            let cons = growth[self.claimed].req_cons[self.core]
+                .take()
+                .expect("request ring claimed once per core");
+            self.rx.push(cons);
+            self.claimed += 1;
+        }
+    }
+
+    /// Agent only: claims response rings of clients attached since the
+    /// last sync.
+    fn sync_responses(agent: &mut AgentState<Resp>, shared: &Shared<Req, Resp>) {
+        if shared.grown.load(Ordering::Acquire) == agent.claimed {
+            return;
+        }
+        let mut growth = shared.growth.lock().expect("fabric growth lock");
+        while agent.claimed < growth.len() {
+            let prod = growth[agent.claimed]
+                .resp_prod
+                .take()
+                .expect("response ring claimed once by the agent");
+            agent.responses.push(prod);
+            agent.claimed += 1;
+        }
+    }
+
     /// Polls the per-client message buffers round-robin.
     pub fn poll(&mut self) -> Option<(ClientId, Req)> {
+        self.sync_clients();
         let n = self.rx.len();
         for _ in 0..n {
             let i = self.next_client;
@@ -301,16 +440,33 @@ impl<Req, Resp> ServerCore<Req, Resp> {
         None
     }
 
+    /// Whether any request is waiting in this core's message buffers.
+    ///
+    /// Used by shutdown protocols: a core that intends to exit must first
+    /// observe all its rings empty, or late requests would hang their
+    /// clients.
+    pub fn has_pending_requests(&mut self) -> bool {
+        self.sync_clients();
+        self.rx.iter().any(|c| !c.is_empty())
+    }
+
     /// Posts the response verb: sent directly if this is the agent core,
     /// otherwise delegated to the agent (paper Fig. 6 step 3.0).
     pub fn respond(&mut self, client: ClientId, resp: Resp) {
-        match (&self.agent, &self.delegate) {
+        match (&mut self.agent, &self.delegate) {
             (Some(agent), _) => {
-                self.stats.direct_responses.fetch_add(1, Ordering::Relaxed);
+                if client >= agent.responses.len() {
+                    Self::sync_responses(agent, &self.shared);
+                }
+                self.shared
+                    .stats
+                    .direct_responses
+                    .fetch_add(1, Ordering::Relaxed);
                 agent.responses[client].push_blocking(resp);
             }
             (_, Some(delegate)) => {
-                self.stats
+                self.shared
+                    .stats
                     .delegated_responses
                     .fetch_add(1, Ordering::Relaxed);
                 delegate.push_blocking((client, resp));
@@ -323,10 +479,15 @@ impl<Req, Resp> ServerCore<Req, Resp> {
     /// the responses into the client rings. Returns how many were
     /// completed; always 0 on other cores.
     pub fn pump_delegations(&mut self) -> usize {
-        let Some(agent) = &self.agent else { return 0 };
+        let Some(agent) = &mut self.agent else {
+            return 0;
+        };
         let mut n = 0;
-        for d in &agent.delegations {
-            while let Some((client, resp)) = d.pop() {
+        for i in 0..agent.delegations.len() {
+            while let Some((client, resp)) = agent.delegations[i].pop() {
+                if client >= agent.responses.len() {
+                    Self::sync_responses(agent, &self.shared);
+                }
                 agent.responses[client].push_blocking(resp);
                 n += 1;
             }
@@ -388,6 +549,69 @@ mod tests {
         client.send(0, 1).unwrap();
         client.send(0, 2).unwrap();
         assert!(client.send(0, 3).is_err(), "no credits left");
+        // Failed sends are not counted as delivered requests.
+        assert_eq!(fabric.stats().requests.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn envelope_round_trip() {
+        let fabric = Fabric::<Envelope<u32>, Envelope<u32>>::new(1, 1, 4);
+        let mut cores = fabric.server_cores();
+        let client = fabric.client_port(0);
+        client.send(0, Envelope::new(41, 10)).unwrap();
+        let (from, env) = cores[0].poll().unwrap();
+        cores[0].respond(from, Envelope::new(env.seq, env.body + 1));
+        assert_eq!(client.recv(), Envelope::new(41, 11));
+    }
+
+    #[test]
+    fn attach_client_to_live_fabric() {
+        let fabric = Fabric::<u64, u64>::new(2, 1, 8);
+        let mut cores = fabric.server_cores();
+        let base = fabric.client_port(0);
+
+        let late = fabric.attach_client();
+        assert_eq!(late.id(), 1);
+        late.send(1, 50).unwrap();
+        base.send(1, 40).unwrap();
+
+        // Core 1 sees both clients; responses are delegated through core 0.
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            if let Some((from, req)) = cores[1].poll() {
+                cores[1].respond(from, req + 1);
+                got.push((from, req));
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 40), (1, 50)]);
+        while cores[0].pump_delegations() == 0 {}
+        assert_eq!(base.recv(), 41);
+        assert_eq!(late.recv(), 51);
+
+        // Another attach: the agent core answers it directly.
+        let later = fabric.attach_client();
+        assert_eq!(later.id(), 2);
+        later.send(0, 7).unwrap();
+        let (from, req) = loop {
+            if let Some(m) = cores[0].poll() {
+                break m;
+            }
+        };
+        cores[0].respond(from, req * 10);
+        assert_eq!(later.recv(), 70);
+        assert_eq!(fabric.stats().clients_attached.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn pending_requests_visible_before_poll() {
+        let fabric = Fabric::<u8, u8>::new(1, 1, 4);
+        let mut cores = fabric.server_cores();
+        let client = fabric.attach_client();
+        client.send(0, 1).unwrap();
+        assert!(cores[0].has_pending_requests());
+        cores[0].poll().unwrap();
+        assert!(!cores[0].has_pending_requests());
     }
 
     #[test]
@@ -420,7 +644,14 @@ mod tests {
 
         let mut clients = Vec::new();
         for id in 0..nclients {
-            let port = fabric.client_port(id);
+            // Half the clients are wired at construction, half attach to
+            // the live fabric.
+            let port = if id % 2 == 0 {
+                fabric.client_port(id)
+            } else {
+                let _ = fabric.client_port(id);
+                fabric.attach_client()
+            };
             clients.push(std::thread::spawn(move || {
                 for i in 0..per_client {
                     let core = (i % 3) as usize;

@@ -307,6 +307,11 @@ pub struct EngineStats {
     pub range_latency: obs::LogHistogram,
     /// Entries per persisted batch, recorded by the group leader.
     pub batch_size: obs::LogHistogram,
+    /// Session pipeline occupancy sampled at each submit (the blocking
+    /// handle always records 1).
+    pub inflight_depth: obs::LogHistogram,
+    /// Submit-to-completion latency per pipelined operation (ns).
+    pub completion_latency: obs::LogHistogram,
 }
 
 impl EngineStats {
@@ -355,6 +360,16 @@ impl EngineStats {
             sec.latency_rows("get", &self.get_latency.snapshot());
             sec.latency_rows("delete", &self.delete_latency.snapshot());
             sec.latency_rows("range", &self.range_latency.snapshot());
+        }
+        {
+            let depth = self.inflight_depth.snapshot();
+            let sec = r.section("session");
+            sec.latency_rows("completion", &self.completion_latency.snapshot());
+            if depth.count > 0 {
+                sec.row("inflight_p50", depth.percentile(50.0))
+                    .row("inflight_p99", depth.percentile(99.0))
+                    .row("inflight_max", depth.max);
+            }
         }
         r.section("maintenance")
             .row("gc_chunks", self.gc_chunks.load(Ordering::Relaxed))

@@ -1,5 +1,7 @@
 //! Engine configuration.
 
+use crate::error::StoreError;
+
 /// Which volatile index backs the store (paper §4.1–4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum IndexKind {
@@ -53,17 +55,25 @@ impl Default for GcConfig {
 }
 
 /// FlatStore engine configuration.
+///
+/// Build one with [`Config::builder`], which validates the settings and
+/// returns [`StoreError::InvalidConfig`] on inconsistency — long before
+/// any PM is formatted. The struct is `#[non_exhaustive]`; fields stay
+/// readable (and assignable on an existing value) but literal
+/// construction outside this crate must go through the builder.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct Config {
     /// Total simulated-PM size in bytes (superblock + chunk pool). Must be
-    /// a multiple of 4 MB and at least `(ncores + 2) * 4 MB + 4 MB`.
+    /// a multiple of 4 MB and at least `(ncores + 3) * 4 MB`.
     pub pm_bytes: usize,
     /// DRAM arena for the volatile index (per core for `Hash`, total for
     /// `FastFair`).
     pub dram_bytes: usize,
     /// Number of server cores (worker threads).
     pub ncores: usize,
-    /// Cores per horizontal-batching group (paper: one socket per group).
+    /// Cores per horizontal-batching group (paper: one socket per group);
+    /// must divide `ncores`.
     pub group_size: usize,
     /// The volatile index flavor.
     pub index: IndexKind,
@@ -77,8 +87,14 @@ pub struct Config {
     pub strict_fence_seed: Option<u64>,
     /// Log-cleaning parameters.
     pub gc: GcConfig,
-    /// Max requests a core drains from its channel per loop iteration.
+    /// Max requests a core drains from its request rings per loop
+    /// iteration.
     pub channel_batch: usize,
+    /// Max operations a [`Session`] keeps in flight before `submit`
+    /// absorbs completions; also sizes the fabric's per-client rings.
+    ///
+    /// [`Session`]: crate::Session
+    pub pipeline_depth: usize,
 }
 
 impl Default for Config {
@@ -94,33 +110,208 @@ impl Default for Config {
             strict_fence_seed: None,
             gc: GcConfig::default(),
             channel_batch: 32,
+            pipeline_depth: 16,
         }
     }
 }
 
 impl Config {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder {
+            cfg: Config::default(),
+        }
+    }
+
     /// Validates the configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on inconsistent settings (zero cores, PM too small, …).
-    pub fn validate(&self) {
-        assert!(self.ncores > 0, "need at least one server core");
-        assert!(
-            self.ncores <= 60,
-            "superblock layout supports at most 60 cores"
-        );
-        assert!(self.group_size > 0, "group size must be positive");
-        assert_eq!(
-            self.pm_bytes % (4 << 20),
-            0,
-            "pm_bytes must be 4 MB aligned"
-        );
-        assert!(
-            self.pm_bytes >= (self.ncores + 3) * (4 << 20),
-            "pm_bytes too small for {} cores",
-            self.ncores
-        );
-        assert!(self.channel_batch > 0);
+    /// [`StoreError::InvalidConfig`] on inconsistent settings (zero cores,
+    /// group size not dividing the core count, PM pool too small for the
+    /// per-core logs, …).
+    pub fn validate(&self) -> Result<(), StoreError> {
+        fn bad(msg: impl Into<String>) -> Result<(), StoreError> {
+            Err(StoreError::InvalidConfig(msg.into()))
+        }
+        if self.ncores == 0 {
+            return bad("need at least one server core");
+        }
+        if self.ncores > 60 {
+            return bad(format!(
+                "superblock layout supports at most 60 cores, got {}",
+                self.ncores
+            ));
+        }
+        if self.group_size == 0 {
+            return bad("group size must be positive");
+        }
+        if !self.ncores.is_multiple_of(self.group_size) {
+            return bad(format!(
+                "group size {} must divide the core count {}",
+                self.group_size, self.ncores
+            ));
+        }
+        if !self.pm_bytes.is_multiple_of(4 << 20) {
+            return bad(format!(
+                "pm_bytes {} must be a multiple of the 4 MB chunk size",
+                self.pm_bytes
+            ));
+        }
+        if self.pm_bytes < (self.ncores + 3) * (4 << 20) {
+            return bad(format!(
+                "pm_bytes {} too small: {} cores need at least {} bytes \
+                 (superblock + per-core logs + headroom)",
+                self.pm_bytes,
+                self.ncores,
+                (self.ncores + 3) * (4 << 20)
+            ));
+        }
+        if self.channel_batch == 0 {
+            return bad("channel_batch must be positive");
+        }
+        if self.pipeline_depth == 0 {
+            return bad("pipeline_depth must be positive");
+        }
+        Ok(())
+    }
+}
+
+/// Chainable builder for [`Config`]; [`build`](ConfigBuilder::build)
+/// validates and returns the result.
+///
+/// # Example
+///
+/// ```
+/// use flatstore::Config;
+///
+/// let cfg = Config::builder()
+///     .pm_bytes(64 << 20)
+///     .ncores(2)
+///     .group_size(2)
+///     .build()?;
+/// assert_eq!(cfg.ncores, 2);
+/// # Ok::<(), flatstore::StoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfigBuilder {
+    cfg: Config,
+}
+
+impl ConfigBuilder {
+    /// Total simulated-PM size in bytes.
+    pub fn pm_bytes(mut self, v: usize) -> Self {
+        self.cfg.pm_bytes = v;
+        self
+    }
+
+    /// DRAM arena for the volatile index.
+    pub fn dram_bytes(mut self, v: usize) -> Self {
+        self.cfg.dram_bytes = v;
+        self
+    }
+
+    /// Number of server cores (worker threads).
+    pub fn ncores(mut self, v: usize) -> Self {
+        self.cfg.ncores = v;
+        self
+    }
+
+    /// Cores per horizontal-batching group.
+    pub fn group_size(mut self, v: usize) -> Self {
+        self.cfg.group_size = v;
+        self
+    }
+
+    /// The volatile index flavor.
+    pub fn index(mut self, v: IndexKind) -> Self {
+        self.cfg.index = v;
+        self
+    }
+
+    /// The batching execution model.
+    pub fn model(mut self, v: ExecutionModel) -> Self {
+        self.cfg.model = v;
+        self
+    }
+
+    /// Track flushed state so `simulate_crash` works.
+    pub fn crash_tracking(mut self, v: bool) -> Self {
+        self.cfg.crash_tracking = v;
+        self
+    }
+
+    /// Strict fence semantics with the given RNG seed (testing).
+    pub fn strict_fence_seed(mut self, v: Option<u64>) -> Self {
+        self.cfg.strict_fence_seed = v;
+        self
+    }
+
+    /// Log-cleaning parameters.
+    pub fn gc(mut self, v: GcConfig) -> Self {
+        self.cfg.gc = v;
+        self
+    }
+
+    /// Max requests a core drains from its rings per loop iteration.
+    pub fn channel_batch(mut self, v: usize) -> Self {
+        self.cfg.channel_batch = v;
+        self
+    }
+
+    /// Max in-flight operations per session (see
+    /// [`Config::pipeline_depth`]).
+    pub fn pipeline_depth(mut self, v: usize) -> Self {
+        self.cfg.pipeline_depth = v;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidConfig`] — see [`Config::validate`].
+    pub fn build(self) -> Result<Config, StoreError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accepts_consistent_settings() {
+        let cfg = Config::builder()
+            .pm_bytes(64 << 20)
+            .ncores(2)
+            .group_size(2)
+            .pipeline_depth(8)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.ncores, 2);
+        assert_eq!(cfg.pipeline_depth, 8);
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_settings() {
+        for (builder, needle) in [
+            (Config::builder().ncores(0), "at least one"),
+            (Config::builder().ncores(61), "at most 60"),
+            (Config::builder().group_size(0), "group size"),
+            (Config::builder().ncores(4).group_size(3), "must divide"),
+            (Config::builder().pm_bytes((4 << 20) + 1), "multiple"),
+            (Config::builder().pm_bytes(4 << 20), "too small"),
+            (Config::builder().channel_batch(0), "channel_batch"),
+            (Config::builder().pipeline_depth(0), "pipeline_depth"),
+        ] {
+            match builder.build() {
+                Err(StoreError::InvalidConfig(msg)) => {
+                    assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+                }
+                other => panic!("expected InvalidConfig({needle}), got {other:?}"),
+            }
+        }
     }
 }

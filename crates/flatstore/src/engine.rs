@@ -1,11 +1,11 @@
-//! The FlatStore engine: worker lifecycle, request routing, recovery and
-//! shutdown.
+//! The FlatStore engine: worker lifecycle, the FlatRPC fabric, recovery
+//! and shutdown.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Sender};
 use oplog::{LogEntry, LogOp, OpLog, Payload};
 use pmalloc::{ChunkManager, CoreAllocator, CHUNK_SIZE};
 use pmem::{PmAddr, PmRegion};
@@ -13,7 +13,8 @@ use pmem::{PmAddr, PmRegion};
 use crate::batch::{CkptGuard, DeletedTable, EngineStats, Group, Quarantine, UsageTable};
 use crate::config::Config;
 use crate::error::StoreError;
-use crate::request::{resp_channel, Request};
+use crate::request::{OpResult, StoreFabric};
+use crate::session::{EngineShared, Session};
 use crate::shard::{core_of, Shard};
 use crate::superblock::{Superblock, POOL_BASE};
 use crate::value::{pack, unpack};
@@ -25,32 +26,74 @@ fn elapsed_ns(start: std::time::Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// A completion of the wrong kind arrived for a blocking call — the
+/// session matched the ticket, so this indicates engine corruption.
+fn mismatched(other: OpResult) -> StoreError {
+    StoreError::corrupt(format!("mismatched completion kind: {other:?}"))
+}
+
 /// A clonable, thread-safe client handle to a running [`FlatStore`].
 ///
 /// Methods block until the engine acknowledges the operation (a Put is
 /// acknowledged only after its log entry is durable — paper §3.2), and
 /// record the client-observed latency of every call into the engine's
-/// [`EngineStats`] histograms.
-#[derive(Clone)]
+/// [`EngineStats`] histograms. Each method is a depth-1 pipeline: it
+/// submits on the handle's private [`Session`] and waits for that single
+/// completion. For overlapping operations, open a dedicated session with
+/// [`session`](Self::session).
 pub struct StoreHandle {
-    senders: Arc<Vec<Sender<Request>>>,
-    ncores: usize,
-    stats: Arc<EngineStats>,
+    shared: Arc<EngineShared>,
+    /// Lazily attached depth-1 session backing the blocking methods.
+    session: parking_lot::Mutex<Option<Session>>,
+}
+
+impl Clone for StoreHandle {
+    fn clone(&self) -> Self {
+        // Each clone attaches its own client port on first use, so clones
+        // on different threads never contend on one response ring.
+        StoreHandle {
+            shared: Arc::clone(&self.shared),
+            session: parking_lot::Mutex::new(None),
+        }
+    }
 }
 
 impl std::fmt::Debug for StoreHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StoreHandle")
-            .field("ncores", &self.ncores)
+            .field("ncores", &self.shared.ncores)
             .finish()
     }
 }
 
 impl StoreHandle {
-    fn send(&self, core: usize, req: Request) -> Result<(), StoreError> {
-        self.senders[core]
-            .send(req)
-            .map_err(|_| StoreError::ShuttingDown)
+    /// Runs `f` on this handle's private session, attaching it on first
+    /// use.
+    fn with_session<T>(
+        &self,
+        f: impl FnOnce(&mut Session) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let mut guard = self.session.lock();
+        if guard.is_none() {
+            if self.shared.stopped() {
+                return Err(StoreError::ShuttingDown);
+            }
+            *guard = Some(Session::attach(Arc::clone(&self.shared)));
+        }
+        f(guard.as_mut().expect("session attached above"))
+    }
+
+    /// Opens a new pipelined [`Session`] on the fabric (up to
+    /// [`Config::pipeline_depth`] operations in flight).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ShuttingDown`] if the engine stopped.
+    pub fn session(&self) -> Result<Session, StoreError> {
+        if self.shared.stopped() {
+            return Err(StoreError::ShuttingDown);
+        }
+        Ok(Session::attach(Arc::clone(&self.shared)))
     }
 
     /// Stores `value` under `key`.
@@ -59,20 +102,17 @@ impl StoreHandle {
     ///
     /// [`StoreError::EmptyValue`], [`StoreError::ReservedKey`],
     /// [`StoreError::OutOfSpace`], [`StoreError::ShuttingDown`].
-    pub fn put(&self, key: u64, value: &[u8]) -> Result<(), StoreError> {
+    pub fn put(&self, key: u64, value: impl AsRef<[u8]>) -> Result<(), StoreError> {
         let start = std::time::Instant::now();
-        let (tx, rx) = resp_channel();
-        self.send(
-            core_of(key, self.ncores),
-            Request::Put {
-                key,
-                value: value.to_vec(),
-                resp: tx,
-            },
-        )?;
-        let result = rx.recv().map_err(|_| StoreError::ShuttingDown)?;
-        self.stats.put_latency.record(elapsed_ns(start));
-        result
+        self.with_session(|s| {
+            let t = s.submit_put(key, value.as_ref())?;
+            let r = s.wait(t)?;
+            self.shared.stats.put_latency.record(elapsed_ns(start));
+            match r {
+                OpResult::Put(r) => r,
+                other => Err(mismatched(other)),
+            }
+        })
     }
 
     /// Reads `key`.
@@ -82,11 +122,15 @@ impl StoreHandle {
     /// [`StoreError::ShuttingDown`] or corruption errors.
     pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
         let start = std::time::Instant::now();
-        let (tx, rx) = resp_channel();
-        self.send(core_of(key, self.ncores), Request::Get { key, resp: tx })?;
-        let result = rx.recv().map_err(|_| StoreError::ShuttingDown)?;
-        self.stats.get_latency.record(elapsed_ns(start));
-        result
+        self.with_session(|s| {
+            let t = s.submit_get(key)?;
+            let r = s.wait(t)?;
+            self.shared.stats.get_latency.record(elapsed_ns(start));
+            match r {
+                OpResult::Get(r) => r,
+                other => Err(mismatched(other)),
+            }
+        })
     }
 
     /// Deletes `key`; returns whether it existed.
@@ -96,11 +140,15 @@ impl StoreHandle {
     /// As for [`put`](Self::put).
     pub fn delete(&self, key: u64) -> Result<bool, StoreError> {
         let start = std::time::Instant::now();
-        let (tx, rx) = resp_channel();
-        self.send(core_of(key, self.ncores), Request::Delete { key, resp: tx })?;
-        let result = rx.recv().map_err(|_| StoreError::ShuttingDown)?;
-        self.stats.delete_latency.record(elapsed_ns(start));
-        result
+        self.with_session(|s| {
+            let t = s.submit_delete(key)?;
+            let r = s.wait(t)?;
+            self.shared.stats.delete_latency.record(elapsed_ns(start));
+            match r {
+                OpResult::Delete(r) => r,
+                other => Err(mismatched(other)),
+            }
+        })
     }
 
     /// Range scan over `lo..hi`, at most `limit` items (FlatStore-M/-FF).
@@ -112,50 +160,39 @@ impl StoreHandle {
     /// [`StoreError::RangeUnsupported`] on FlatStore-H.
     pub fn range(&self, lo: u64, hi: u64, limit: usize) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
         let start = std::time::Instant::now();
-        let (tx, rx) = resp_channel();
-        self.send(
-            core_of(lo, self.ncores),
-            Request::Range {
-                lo,
-                hi,
-                limit,
-                resp: tx,
-            },
-        )?;
-        let result = rx.recv().map_err(|_| StoreError::ShuttingDown)?;
-        self.stats.range_latency.record(elapsed_ns(start));
-        result
+        self.with_session(|s| {
+            let t = s.submit_range(lo, hi, limit)?;
+            let r = s.wait(t)?;
+            self.shared.stats.range_latency.record(elapsed_ns(start));
+            match r {
+                OpResult::Range(r) => r,
+                other => Err(mismatched(other)),
+            }
+        })
     }
 
     /// Blocks until every request sent before this call has fully
-    /// completed on all cores.
+    /// completed on all cores. A no-op once the engine stops.
     pub fn barrier(&self) {
-        let mut waits = Vec::new();
-        for core in 0..self.ncores {
-            let (tx, rx) = resp_channel();
-            if self.send(core, Request::Barrier { resp: tx }).is_ok() {
-                waits.push(rx);
-            }
-        }
-        for rx in waits {
-            let _ = rx.recv();
-        }
+        let _ = self.with_session(|s| s.barrier());
     }
 }
 
 /// The FlatStore engine (paper Figure 2): per-core workers over a shared
 /// PM region, a volatile index, per-core compacted operation logs, the
-/// lazy-persist allocator and pipelined horizontal batching.
+/// lazy-persist allocator and pipelined horizontal batching, fronted by
+/// the FlatRPC fabric (paper §4.3).
 ///
 /// # Example
 ///
 /// ```
 /// use flatstore::{Config, FlatStore};
 ///
-/// let mut cfg = Config::default();
-/// cfg.pm_bytes = 64 << 20;
-/// cfg.ncores = 2;
-/// cfg.group_size = 2;
+/// let cfg = Config::builder()
+///     .pm_bytes(64 << 20)
+///     .ncores(2)
+///     .group_size(2)
+///     .build()?;
 /// let store = FlatStore::create(cfg)?;
 /// store.put(1, b"hello")?;
 /// assert_eq!(store.get(1)?.as_deref(), Some(&b"hello"[..]));
@@ -171,7 +208,11 @@ pub struct FlatStore {
     quarantine: Arc<Quarantine>,
     ckpt: Arc<CkptGuard>,
     stats: Arc<EngineStats>,
+    shared: Arc<EngineShared>,
     handle: StoreHandle,
+    /// The engine's own fabric client (client id 0), used for checkpoint
+    /// barriers/cursors and the shutdown broadcast.
+    control: parking_lot::Mutex<Session>,
     workers: Vec<JoinHandle<Shard>>,
     cfg: Config,
 }
@@ -190,10 +231,11 @@ impl FlatStore {
     ///
     /// # Errors
     ///
+    /// [`StoreError::InvalidConfig`] on inconsistent settings;
     /// [`StoreError::OutOfSpace`] if the region cannot hold the initial
     /// per-core logs.
     pub fn create(cfg: Config) -> Result<FlatStore, StoreError> {
-        cfg.validate();
+        cfg.validate()?;
         let pm = if let Some(seed) = cfg.strict_fence_seed {
             Arc::new(PmRegion::with_strict_fences(cfg.pm_bytes, seed))
         } else if cfg.crash_tracking {
@@ -224,15 +266,23 @@ impl FlatStore {
     /// Reopens an existing region: fast path after a clean shutdown,
     /// full log-scan recovery after a crash (paper §3.5).
     ///
+    /// The persistent layout dictates the shard count: `cfg.ncores` is
+    /// overridden by the superblock's, and `cfg.group_size` falls back to
+    /// that core count if it no longer divides it.
+    ///
     /// # Errors
     ///
-    /// [`StoreError::BadImage`] if the region is not a FlatStore image.
+    /// [`StoreError::BadImage`] if the region is not a FlatStore image;
+    /// [`StoreError::InvalidConfig`] on inconsistent settings.
     pub fn open(pm: Arc<PmRegion>, cfg: Config) -> Result<FlatStore, StoreError> {
         let sb = Superblock::new(&pm);
         let (ncores, nchunks) = sb.load()?;
         let mut cfg = cfg;
         cfg.ncores = ncores; // the persistent layout dictates the shards
-        cfg.validate();
+        if cfg.group_size == 0 || ncores % cfg.group_size != 0 {
+            cfg.group_size = ncores;
+        }
+        cfg.validate()?;
         let clean = sb.is_clean();
         let ckpt_valid = sb.ckpt_valid();
 
@@ -330,7 +380,7 @@ impl FlatStore {
                         if let Payload::Ptr(b) = e.payload {
                             if !trust_bitmaps {
                                 mgr.mark_allocated(b).map_err(|err| {
-                                    StoreError::Corrupt(format!("recovery mark: {err}"))
+                                    StoreError::corrupt_with("recovery mark failed", err)
                                 })?;
                             }
                         }
@@ -550,21 +600,12 @@ impl FlatStore {
     /// [`StoreError::OutOfSpace`] if no PM block can hold the snapshot;
     /// [`StoreError::ShuttingDown`] if the engine is stopping.
     pub fn checkpoint(&self) -> Result<(), StoreError> {
-        self.handle.barrier();
-        // 1. Per-core cursors (each core persists its own, on its thread).
-        let mut waits = Vec::new();
-        for core in 0..self.cfg.ncores {
-            let (tx, rx) = resp_channel();
-            self.handle
-                .senders
-                .get(core)
-                .ok_or(StoreError::ShuttingDown)?
-                .send(Request::CkptCursor { resp: tx })
-                .map_err(|_| StoreError::ShuttingDown)?;
-            waits.push(rx);
-        }
-        for rx in waits {
-            rx.recv().map_err(|_| StoreError::ShuttingDown)?;
+        {
+            let mut ctl = self.control.lock();
+            ctl.barrier()?;
+            // 1. Per-core cursors (each core persists its own, on its
+            //    thread).
+            ctl.ckpt_cursors()?;
         }
         // 2. Allocator bitmaps (covers everything allocated so far).
         self.mgr.persist_bitmaps();
@@ -604,11 +645,27 @@ impl FlatStore {
             })
             .collect();
 
-        let mut senders = Vec::with_capacity(ncores);
+        // Ring capacity covers a full pipeline plus one control message
+        // per core, so the agent can always complete a response without
+        // waiting on a client that is still submitting.
+        let capacity = cfg.pipeline_depth + ncores + 4;
+        let fabric = Arc::new(StoreFabric::new(ncores, 1, capacity));
+        let mut cores = fabric.server_cores();
+        let control_port = fabric.client_port(0);
+        let exited = Arc::new(AtomicUsize::new(0));
+
+        let shared = Arc::new(EngineShared {
+            fabric,
+            ncores,
+            depth: cfg.pipeline_depth,
+            stats: Arc::clone(&stats),
+            stop: AtomicBool::new(false),
+        });
+
         let mut workers = Vec::with_capacity(ncores);
         for (core, (log, alloc)) in shards.into_iter().enumerate() {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
+            let server = cores.remove(0);
+            debug_assert_eq!(server.core(), core);
             let shard = Shard::new(
                 core,
                 ncores,
@@ -627,7 +684,8 @@ impl FlatStore {
                 cfg.gc,
                 cfg.channel_batch,
                 Arc::clone(&stats),
-                rx,
+                server,
+                Arc::clone(&exited),
             );
             workers.push(
                 std::thread::Builder::new()
@@ -637,10 +695,11 @@ impl FlatStore {
             );
         }
         let handle = StoreHandle {
-            senders: Arc::new(senders),
-            ncores,
-            stats: Arc::clone(&stats),
+            shared: Arc::clone(&shared),
+            session: parking_lot::Mutex::new(None),
         };
+        let control =
+            parking_lot::Mutex::new(Session::with_port(Arc::clone(&shared), control_port));
         Ok(FlatStore {
             pm,
             mgr,
@@ -650,7 +709,9 @@ impl FlatStore {
             quarantine,
             ckpt,
             stats,
+            shared,
             handle,
+            control,
             workers,
             cfg,
         })
@@ -661,12 +722,21 @@ impl FlatStore {
         self.handle.clone()
     }
 
+    /// Opens a new pipelined [`Session`] (see [`StoreHandle::session`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ShuttingDown`] if the engine stopped.
+    pub fn session(&self) -> Result<Session, StoreError> {
+        self.handle.session()
+    }
+
     /// See [`StoreHandle::put`].
     ///
     /// # Errors
     ///
     /// As for [`StoreHandle::put`].
-    pub fn put(&self, key: u64, value: &[u8]) -> Result<(), StoreError> {
+    pub fn put(&self, key: u64, value: impl AsRef<[u8]>) -> Result<(), StoreError> {
         self.handle.put(key, value)
     }
 
@@ -708,13 +778,23 @@ impl FlatStore {
     }
 
     /// One coherent report over the whole engine: operation counters,
-    /// client-observed latency percentiles, batching and cleaning
-    /// activity, and the underlying region's persistence-op counters.
-    /// Render it with `Display`, [`obs::StatsReport::to_json`] or
+    /// client-observed latency percentiles, batching, session-pipeline and
+    /// cleaning activity, the FlatRPC fabric's counters, and the
+    /// underlying region's persistence-op counters. Render it with
+    /// `Display`, [`obs::StatsReport::to_json`] or
     /// [`obs::StatsReport::to_jsonl`].
     pub fn stats_report(&self) -> obs::StatsReport {
         let mut r = obs::StatsReport::new("flatstore");
         self.stats.fill_report(&mut r);
+        {
+            use std::sync::atomic::Ordering::Relaxed;
+            let fs = self.shared.fabric.stats();
+            r.section("fabric")
+                .row("requests", fs.requests.load(Relaxed))
+                .row("direct_responses", fs.direct_responses.load(Relaxed))
+                .row("delegated_responses", fs.delegated_responses.load(Relaxed))
+                .row("clients_attached", fs.clients_attached.load(Relaxed));
+        }
         let sec = r.section("pm");
         self.pm.stats().snapshot().fill_section(sec);
         sec.row("free_chunks", self.mgr.free_chunks());
@@ -742,13 +822,19 @@ impl FlatStore {
     }
 
     fn join_workers(&mut self) -> Vec<Shard> {
-        for s in self.handle.senders.iter() {
-            let _ = s.send(Request::Shutdown);
+        if self.workers.is_empty() {
+            return Vec::new();
         }
-        self.workers
+        self.control.lock().send_shutdown_all();
+        let shards: Vec<Shard> = self
+            .workers
             .drain(..)
             .map(|w| w.join().expect("worker panicked"))
-            .collect()
+            .collect();
+        // Only now do sessions fail fast: every ring has been fully
+        // drained, so nothing submitted before this point is lost.
+        self.shared.stop.store(true, Ordering::Release);
+        shards
     }
 
     /// Clean shutdown (paper §3.5): drains all cores, snapshots the

@@ -2,13 +2,19 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use indexes::IndexError;
 use oplog::LogError;
 use pmalloc::AllocError;
 
 /// Errors returned by the FlatStore engine.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The enum is `#[non_exhaustive]`: future engine versions may add
+/// variants, so match with a wildcard arm. Corruption errors carry their
+/// PM-layer cause, reachable through [`std::error::Error::source`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum StoreError {
     /// PM space (chunks or index arena) is exhausted.
     OutOfSpace,
@@ -24,9 +30,65 @@ pub enum StoreError {
     BadImage(String),
     /// The requested operation needs an ordered index (FlatStore-M/-FF).
     RangeUnsupported,
-    /// Internal invariant violation (corruption).
-    Corrupt(String),
+    /// The ticket is not pending on this session (already harvested, or
+    /// from another session).
+    UnknownTicket,
+    /// The configuration failed validation (see [`Config::builder`]).
+    ///
+    /// [`Config::builder`]: crate::Config::builder
+    InvalidConfig(String),
+    /// Internal invariant violation (corruption). `source` carries the
+    /// PM-layer cause when one exists.
+    Corrupt {
+        /// What was found corrupted.
+        detail: String,
+        /// The underlying PM-layer error, if any.
+        source: Option<Arc<dyn Error + Send + Sync + 'static>>,
+    },
 }
+
+impl StoreError {
+    /// A corruption error with no underlying cause.
+    pub fn corrupt(detail: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            detail: detail.into(),
+            source: None,
+        }
+    }
+
+    /// A corruption error caused by a lower-layer error (kept as the
+    /// [`std::error::Error::source`] chain).
+    pub fn corrupt_with(
+        detail: impl Into<String>,
+        source: impl Error + Send + Sync + 'static,
+    ) -> StoreError {
+        StoreError::Corrupt {
+            detail: detail.into(),
+            source: Some(Arc::new(source)),
+        }
+    }
+}
+
+/// Equality ignores the `source` chain of [`StoreError::Corrupt`] — two
+/// corruption reports with the same detail are the same error.
+impl PartialEq for StoreError {
+    fn eq(&self, other: &Self) -> bool {
+        use StoreError::*;
+        match (self, other) {
+            (OutOfSpace, OutOfSpace)
+            | (ReservedKey, ReservedKey)
+            | (EmptyValue, EmptyValue)
+            | (ShuttingDown, ShuttingDown)
+            | (RangeUnsupported, RangeUnsupported)
+            | (UnknownTicket, UnknownTicket) => true,
+            (BadImage(a), BadImage(b)) | (InvalidConfig(a), InvalidConfig(b)) => a == b,
+            (Corrupt { detail: a, .. }, Corrupt { detail: b, .. }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for StoreError {}
 
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -39,18 +101,29 @@ impl fmt::Display for StoreError {
             StoreError::RangeUnsupported => {
                 write!(f, "range scans need FlatStore-M or FlatStore-FF")
             }
-            StoreError::Corrupt(s) => write!(f, "corruption detected: {s}"),
+            StoreError::UnknownTicket => write!(f, "ticket is not pending on this session"),
+            StoreError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
+            StoreError::Corrupt { detail, .. } => write!(f, "corruption detected: {detail}"),
         }
     }
 }
 
-impl Error for StoreError {}
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Corrupt {
+                source: Some(s), ..
+            } => Some(&**s as &(dyn Error + 'static)),
+            _ => None,
+        }
+    }
+}
 
 impl From<AllocError> for StoreError {
     fn from(e: AllocError) -> Self {
         match e {
             AllocError::OutOfMemory { .. } => StoreError::OutOfSpace,
-            other => StoreError::Corrupt(other.to_string()),
+            other => StoreError::corrupt_with(format!("allocator: {other}"), other),
         }
     }
 }
@@ -59,7 +132,7 @@ impl From<LogError> for StoreError {
     fn from(e: LogError) -> Self {
         match e {
             LogError::OutOfSpace => StoreError::OutOfSpace,
-            other => StoreError::Corrupt(other.to_string()),
+            other => StoreError::corrupt_with(format!("log: {other}"), other),
         }
     }
 }
@@ -70,5 +143,37 @@ impl From<IndexError> for StoreError {
             IndexError::OutOfSpace => StoreError::OutOfSpace,
             IndexError::ReservedKey => StoreError::ReservedKey,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrupt_carries_its_source() {
+        let cause = LogError::Corrupt { addr: 0x40 };
+        let err = StoreError::from(cause.clone());
+        let StoreError::Corrupt { ref detail, .. } = err else {
+            panic!("expected Corrupt, got {err:?}");
+        };
+        assert!(detail.starts_with("log: "), "detail {detail:?}");
+        let source = err.source().expect("source chain");
+        assert_eq!(source.to_string(), cause.to_string());
+    }
+
+    #[test]
+    fn out_of_space_maps_without_source() {
+        let err = StoreError::from(LogError::OutOfSpace);
+        assert_eq!(err, StoreError::OutOfSpace);
+        assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn equality_ignores_source() {
+        let a = StoreError::corrupt("torn entry");
+        let b = StoreError::corrupt_with("torn entry", LogError::Corrupt { addr: 0x40 });
+        assert_eq!(a, b);
+        assert_ne!(a, StoreError::corrupt("other"));
     }
 }

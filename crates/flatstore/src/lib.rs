@@ -20,6 +20,8 @@
 //!   ([`IndexKind::Hash`], FlatStore-H), a shared Masstree
 //!   ([`IndexKind::Masstree`], FlatStore-M) or a volatile FAST&FAIR
 //!   ([`IndexKind::FastFair`], FlatStore-FF).
+//! * **FlatRPC fabric** ([`flatrpc`]) — per-core per-client shared-memory
+//!   request rings; every response completes through the agent core (§4.3).
 //! * **Pipelined horizontal batching** ([`ExecutionModel::PipelinedHb`]) —
 //!   plus the paper's ablation models (`NonBatch`, `Vertical`, `NaiveHb`).
 //! * **Log cleaning** — version-based liveness, per-core victim selection,
@@ -31,10 +33,11 @@
 //! ```
 //! use flatstore::{Config, FlatStore};
 //!
-//! let mut cfg = Config::default();
-//! cfg.pm_bytes = 64 << 20;
-//! cfg.ncores = 2;
-//! cfg.group_size = 2;
+//! let cfg = Config::builder()
+//!     .pm_bytes(64 << 20)
+//!     .ncores(2)
+//!     .group_size(2)
+//!     .build()?;
 //! let store = FlatStore::create(cfg)?;
 //! store.put(7, b"persistent")?;
 //! assert_eq!(store.get(7)?.as_deref(), Some(&b"persistent"[..]));
@@ -43,21 +46,54 @@
 //! # drop(pm);
 //! # Ok::<(), flatstore::StoreError>(())
 //! ```
+//!
+//! # Pipelined sessions
+//!
+//! Blocking calls complete one operation per round trip. A [`Session`]
+//! keeps up to [`Config::pipeline_depth`] operations in flight, which is
+//! what lets horizontal batching fill a group's batch from a single
+//! client:
+//!
+//! ```
+//! use flatstore::{Config, FlatStore, OpResult};
+//!
+//! let cfg = Config::builder()
+//!     .pm_bytes(64 << 20)
+//!     .ncores(2)
+//!     .group_size(2)
+//!     .pipeline_depth(8)
+//!     .build()?;
+//! let store = FlatStore::create(cfg)?;
+//!
+//! let mut session = store.session()?;
+//! let tickets: Vec<_> = (0..32)
+//!     .map(|k| session.submit_put(k, b"v"))
+//!     .collect::<Result<_, _>>()?;
+//! for t in tickets {
+//!     assert_eq!(session.wait(t)?, OpResult::Put(Ok(())));
+//! }
+//! drop(session);
+//! store.shutdown()?;
+//! # Ok::<(), flatstore::StoreError>(())
+//! ```
 
 mod batch;
 mod config;
 mod engine;
 mod error;
 mod request;
+mod session;
 mod shard;
 mod superblock;
 mod value;
 mod vindex;
 
 pub use batch::EngineStats;
-pub use config::{Config, ExecutionModel, GcConfig, IndexKind};
+pub use config::{Config, ConfigBuilder, ExecutionModel, GcConfig, IndexKind};
 pub use engine::{FlatStore, StoreHandle};
 pub use error::StoreError;
+pub use request::OpResult;
+pub use session::{Session, Ticket};
 
 /// Routes `key` to its owning server core (exposed for benchmark
 /// harnesses that model client-side routing).

@@ -1,64 +1,101 @@
-//! Client requests and the clonable store handle.
+//! Operation payloads carried over the FlatRPC fabric.
+//!
+//! A client session wraps each [`OpReq`] in a [`flatrpc::Envelope`] whose
+//! `seq` is the session-local ticket number; the server core echoes the
+//! same `seq` back on the [`OpResult`] envelope so the session can match
+//! completions to submissions in any order.
 
-use crossbeam::channel::{bounded, Sender};
+use flatrpc::Envelope;
 
 use crate::error::StoreError;
 
-pub(crate) type PutResp = Sender<Result<(), StoreError>>;
-pub(crate) type GetResp = Sender<Result<Option<Vec<u8>>, StoreError>>;
-pub(crate) type DelResp = Sender<Result<bool, StoreError>>;
-pub(crate) type RangeResp = Sender<Result<Vec<(u64, Vec<u8>)>, StoreError>>;
-pub(crate) type BarrierResp = Sender<()>;
-
-/// A request delivered to a server core's channel (standing in for the
-/// paper's FlatRPC message buffers).
-pub(crate) enum Request {
+/// A request written into a server core's message buffer.
+pub(crate) enum OpReq {
+    /// Store `value` under `key`.
     Put {
+        /// The key.
         key: u64,
+        /// The value (moved, not re-copied, into the log entry).
         value: Vec<u8>,
-        resp: PutResp,
     },
+    /// Read `key`.
     Get {
+        /// The key.
         key: u64,
-        resp: GetResp,
     },
+    /// Delete `key`.
     Delete {
+        /// The key.
         key: u64,
-        resp: DelResp,
     },
+    /// Range scan over `lo..hi`, at most `limit` items.
     Range {
+        /// Inclusive lower bound.
         lo: u64,
+        /// Exclusive upper bound.
         hi: u64,
+        /// Max items returned.
         limit: usize,
-        resp: RangeResp,
     },
     /// Replies once every request this core received before it has fully
     /// completed (tests and benchmarks use this to quiesce).
-    Barrier {
-        resp: BarrierResp,
-    },
+    Barrier,
     /// Records this core's current log tail as its checkpoint cursor
     /// (persisted), then replies. Only sent by `FlatStore::checkpoint`.
-    CkptCursor {
-        resp: BarrierResp,
-    },
-    /// Begin draining; the worker exits once quiet.
+    CkptCursor,
+    /// Begin draining; the worker exits once quiet (never answered).
     Shutdown,
 }
 
-impl Request {
+impl OpReq {
     /// The key a conflict-queue check applies to, if any.
     pub fn conflict_key(&self) -> Option<u64> {
         match self {
-            Request::Put { key, .. } | Request::Get { key, .. } | Request::Delete { key, .. } => {
-                Some(*key)
-            }
+            OpReq::Put { key, .. } | OpReq::Get { key } | OpReq::Delete { key } => Some(*key),
             _ => None,
         }
     }
 }
 
-/// Creates a response channel pair for a blocking client call.
-pub(crate) fn resp_channel<T>() -> (Sender<T>, crossbeam::channel::Receiver<T>) {
-    bounded(1)
+/// The outcome of one submitted operation, matched to its
+/// [`Ticket`](crate::Ticket) by the session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OpResult {
+    /// Outcome of a Put.
+    Put(Result<(), StoreError>),
+    /// Outcome of a Get: the value if present.
+    Get(Result<Option<Vec<u8>>, StoreError>),
+    /// Outcome of a Delete: whether the key existed.
+    Delete(Result<bool, StoreError>),
+    /// Outcome of a Range scan.
+    Range(Result<Vec<(u64, Vec<u8>)>, StoreError>),
+    /// Acknowledgement of a control request (barrier, checkpoint cursor);
+    /// never surfaced through the public completion API.
+    Control,
 }
+
+impl OpResult {
+    /// Flattens this result to `Ok(())`/`Err`, for callers that only care
+    /// whether the operation failed.
+    pub fn status(&self) -> Result<(), StoreError> {
+        match self {
+            OpResult::Put(r) => r.clone(),
+            OpResult::Get(r) => r.as_ref().map(|_| ()).map_err(Clone::clone),
+            OpResult::Delete(r) => r.as_ref().map(|_| ()).map_err(Clone::clone),
+            OpResult::Range(r) => r.as_ref().map(|_| ()).map_err(Clone::clone),
+            OpResult::Control => Ok(()),
+        }
+    }
+}
+
+/// Request envelope on the wire.
+pub(crate) type FabReq = Envelope<OpReq>;
+/// Response envelope on the wire.
+pub(crate) type FabResp = Envelope<OpResult>;
+/// The engine's fabric instantiation.
+pub(crate) type StoreFabric = flatrpc::Fabric<FabReq, FabResp>;
+/// One server core's fabric endpoint.
+pub(crate) type StoreServerCore = flatrpc::ServerCore<FabReq, FabResp>;
+/// One client's fabric endpoint.
+pub(crate) type StoreClientPort = flatrpc::ClientPort<FabReq, FabResp>;

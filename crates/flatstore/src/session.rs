@@ -1,0 +1,371 @@
+//! Pipelined client sessions over the FlatRPC fabric.
+//!
+//! A [`Session`] is the paper's client view of FlatRPC: it owns a
+//! `ClientPort` (one request ring into every server core plus one
+//! response ring out of the agent core) and keeps up to
+//! `pipeline_depth` operations in flight. Submitting returns a
+//! [`Ticket`] immediately; completions are harvested out of order with
+//! [`Session::poll_completions`] or awaited with [`Session::wait`].
+//! Horizontal batching feeds on this concurrency: every in-flight
+//! operation is a log entry a leader can steal into its batch.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use flatrpc::Envelope;
+
+use crate::batch::EngineStats;
+use crate::error::StoreError;
+use crate::request::{OpReq, OpResult, StoreClientPort, StoreFabric};
+use crate::shard::core_of;
+
+/// Engine state every session (and the blocking handle) hangs off.
+pub(crate) struct EngineShared {
+    pub fabric: Arc<StoreFabric>,
+    pub ncores: usize,
+    /// Max in-flight operations per session ([`Config::pipeline_depth`]).
+    ///
+    /// [`Config::pipeline_depth`]: crate::Config::pipeline_depth
+    pub depth: usize,
+    pub stats: Arc<EngineStats>,
+    /// Set once the workers have exited; sessions then fail fast instead
+    /// of spinning on rings nobody drains.
+    pub stop: AtomicBool,
+}
+
+impl EngineShared {
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// Identifies one submitted operation within its [`Session`].
+///
+/// Tickets are session-local: a ticket from one session is meaningless to
+/// another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+/// A pipelined client connection to a running store.
+///
+/// Obtained from [`FlatStore::session`] or [`StoreHandle::session`]; each
+/// session attaches its own `ClientPort` to the fabric and may move to any
+/// thread. Submission never blocks on persistence — only on the pipeline
+/// being full (`pipeline_depth` ops outstanding) or a request ring being
+/// out of credits, and both stalls absorb completions while they wait.
+///
+/// Dropping a session with operations still in flight drains them first
+/// (their effects are kept; their results are discarded).
+///
+/// [`FlatStore::session`]: crate::FlatStore::session
+/// [`StoreHandle::session`]: crate::StoreHandle::session
+///
+/// # Example
+///
+/// ```
+/// use flatstore::{Config, FlatStore, OpResult};
+///
+/// let store = FlatStore::create(
+///     Config::builder().pm_bytes(64 << 20).ncores(2).group_size(2).build()?,
+/// )?;
+/// let mut session = store.session()?;
+/// let tickets: Vec<_> = (0..32u64)
+///     .map(|k| session.submit_put(k, b"v"))
+///     .collect::<Result<_, _>>()?;
+/// for t in tickets {
+///     assert_eq!(session.wait(t)?, OpResult::Put(Ok(())));
+/// }
+/// # store.shutdown()?;
+/// # Ok::<(), flatstore::StoreError>(())
+/// ```
+pub struct Session {
+    shared: Arc<EngineShared>,
+    port: StoreClientPort,
+    next_seq: u64,
+    /// Data operations in flight: seq → submission time.
+    inflight: HashMap<u64, Instant>,
+    /// Control requests (barrier/cursor) awaiting their ack.
+    pending_control: HashSet<u64>,
+    /// Completed but unharvested results.
+    ready: VecDeque<(Ticket, OpResult)>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("client", &self.port.id())
+            .field("in_flight", &self.inflight.len())
+            .finish()
+    }
+}
+
+impl Session {
+    /// Attaches a fresh client port to the live fabric.
+    pub(crate) fn attach(shared: Arc<EngineShared>) -> Session {
+        let port = shared.fabric.attach_client();
+        Session::with_port(shared, port)
+    }
+
+    pub(crate) fn with_port(shared: Arc<EngineShared>, port: StoreClientPort) -> Session {
+        Session {
+            shared,
+            port,
+            next_seq: 1,
+            inflight: HashMap::new(),
+            pending_control: HashSet::new(),
+            ready: VecDeque::new(),
+        }
+    }
+
+    /// Operations submitted but not yet harvested as completions.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// The pipeline depth this session submits up to.
+    pub fn pipeline_depth(&self) -> usize {
+        self.shared.depth
+    }
+
+    fn stopped(&self) -> bool {
+        self.shared.stopped()
+    }
+
+    /// Drains the response ring into the ready queue; returns whether
+    /// anything arrived.
+    fn absorb(&mut self) -> bool {
+        let mut progressed = false;
+        while let Some(resp) = self.port.try_recv() {
+            progressed = true;
+            if self.pending_control.remove(&resp.seq) {
+                continue;
+            }
+            if let Some(submitted) = self.inflight.remove(&resp.seq) {
+                let ns = u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.shared.stats.completion_latency.record(ns);
+                self.ready.push_back((Ticket(resp.seq), resp.body));
+            }
+        }
+        progressed
+    }
+
+    /// Blocks (polling) until at least one response arrives.
+    fn absorb_blocking(&mut self) -> Result<(), StoreError> {
+        let mut spins = 0u32;
+        loop {
+            if self.absorb() {
+                return Ok(());
+            }
+            if self.stopped() {
+                return Err(StoreError::ShuttingDown);
+            }
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Sends one envelope to `core`, absorbing completions while the ring
+    /// is out of credits.
+    fn send(&mut self, core: usize, mut env: Envelope<OpReq>) -> Result<(), StoreError> {
+        let mut spins = 0u32;
+        loop {
+            if self.stopped() {
+                return Err(StoreError::ShuttingDown);
+            }
+            match self.port.send(core, env) {
+                Ok(()) => return Ok(()),
+                Err(back) => env = back,
+            }
+            // Ring full: the core is behind — drain our completions so the
+            // agent can make progress, then retry.
+            if !self.absorb() {
+                spins += 1;
+                if spins > 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    fn submit(&mut self, core: usize, body: OpReq) -> Result<Ticket, StoreError> {
+        while self.inflight.len() >= self.shared.depth {
+            self.absorb_blocking()?;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.send(core, Envelope::new(seq, body))?;
+        self.inflight.insert(seq, Instant::now());
+        self.shared
+            .stats
+            .inflight_depth
+            .record(self.inflight.len() as u64);
+        Ok(Ticket(seq))
+    }
+
+    fn submit_control(&mut self, core: usize, body: OpReq) -> Result<u64, StoreError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.send(core, Envelope::new(seq, body))?;
+        self.pending_control.insert(seq);
+        Ok(seq)
+    }
+
+    /// Submits a Put of `value` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ShuttingDown`] if the engine stopped. Per-operation
+    /// failures ([`StoreError::EmptyValue`], …) surface in the completed
+    /// [`OpResult`].
+    pub fn submit_put(&mut self, key: u64, value: impl AsRef<[u8]>) -> Result<Ticket, StoreError> {
+        // The single copy: from the caller's buffer into the request that
+        // travels the fabric; the engine moves it into the log entry.
+        let value = value.as_ref().to_vec();
+        self.submit(core_of(key, self.shared.ncores), OpReq::Put { key, value })
+    }
+
+    /// Submits a Get of `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ShuttingDown`] if the engine stopped.
+    pub fn submit_get(&mut self, key: u64) -> Result<Ticket, StoreError> {
+        self.submit(core_of(key, self.shared.ncores), OpReq::Get { key })
+    }
+
+    /// Submits a Delete of `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ShuttingDown`] if the engine stopped.
+    pub fn submit_delete(&mut self, key: u64) -> Result<Ticket, StoreError> {
+        self.submit(core_of(key, self.shared.ncores), OpReq::Delete { key })
+    }
+
+    /// Submits a range scan over `lo..hi` with at most `limit` items
+    /// (FlatStore-M/-FF only; FlatStore-H completes with
+    /// [`StoreError::RangeUnsupported`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ShuttingDown`] if the engine stopped.
+    pub fn submit_range(&mut self, lo: u64, hi: u64, limit: usize) -> Result<Ticket, StoreError> {
+        self.submit(
+            core_of(lo, self.shared.ncores),
+            OpReq::Range { lo, hi, limit },
+        )
+    }
+
+    /// Harvests every completion that has arrived, in completion order
+    /// (which may differ from submission order across keys).
+    pub fn poll_completions(&mut self) -> Vec<(Ticket, OpResult)> {
+        self.absorb();
+        self.ready.drain(..).collect()
+    }
+
+    /// Blocks until `ticket` completes and returns its result. Other
+    /// completions harvested while waiting stay queued for
+    /// [`poll_completions`](Self::poll_completions).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownTicket`] if the ticket was already harvested
+    /// (or belongs to another session); [`StoreError::ShuttingDown`] if
+    /// the engine stops first.
+    pub fn wait(&mut self, ticket: Ticket) -> Result<OpResult, StoreError> {
+        loop {
+            if let Some(i) = self.ready.iter().position(|(t, _)| *t == ticket) {
+                let (_, result) = self.ready.remove(i).expect("index in bounds");
+                return Ok(result);
+            }
+            if !self.inflight.contains_key(&ticket.0) {
+                return Err(StoreError::UnknownTicket);
+            }
+            self.absorb_blocking()?;
+        }
+    }
+
+    /// Blocks until everything submitted has completed; returns the
+    /// completions harvested (including any already queued).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ShuttingDown`] if the engine stops first.
+    pub fn wait_all(&mut self) -> Result<Vec<(Ticket, OpResult)>, StoreError> {
+        while !self.inflight.is_empty() {
+            self.absorb_blocking()?;
+        }
+        Ok(self.ready.drain(..).collect())
+    }
+
+    /// Blocks until every request sent to any core before this call has
+    /// fully completed (all cores quiesce). Does not harvest this
+    /// session's own completions — they stay queued.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ShuttingDown`] if the engine stops first.
+    pub fn barrier(&mut self) -> Result<(), StoreError> {
+        let mut seqs = Vec::with_capacity(self.shared.ncores);
+        for core in 0..self.shared.ncores {
+            seqs.push(self.submit_control(core, OpReq::Barrier)?);
+        }
+        self.await_control(&seqs)
+    }
+
+    /// Asks every core to persist its checkpoint cursor and waits for the
+    /// acks (engine-internal; callers use `FlatStore::checkpoint`).
+    pub(crate) fn ckpt_cursors(&mut self) -> Result<(), StoreError> {
+        let mut seqs = Vec::with_capacity(self.shared.ncores);
+        for core in 0..self.shared.ncores {
+            seqs.push(self.submit_control(core, OpReq::CkptCursor)?);
+        }
+        self.await_control(&seqs)
+    }
+
+    fn await_control(&mut self, seqs: &[u64]) -> Result<(), StoreError> {
+        while seqs.iter().any(|s| self.pending_control.contains(s)) {
+            self.absorb_blocking()?;
+        }
+        Ok(())
+    }
+
+    /// Tells every core to begin draining and exit (engine-internal;
+    /// workers never answer a Shutdown).
+    pub(crate) fn send_shutdown_all(&mut self) {
+        for core in 0..self.shared.ncores {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut env = Envelope::new(seq, OpReq::Shutdown);
+            loop {
+                match self.port.send(core, env) {
+                    Ok(()) => break,
+                    Err(back) => env = back,
+                }
+                self.absorb();
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // Drain in-flight work so the agent never blocks pushing into a
+        // ring nobody reads. If the engine already stopped, the rings are
+        // dead and there is nothing to wait for.
+        while (!self.inflight.is_empty() || !self.pending_control.is_empty()) && !self.stopped() {
+            if !self.absorb() {
+                std::thread::yield_now();
+            }
+        }
+    }
+}

@@ -1,13 +1,19 @@
 //! The per-core server worker: request processing, the three-phase Put
 //! (l-persist → g-persist → volatile, paper §3.3), conflict queueing,
 //! leader election and log cleaning.
+//!
+//! Workers poll their per-core FlatRPC request rings (paper §4.3) instead
+//! of blocking on a channel: requests arrive as [`FabReq`] envelopes from
+//! any attached client, responses leave as [`FabResp`] envelopes — sent
+//! directly by core 0 (the agent core) and delegated through it by every
+//! other core.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError};
+use flatrpc::{ClientId, Envelope};
 use oplog::{LogEntry, LogOp, OpLog, Payload, INLINE_MAX};
 use pmalloc::{ChunkManager, CoreAllocator};
 use pmem::{PmAddr, PmRegion};
@@ -17,7 +23,7 @@ use crate::batch::{
 };
 use crate::config::{ExecutionModel, GcConfig};
 use crate::error::StoreError;
-use crate::request::{BarrierResp, DelResp, GetResp, PutResp, Request};
+use crate::request::{FabReq, OpReq, OpResult, StoreServerCore};
 use crate::value::{pack, read_record, record_size, unpack, write_record};
 use crate::vindex::VolatileIndex;
 
@@ -38,19 +44,27 @@ enum InflightOp {
     Put {
         key: u64,
         version: u32,
-        resp: PutResp,
     },
     Delete {
         key: u64,
         version: u32,
         old_block: Option<PmAddr>,
-        resp: DelResp,
     },
 }
 
 struct Inflight {
     completion: Arc<Completion>,
     op: InflightOp,
+    client: ClientId,
+    seq: u64,
+}
+
+impl Inflight {
+    fn key(&self) -> u64 {
+        match self.op {
+            InflightOp::Put { key, .. } | InflightOp::Delete { key, .. } => key,
+        }
+    }
 }
 
 /// One server core's state; owned by its worker thread and returned to the
@@ -73,7 +87,10 @@ pub(crate) struct Shard {
     gc: GcConfig,
     channel_batch: usize,
     stats: Arc<EngineStats>,
-    rx: Receiver<Request>,
+    server: StoreServerCore,
+    /// Count of non-agent cores that finished draining; core 0 exits last,
+    /// after pumping their final delegated responses.
+    exited: Arc<AtomicUsize>,
 
     /// Keys with a Delete in flight (these serialize everything).
     conflicts: HashSet<u64>,
@@ -81,10 +98,14 @@ pub(crate) struct Shard {
     /// Puts to the same key pipeline (versions order them); only reads and
     /// deletes wait (paper §3.3 "Discussion").
     pending_puts: HashMap<u64, (u32, u32)>,
-    deferred: VecDeque<Request>,
+    deferred: VecDeque<(ClientId, FabReq)>,
+    /// Count of deferred ops per key: later arrivals for these keys defer
+    /// too, keeping per-key dispatch in arrival order (pipelined clients
+    /// observe completion order).
+    deferred_keys: HashMap<u64, u32>,
     inflight: VecDeque<Inflight>,
-    barriers: Vec<BarrierResp>,
-    ckpt_cursors: Vec<BarrierResp>,
+    barriers: Vec<(ClientId, u64)>,
+    ckpt_cursors: Vec<(ClientId, u64)>,
     staged: Vec<(Posted, Inflight)>,
     pending_fence: bool,
     draining: bool,
@@ -111,7 +132,8 @@ impl Shard {
         gc: GcConfig,
         channel_batch: usize,
         stats: Arc<EngineStats>,
-        rx: Receiver<Request>,
+        server: StoreServerCore,
+        exited: Arc<AtomicUsize>,
     ) -> Shard {
         Shard {
             core,
@@ -131,10 +153,12 @@ impl Shard {
             gc,
             channel_batch,
             stats,
-            rx,
+            server,
+            exited,
             conflicts: HashSet::new(),
             pending_puts: HashMap::new(),
             deferred: VecDeque::new(),
+            deferred_keys: HashMap::new(),
             inflight: VecDeque::new(),
             barriers: Vec::new(),
             ckpt_cursors: Vec::new(),
@@ -147,9 +171,10 @@ impl Shard {
 
     /// The worker main loop; returns the shard for shutdown serialization.
     pub fn run(mut self) -> Shard {
+        let mut idle = 0u32;
         loop {
-            let mut did = false;
-            did |= self.drain_channel();
+            let mut did = self.server.pump_delegations() > 0;
+            did |= self.drain_rings();
             did |= self.retry_deferred();
             self.publish_staged();
             did |= self.lead();
@@ -157,14 +182,36 @@ impl Shard {
             self.maybe_gc();
             self.answer_barriers();
 
-            if self.draining && self.quiet() {
-                break;
+            if self.draining
+                && self.quiet()
+                && self.barriers.is_empty()
+                && self.ckpt_cursors.is_empty()
+                && !self.server.has_pending_requests()
+            {
+                if self.core != 0 {
+                    // A core's last delegated response is pushed before
+                    // this increment; the agent observes the count, then
+                    // drains.
+                    self.exited.fetch_add(1, Ordering::Release);
+                    break;
+                }
+                if self.exited.load(Ordering::Acquire) == self.ncores - 1
+                    && self.server.pump_delegations() == 0
+                {
+                    break;
+                }
             }
-            if !did {
-                match self.rx.recv_timeout(Duration::from_micros(200)) {
-                    Ok(req) => self.dispatch(req),
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => self.draining = true,
+
+            if did {
+                idle = 0;
+            } else {
+                idle += 1;
+                if idle < 32 {
+                    std::hint::spin_loop();
+                } else if idle < 256 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(100));
                 }
             }
         }
@@ -175,7 +222,11 @@ impl Shard {
         self.inflight.is_empty() && self.deferred.is_empty() && self.staged.is_empty()
     }
 
-    fn drain_channel(&mut self) -> bool {
+    fn respond(&mut self, client: ClientId, seq: u64, body: OpResult) {
+        self.server.respond(client, Envelope::new(seq, body));
+    }
+
+    fn drain_rings(&mut self) -> bool {
         let budget = if self.model == ExecutionModel::NonBatch {
             1
         } else {
@@ -183,49 +234,49 @@ impl Shard {
         };
         let mut got = false;
         for _ in 0..budget {
-            match self.rx.try_recv() {
-                Ok(req) => {
-                    self.dispatch(req);
+            match self.server.poll() {
+                Some((client, env)) => {
+                    self.dispatch(client, env);
                     got = true;
                 }
-                Err(crossbeam::channel::TryRecvError::Empty) => break,
-                Err(crossbeam::channel::TryRecvError::Disconnected) => {
-                    self.draining = true;
-                    break;
-                }
+                None => break,
             }
         }
         got
     }
 
-    fn dispatch(&mut self, req: Request) {
-        if let Some(key) = req.conflict_key() {
+    fn dispatch(&mut self, client: ClientId, env: FabReq) {
+        if let Some(key) = env.body.conflict_key() {
             // Deletes serialize against everything; reads and deletes also
             // wait for in-flight Puts. Put-after-Put pipelines through
-            // versioning.
-            let blocked = self.conflicts.contains(&key)
-                || (!matches!(req, Request::Put { .. }) && self.pending_puts.contains_key(&key));
+            // versioning. An op whose key already has deferred
+            // predecessors defers too (per-key FIFO).
+            let blocked = self.deferred_keys.contains_key(&key)
+                || self.conflicts.contains(&key)
+                || (!matches!(env.body, OpReq::Put { .. }) && self.pending_puts.contains_key(&key));
             if blocked {
                 self.stats
                     .conflicts_deferred
                     .fetch_add(1, Ordering::Relaxed);
-                self.deferred.push_back(req);
+                *self.deferred_keys.entry(key).or_insert(0) += 1;
+                self.deferred.push_back((client, env));
                 return;
             }
         }
-        match req {
-            Request::Put { key, value, resp } => self.begin_put(key, value, resp),
-            Request::Get { key, resp } => self.serve_get(key, resp),
-            Request::Delete { key, resp } => self.begin_delete(key, resp),
-            Request::Range {
-                lo,
-                hi,
-                limit,
-                resp,
-            } => self.serve_range(lo, hi, limit, resp),
-            Request::Barrier { resp } => self.barriers.push(resp),
-            Request::CkptCursor { resp } => self.ckpt_cursors.push(resp),
-            Request::Shutdown => self.draining = true,
+        self.execute(client, env);
+    }
+
+    /// Runs one request (conflict checks already passed).
+    fn execute(&mut self, client: ClientId, env: FabReq) {
+        let seq = env.seq;
+        match env.body {
+            OpReq::Put { key, value } => self.begin_put(client, seq, key, value),
+            OpReq::Get { key } => self.serve_get(client, seq, key),
+            OpReq::Delete { key } => self.begin_delete(client, seq, key),
+            OpReq::Range { lo, hi, limit } => self.serve_range(client, seq, lo, hi, limit),
+            OpReq::Barrier => self.barriers.push((client, seq)),
+            OpReq::CkptCursor => self.ckpt_cursors.push((client, seq)),
+            OpReq::Shutdown => self.draining = true,
         }
     }
 
@@ -250,13 +301,13 @@ impl Shard {
 
     /// Phase 1 (l-persist): allocate + persist the record if large, build
     /// the compacted log entry, stage it for the group pool.
-    fn begin_put(&mut self, key: u64, value: Vec<u8>, resp: PutResp) {
+    fn begin_put(&mut self, client: ClientId, seq: u64, key: u64, value: Vec<u8>) {
         if key == u64::MAX {
-            let _ = resp.send(Err(StoreError::ReservedKey));
+            self.respond(client, seq, OpResult::Put(Err(StoreError::ReservedKey)));
             return;
         }
         if value.is_empty() {
-            let _ = resp.send(Err(StoreError::EmptyValue));
+            self.respond(client, seq, OpResult::Put(Err(StoreError::EmptyValue)));
             return;
         }
         let version = match self.pending_puts.get(&key) {
@@ -264,12 +315,13 @@ impl Shard {
             None => self.key_state(key).0,
         };
         let entry = if value.len() <= INLINE_MAX {
+            // The request's value is moved into the entry — no second copy.
             LogEntry::put_inline(key, version, value).expect("length checked")
         } else {
             let block = match self.alloc.alloc(record_size(value.len())) {
                 Ok(b) => b,
                 Err(e) => {
-                    let _ = resp.send(Err(e.into()));
+                    self.respond(client, seq, OpResult::Put(Err(e.into())));
                     return;
                 }
             };
@@ -288,14 +340,16 @@ impl Shard {
             },
             Inflight {
                 completion,
-                op: InflightOp::Put { key, version, resp },
+                op: InflightOp::Put { key, version },
+                client,
+                seq,
             },
         ));
     }
 
-    fn begin_delete(&mut self, key: u64, resp: DelResp) {
+    fn begin_delete(&mut self, client: ClientId, seq: u64, key: u64) {
         let Some(packed) = self.index.get(self.core, key) else {
-            let _ = resp.send(Ok(false));
+            self.respond(client, seq, OpResult::Delete(Ok(false)));
             return;
         };
         let (ver, addr) = unpack(packed);
@@ -320,13 +374,14 @@ impl Shard {
                     key,
                     version,
                     old_block,
-                    resp,
                 },
+                client,
+                seq,
             },
         ));
     }
 
-    fn serve_get(&mut self, key: u64, resp: GetResp) {
+    fn serve_get(&mut self, client: ClientId, seq: u64, key: u64) {
         let result = match self.index.get(self.core, key) {
             None => Ok(None),
             Some(packed) => {
@@ -338,7 +393,7 @@ impl Shard {
             }
         };
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
-        let _ = resp.send(result);
+        self.respond(client, seq, OpResult::Get(result));
     }
 
     fn payload_bytes(&self, e: &LogEntry) -> Vec<u8> {
@@ -349,7 +404,7 @@ impl Shard {
         }
     }
 
-    fn serve_range(&mut self, lo: u64, hi: u64, limit: usize, resp: crate::request::RangeResp) {
+    fn serve_range(&mut self, client: ClientId, seq: u64, lo: u64, hi: u64, limit: usize) {
         let mut out = Vec::new();
         let r = self.index.range(lo, hi, &mut |k, packed| {
             let (_, addr) = unpack(packed);
@@ -360,7 +415,7 @@ impl Shard {
             }
             out.len() < limit
         });
-        let _ = resp.send(r.map(|()| out));
+        self.respond(client, seq, OpResult::Range(r.map(|()| out)));
     }
 
     /// Phase-1 close: one fence covers every large record written in this
@@ -381,12 +436,14 @@ impl Shard {
                 }
                 if self.model == ExecutionModel::NaiveHb {
                     // Figure 4(c): strictly ordered phases — the poster
-                    // blocks until its entries are durable.
+                    // blocks until its entries are durable. The agent keeps
+                    // pumping so delegating cores are never wedged.
                     while self
                         .inflight
                         .iter()
                         .any(|inf| inf.completion.poll().is_none())
                     {
+                        self.server.pump_delegations();
                         self.lead();
                         std::thread::yield_now();
                     }
@@ -466,18 +523,32 @@ impl Shard {
     }
 
     /// Phase 3 (volatile): index update, old-state reclamation, client
-    /// response.
+    /// response. Completions are applied per-key in submission order — a
+    /// ready entry whose key has an older pending entry waits, so a
+    /// pipelined client sees its same-key completions in the order it
+    /// submitted them.
     fn process_completions(&mut self) -> bool {
         let mut progressed = false;
+        let mut waiting: HashSet<u64> = HashSet::new();
         let mut i = 0;
         while i < self.inflight.len() {
-            let Some(result) = self.inflight[i].completion.poll() else {
+            let key = self.inflight[i].key();
+            if waiting.contains(&key) {
                 i += 1;
                 continue;
-            };
-            let inf = self.inflight.remove(i).expect("index in bounds");
-            self.complete(inf.op, result);
-            progressed = true;
+            }
+            match self.inflight[i].completion.poll() {
+                Some(result) => {
+                    let inf = self.inflight.remove(i).expect("index in bounds");
+                    self.complete(inf, result);
+                    progressed = true;
+                    // The next entry shifted into `i`; don't advance.
+                }
+                None => {
+                    waiting.insert(key);
+                    i += 1;
+                }
+            }
         }
         progressed
     }
@@ -491,12 +562,15 @@ impl Shard {
         }
     }
 
-    fn complete(&mut self, op: InflightOp, result: Result<PmAddr, ()>) {
+    fn complete(&mut self, inf: Inflight, result: Result<PmAddr, ()>) {
+        let Inflight {
+            op, client, seq, ..
+        } = inf;
         match op {
-            InflightOp::Put { key, version, resp } => {
+            InflightOp::Put { key, version } => {
                 self.unpend(key);
                 let Ok(addr) = result else {
-                    let _ = resp.send(Err(StoreError::OutOfSpace));
+                    self.respond(client, seq, OpResult::Put(Err(StoreError::OutOfSpace)));
                     return;
                 };
                 // Pipelined same-key Puts may complete out of order across
@@ -516,7 +590,7 @@ impl Shard {
                         }
                     }
                     self.stats.puts.fetch_add(1, Ordering::Relaxed);
-                    let _ = resp.send(Ok(()));
+                    self.respond(client, seq, OpResult::Put(Ok(())));
                     return;
                 }
                 let packed = pack(version, addr);
@@ -538,10 +612,10 @@ impl Shard {
                             self.usage.note_dead(tomb);
                         }
                         self.stats.puts.fetch_add(1, Ordering::Relaxed);
-                        let _ = resp.send(Ok(()));
+                        self.respond(client, seq, OpResult::Put(Ok(())));
                     }
                     Err(e) => {
-                        let _ = resp.send(Err(e));
+                        self.respond(client, seq, OpResult::Put(Err(e)));
                     }
                 }
             }
@@ -549,11 +623,10 @@ impl Shard {
                 key,
                 version,
                 old_block,
-                resp,
             } => {
                 let Ok(addr) = result else {
                     self.conflicts.remove(&key);
-                    let _ = resp.send(Err(StoreError::OutOfSpace));
+                    self.respond(client, seq, OpResult::Delete(Err(StoreError::OutOfSpace)));
                     return;
                 };
                 if let Some(old) = self.index.remove(self.core, key) {
@@ -566,7 +639,7 @@ impl Shard {
                 self.deleted.insert(self.core, key, version, addr);
                 self.stats.deletes.fetch_add(1, Ordering::Relaxed);
                 self.conflicts.remove(&key);
-                let _ = resp.send(Ok(true));
+                self.respond(client, seq, OpResult::Delete(Ok(true)));
             }
         }
     }
@@ -574,23 +647,35 @@ impl Shard {
     fn retry_deferred(&mut self) -> bool {
         let mut progressed = false;
         let n = self.deferred.len();
+        // Keys re-pushed this round: later same-key entries stay behind
+        // them to preserve per-key FIFO.
+        let mut repushed: HashSet<u64> = HashSet::new();
         for _ in 0..n {
-            let req = self.deferred.pop_front().expect("len checked");
-            if let Some(k) = req.conflict_key() {
-                let blocked = self.conflicts.contains(&k)
-                    || (!matches!(req, Request::Put { .. }) && self.pending_puts.contains_key(&k));
-                if blocked {
-                    self.deferred.push_back(req);
-                    continue;
+            let (client, env) = self.deferred.pop_front().expect("len checked");
+            let key = env.body.conflict_key();
+            let blocked = key.is_some_and(|k| {
+                repushed.contains(&k)
+                    || self.conflicts.contains(&k)
+                    || (!matches!(env.body, OpReq::Put { .. })
+                        && self.pending_puts.contains_key(&k))
+            });
+            if blocked {
+                if let Some(k) = key {
+                    repushed.insert(k);
+                }
+                self.deferred.push_back((client, env));
+                continue;
+            }
+            if let Some(k) = key {
+                if let Some(count) = self.deferred_keys.get_mut(&k) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.deferred_keys.remove(&k);
+                    }
                 }
             }
-            // Re-dispatch without re-counting the conflict deferral.
-            match req {
-                Request::Put { key, value, resp } => self.begin_put(key, value, resp),
-                Request::Get { key, resp } => self.serve_get(key, resp),
-                Request::Delete { key, resp } => self.begin_delete(key, resp),
-                other => self.dispatch(other),
-            }
+            // Re-execute without re-counting the conflict deferral.
+            self.execute(client, env);
             progressed = true;
         }
         progressed
@@ -598,8 +683,8 @@ impl Shard {
 
     fn answer_barriers(&mut self) {
         if self.quiet() {
-            for b in self.barriers.drain(..) {
-                let _ = b.send(());
+            for (client, seq) in std::mem::take(&mut self.barriers) {
+                self.respond(client, seq, OpResult::Control);
             }
             if !self.ckpt_cursors.is_empty() {
                 // Record this core's checkpoint cursor: everything before
@@ -607,8 +692,8 @@ impl Shard {
                 let cursor = crate::superblock::Superblock::ckpt_cursor(self.core);
                 self.pm.write_u64(cursor, self.log.tail().offset());
                 self.pm.persist(cursor, 8);
-                for c in self.ckpt_cursors.drain(..) {
-                    let _ = c.send(());
+                for (client, seq) in std::mem::take(&mut self.ckpt_cursors) {
+                    self.respond(client, seq, OpResult::Control);
                 }
             }
         }

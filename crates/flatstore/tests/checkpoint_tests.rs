@@ -5,14 +5,14 @@ use flatstore::{Config, FlatStore, StoreError};
 use workloads::value_bytes;
 
 fn cfg() -> Config {
-    Config {
-        pm_bytes: 128 << 20,
-        dram_bytes: 16 << 20,
-        ncores: 2,
-        group_size: 2,
-        crash_tracking: true,
-        ..Config::default()
-    }
+    Config::builder()
+        .pm_bytes(128 << 20)
+        .dram_bytes(16 << 20)
+        .ncores(2)
+        .group_size(2)
+        .crash_tracking(true)
+        .build()
+        .expect("valid test config")
 }
 
 #[test]
@@ -21,21 +21,21 @@ fn checkpoint_then_crash_recovers_everything() {
     let store = FlatStore::create(c.clone()).unwrap();
     // Pre-checkpoint state: mixed sizes, overwrites, deletes.
     for k in 0..800u64 {
-        store.put(k, &value_bytes(k, 90)).unwrap();
+        store.put(k, value_bytes(k, 90)).unwrap();
     }
     for k in 0..200u64 {
-        store.put(k, &value_bytes(k + 1, 700)).unwrap();
+        store.put(k, value_bytes(k + 1, 700)).unwrap();
     }
     store.delete(5).unwrap();
     store.checkpoint().unwrap();
 
     // Post-checkpoint writes (only these need replaying).
     for k in 800..1_000u64 {
-        store.put(k, &value_bytes(k, 40)).unwrap();
+        store.put(k, value_bytes(k, 40)).unwrap();
     }
-    store.put(0, &value_bytes(999, 50)).unwrap(); // overwrite a ckpt key
+    store.put(0, value_bytes(999, 50)).unwrap(); // overwrite a ckpt key
     store.delete(1).unwrap(); // delete a ckpt key
-    store.put(5, &value_bytes(55, 60)).unwrap(); // resurrect a ckpt-deleted key
+    store.put(5, value_bytes(55, 60)).unwrap(); // resurrect a ckpt-deleted key
     store.barrier();
 
     let pm = store.kill();
@@ -63,7 +63,7 @@ fn checkpoint_then_crash_recovers_everything() {
     }
     // Fully writable afterwards (allocator state consistent).
     for k in 0..300u64 {
-        store.put(50_000 + k, &value_bytes(k, 500)).unwrap();
+        store.put(50_000 + k, value_bytes(k, 500)).unwrap();
     }
     for k in 0..300u64 {
         assert_eq!(store.get(50_000 + k).unwrap(), Some(value_bytes(k, 500)));
@@ -77,7 +77,7 @@ fn checkpoint_recovery_scans_less_log() {
     // Without a checkpoint: recovery reads the whole log.
     let store = FlatStore::create(c.clone()).unwrap();
     for k in 0..4_000u64 {
-        store.put(k, &value_bytes(k, 120)).unwrap();
+        store.put(k, value_bytes(k, 120)).unwrap();
     }
     store.barrier();
     let pm = store.kill();
@@ -90,11 +90,11 @@ fn checkpoint_recovery_scans_less_log() {
     // With a checkpoint covering the same writes: the replay is tiny.
     let store = FlatStore::create(c.clone()).unwrap();
     for k in 0..4_000u64 {
-        store.put(k, &value_bytes(k, 120)).unwrap();
+        store.put(k, value_bytes(k, 120)).unwrap();
     }
     store.checkpoint().unwrap();
     for k in 0..40u64 {
-        store.put(100_000 + k, &value_bytes(k, 20)).unwrap();
+        store.put(100_000 + k, value_bytes(k, 20)).unwrap();
     }
     store.barrier();
     let pm = store.kill();
@@ -117,7 +117,7 @@ fn cleaner_invalidates_checkpoints() {
     c.gc.max_live_ratio = 0.9;
     let store = FlatStore::create(c.clone()).unwrap();
     for k in 0..500u64 {
-        store.put(k, &value_bytes(k, 150)).unwrap();
+        store.put(k, value_bytes(k, 150)).unwrap();
     }
     store.checkpoint().unwrap();
     // Churn until the cleaner runs (relocating entries the checkpoint
@@ -168,11 +168,11 @@ fn checkpoint_is_repeatable_and_survives_clean_shutdown() {
     let c = cfg();
     let store = FlatStore::create(c.clone()).unwrap();
     for k in 0..100u64 {
-        store.put(k, &value_bytes(k, 64)).unwrap();
+        store.put(k, value_bytes(k, 64)).unwrap();
     }
     store.checkpoint().unwrap();
     for k in 100..200u64 {
-        store.put(k, &value_bytes(k, 64)).unwrap();
+        store.put(k, value_bytes(k, 64)).unwrap();
     }
     store.checkpoint().unwrap(); // replaces the first snapshot
     let pm = store.shutdown().unwrap(); // clean shutdown replaces it again
@@ -194,17 +194,15 @@ fn checkpoint_under_strict_fences() {
     // in the checkpoint protocol (cursors, bitmaps, snapshot, flag) must be
     // properly fenced or this loses data.
     for seed in 0..4u64 {
-        let c = Config {
-            strict_fence_seed: Some(seed),
-            ..cfg()
-        };
+        let mut c = cfg();
+        c.strict_fence_seed = Some(seed);
         let store = FlatStore::create(c.clone()).unwrap();
         for k in 0..600u64 {
-            store.put(k, &value_bytes(k ^ seed, 70)).unwrap();
+            store.put(k, value_bytes(k ^ seed, 70)).unwrap();
         }
         store.checkpoint().unwrap();
         for k in 600..700u64 {
-            store.put(k, &value_bytes(k ^ seed, 70)).unwrap();
+            store.put(k, value_bytes(k ^ seed, 70)).unwrap();
         }
         store.barrier();
         let pm = store.kill();

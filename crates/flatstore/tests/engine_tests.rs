@@ -5,21 +5,21 @@ use flatstore::{Config, ExecutionModel, FlatStore, IndexKind, StoreError};
 use workloads::value_bytes;
 
 fn cfg(ncores: usize) -> Config {
-    Config {
-        pm_bytes: 128 << 20,
-        dram_bytes: 16 << 20,
-        ncores,
-        group_size: ncores.max(1),
-        crash_tracking: false,
-        ..Config::default()
-    }
+    Config::builder()
+        .pm_bytes(128 << 20)
+        .dram_bytes(16 << 20)
+        .ncores(ncores)
+        .group_size(ncores.max(1))
+        .crash_tracking(false)
+        .build()
+        .expect("valid test config")
 }
 
 #[test]
 fn put_get_delete_round_trip() {
     let store = FlatStore::create(cfg(2)).unwrap();
     for k in 0..500u64 {
-        store.put(k, &value_bytes(k, 32)).unwrap();
+        store.put(k, value_bytes(k, 32)).unwrap();
     }
     for k in 0..500u64 {
         assert_eq!(store.get(k).unwrap(), Some(value_bytes(k, 32)), "key {k}");
@@ -36,7 +36,7 @@ fn overwrites_return_latest() {
     let store = FlatStore::create(cfg(2)).unwrap();
     for round in 1..=5u64 {
         for k in 0..50u64 {
-            store.put(k, &value_bytes(k * round + 1, 24)).unwrap();
+            store.put(k, value_bytes(k * round + 1, 24)).unwrap();
         }
     }
     for k in 0..50u64 {
@@ -50,7 +50,7 @@ fn values_span_inline_and_allocator_paths() {
     let store = FlatStore::create(cfg(2)).unwrap();
     // 1 B (inline), 256 B (inline boundary), 257 B (allocator), 4 KB, 1 MB.
     for (k, len) in [(1u64, 1usize), (2, 256), (3, 257), (4, 4096), (5, 1 << 20)] {
-        store.put(k, &value_bytes(k, len)).unwrap();
+        store.put(k, value_bytes(k, len)).unwrap();
     }
     for (k, len) in [(1u64, 1usize), (2, 256), (3, 257), (4, 4096), (5, 1 << 20)] {
         assert_eq!(
@@ -86,7 +86,7 @@ fn all_execution_models_are_correct() {
             joins.push(std::thread::spawn(move || {
                 for i in 0..300u64 {
                     let k = t * 1000 + i;
-                    h.put(k, &value_bytes(k, 40)).unwrap();
+                    h.put(k, value_bytes(k, 40)).unwrap();
                 }
             }));
         }
@@ -114,7 +114,7 @@ fn all_index_kinds_are_correct() {
         c.index = kind;
         let store = FlatStore::create(c).unwrap();
         for k in 0..400u64 {
-            store.put(k, &value_bytes(k, 16)).unwrap();
+            store.put(k, value_bytes(k, 16)).unwrap();
         }
         for k in 0..400u64 {
             assert_eq!(store.get(k).unwrap(), Some(value_bytes(k, 16)), "{kind:?}");
@@ -131,7 +131,7 @@ fn range_scan_on_ordered_indexes() {
         c.index = kind;
         let store = FlatStore::create(c).unwrap();
         for k in (0..200u64).rev() {
-            store.put(k * 2, &value_bytes(k, 20)).unwrap();
+            store.put(k * 2, value_bytes(k, 20)).unwrap();
         }
         store.barrier();
         let got = store.range(10, 50, 100).unwrap();
@@ -169,7 +169,7 @@ fn concurrent_mixed_clients() {
                 let k = i % 200; // heavy key overlap across clients
                 match (t + i) % 3 {
                     0 => {
-                        h.put(k, &value_bytes(k + t, 30)).unwrap();
+                        h.put(k, value_bytes(k + t, 30)).unwrap();
                     }
                     1 => {
                         let _ = h.get(k).unwrap();
@@ -201,7 +201,7 @@ fn clean_shutdown_and_reopen() {
     c.crash_tracking = true;
     let store = FlatStore::create(c.clone()).unwrap();
     for k in 0..300u64 {
-        store.put(k, &value_bytes(k, 48)).unwrap();
+        store.put(k, value_bytes(k, 48)).unwrap();
     }
     store.delete(5).unwrap();
     store.delete(6).unwrap();
@@ -214,7 +214,7 @@ fn clean_shutdown_and_reopen() {
         assert_eq!(store.get(k).unwrap(), expect, "key {k}");
     }
     // The store remains fully usable: new writes and deletes work.
-    store.put(5, &value_bytes(500, 48)).unwrap();
+    store.put(5, value_bytes(500, 48)).unwrap();
     assert_eq!(store.get(5).unwrap(), Some(value_bytes(500, 48)));
 }
 
@@ -224,11 +224,11 @@ fn crash_recovery_preserves_acknowledged_writes() {
     c.crash_tracking = true;
     let store = FlatStore::create(c.clone()).unwrap();
     for k in 0..300u64 {
-        store.put(k, &value_bytes(k, 100)).unwrap();
+        store.put(k, value_bytes(k, 100)).unwrap();
     }
     // Mix of inline and out-of-log values.
     for k in 0..50u64 {
-        store.put(k, &value_bytes(k + 1, 1000)).unwrap();
+        store.put(k, value_bytes(k + 1, 1000)).unwrap();
     }
     store.delete(10).unwrap();
     store.barrier();
@@ -248,7 +248,7 @@ fn crash_recovery_preserves_acknowledged_writes() {
     }
     // Version continuity: a new Put to the deleted key wins over the
     // tombstone even across another crash.
-    store.put(10, &value_bytes(99, 64)).unwrap();
+    store.put(10, value_bytes(99, 64)).unwrap();
     store.barrier();
     let pm = store.kill();
     pm.simulate_crash();
@@ -263,7 +263,7 @@ fn crash_recovery_after_overwrites_keeps_newest() {
     let store = FlatStore::create(c.clone()).unwrap();
     for round in 0..6u64 {
         for k in 0..100u64 {
-            store.put(k, &value_bytes(k + round * 7, 64)).unwrap();
+            store.put(k, value_bytes(k + round * 7, 64)).unwrap();
         }
     }
     store.barrier();
@@ -287,14 +287,14 @@ fn gc_reclaims_space_under_overwrite_pressure() {
     // fill with dead entries.
     for round in 0..300u64 {
         for k in 0..400u64 {
-            store.put(k, &value_bytes(k + round, 200)).unwrap();
+            store.put(k, value_bytes(k + round, 200)).unwrap();
         }
     }
     store.barrier();
     // Wait for quarantined chunks to mature and be released.
     std::thread::sleep(std::time::Duration::from_millis(60));
     for k in 0..10u64 {
-        store.put(100_000 + k, &value_bytes(k, 8)).unwrap();
+        store.put(100_000 + k, value_bytes(k, 8)).unwrap();
     }
     store.barrier();
     let cleaned = store
@@ -319,7 +319,7 @@ fn gc_then_crash_recovery_is_consistent() {
     let store = FlatStore::create(c.clone()).unwrap();
     for round in 0..400u64 {
         for k in 0..300u64 {
-            store.put(k, &value_bytes(k * round + 3, 180)).unwrap();
+            store.put(k, value_bytes(k * round + 3, 180)).unwrap();
         }
     }
     store.barrier();
@@ -351,7 +351,7 @@ fn out_of_space_is_an_error_not_a_crash() {
     let store = FlatStore::create(c).unwrap();
     let mut hit_oom = false;
     for k in 0..40u64 {
-        match store.put(k, &value_bytes(k, 3 << 20)) {
+        match store.put(k, value_bytes(k, 3 << 20)) {
             Ok(()) => {}
             Err(StoreError::OutOfSpace) => {
                 hit_oom = true;
@@ -376,7 +376,7 @@ fn pipelined_hb_batches_multiple_cores_entries() {
         let h = handle.clone();
         joins.push(std::thread::spawn(move || {
             for i in 0..500u64 {
-                h.put(t * 10_000 + i, &value_bytes(i, 8)).unwrap();
+                h.put(t * 10_000 + i, value_bytes(i, 8)).unwrap();
             }
         }));
     }
@@ -421,7 +421,7 @@ fn pipelined_same_key_puts_keep_version_order() {
         let h = handle.clone();
         joins.push(std::thread::spawn(move || {
             for i in 0..500u64 {
-                h.put(42, &value_bytes(t * 10_000 + i, 32)).unwrap();
+                h.put(42, value_bytes(t * 10_000 + i, 32)).unwrap();
             }
         }));
     }
@@ -481,7 +481,7 @@ fn ordered_index_gc_and_crash_compose() {
     for round in 0..250u64 {
         for k in 0..300u64 {
             loop {
-                match store.put(k, &value_bytes(k * 13 + round, 190)) {
+                match store.put(k, value_bytes(k * 13 + round, 190)) {
                     Ok(()) => break,
                     Err(StoreError::OutOfSpace) => {
                         std::thread::sleep(std::time::Duration::from_millis(20));

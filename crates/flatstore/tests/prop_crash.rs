@@ -26,14 +26,14 @@ fn script() -> impl Strategy<Value = (Vec<Cmd>, usize)> {
 }
 
 fn small_cfg() -> Config {
-    Config {
-        pm_bytes: 64 << 20,
-        dram_bytes: 8 << 20,
-        ncores: 2,
-        group_size: 2,
-        crash_tracking: true,
-        ..Config::default()
-    }
+    Config::builder()
+        .pm_bytes(64 << 20)
+        .dram_bytes(8 << 20)
+        .ncores(2)
+        .group_size(2)
+        .crash_tracking(true)
+        .build()
+        .expect("valid test config")
 }
 
 proptest! {

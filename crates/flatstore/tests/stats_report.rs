@@ -16,18 +16,20 @@ fn num(report: &obs::StatsReport, section: &str, row: &str) -> f64 {
 
 #[test]
 fn report_carries_op_counts_and_latency_percentiles() {
-    let store = FlatStore::create(Config {
-        pm_bytes: 64 << 20,
-        dram_bytes: 8 << 20,
-        ncores: 2,
-        group_size: 2,
-        crash_tracking: false,
-        ..Config::default()
-    })
+    let store = FlatStore::create(
+        Config::builder()
+            .pm_bytes(64 << 20)
+            .dram_bytes(8 << 20)
+            .ncores(2)
+            .group_size(2)
+            .crash_tracking(false)
+            .build()
+            .unwrap(),
+    )
     .unwrap();
 
     for k in 0..200u64 {
-        store.put(k, &value_bytes(k, 32)).unwrap();
+        store.put(k, value_bytes(k, 32)).unwrap();
     }
     for k in 0..200u64 {
         assert!(store.get(k).unwrap().is_some());
@@ -52,6 +54,22 @@ fn report_carries_op_counts_and_latency_percentiles() {
     assert!(p50 > 0.0, "put p50 {p50}");
     assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
     assert!(p99 <= max, "p99 {p99} > max {max}");
+
+    // Fabric counters: every operation plus the checkpoint's control
+    // messages crossed the rings, and every one of them was answered,
+    // either directly by the agent core or by delegation through it.
+    let requests = num(&r, "fabric", "requests");
+    assert!(requests >= 401.0, "fabric requests {requests}");
+    let direct = num(&r, "fabric", "direct_responses");
+    let delegated = num(&r, "fabric", "delegated_responses");
+    assert!(
+        direct + delegated >= 401.0,
+        "responses direct {direct} + delegated {delegated}"
+    );
+    assert!(num(&r, "fabric", "clients_attached") >= 1.0);
+
+    // The session layer recorded one completion per data operation.
+    assert_eq!(num(&r, "session", "completion_count"), 401.0);
 
     // The region's persistence counters ride along in the same report.
     assert!(num(&r, "pm", "flushes") > 0.0);

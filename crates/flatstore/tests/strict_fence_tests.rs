@@ -8,19 +8,19 @@ use workloads::value_bytes;
 #[test]
 fn acknowledged_writes_survive_strict_fence_crashes() {
     for seed in 0..6u64 {
-        let cfg = Config {
-            pm_bytes: 64 << 20,
-            dram_bytes: 8 << 20,
-            ncores: 2,
-            group_size: 2,
-            crash_tracking: true,
-            strict_fence_seed: Some(seed),
-            ..Config::default()
-        };
+        let cfg = Config::builder()
+            .pm_bytes(64 << 20)
+            .dram_bytes(8 << 20)
+            .ncores(2)
+            .group_size(2)
+            .crash_tracking(true)
+            .strict_fence_seed(Some(seed))
+            .build()
+            .expect("valid test config");
         let store = FlatStore::create(cfg.clone()).unwrap();
         for k in 0..400u64 {
             store
-                .put(k, &value_bytes(k ^ seed, 30 + (k % 400) as usize))
+                .put(k, value_bytes(k ^ seed, 30 + (k % 400) as usize))
                 .unwrap();
         }
         for k in 0..50u64 {
@@ -46,21 +46,21 @@ fn acknowledged_writes_survive_strict_fence_crashes() {
 
 #[test]
 fn strict_fence_crash_mid_stream_loses_nothing_acknowledged() {
-    let cfg = Config {
-        pm_bytes: 64 << 20,
-        dram_bytes: 8 << 20,
-        ncores: 2,
-        group_size: 2,
-        crash_tracking: true,
-        strict_fence_seed: Some(0xF1A7),
-        ..Config::default()
-    };
+    let cfg = Config::builder()
+        .pm_bytes(64 << 20)
+        .dram_bytes(8 << 20)
+        .ncores(2)
+        .group_size(2)
+        .crash_tracking(true)
+        .strict_fence_seed(Some(0xF1A7))
+        .build()
+        .expect("valid test config");
     let store = FlatStore::create(cfg.clone()).unwrap();
     // No barrier: kill() drains in-flight work, then the crash drops every
     // unfenced line. Everything put() acknowledged must still be there.
     let mut acked = Vec::new();
     for k in 0..600u64 {
-        store.put(k, &value_bytes(k, 64)).unwrap();
+        store.put(k, value_bytes(k, 64)).unwrap();
         acked.push(k);
     }
     let pm = store.kill();

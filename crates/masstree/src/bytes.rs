@@ -96,22 +96,17 @@ impl MassBytes {
         if let Some(idx) = self.layer.get(slice) {
             return idx as usize;
         }
-        // Allocate a new slot; racing inserters may both allocate, the
-        // layer's insert decides the winner and the loser's slot leaks
-        // (bounded by contention, freed with the tree).
-        let idx = {
-            let mut slots = self.slots.write();
-            slots.push(RwLock::new(Slot::default()));
-            slots.len() - 1
-        };
-        match self.layer.insert(slice, idx as u64) {
-            None => idx,
-            Some(_) => {
-                // Lost the race — someone else's insert overwrote ours or
-                // ours overwrote theirs; re-read the authoritative one.
-                self.layer.get(slice).expect("slice just inserted") as usize
-            }
+        // Slice creation is serialized by the slots lock: without it, a
+        // racing inserter's layer.insert could overwrite the winner's slot
+        // index, orphaning values already stored in the winner's slot.
+        let mut slots = self.slots.write();
+        if let Some(idx) = self.layer.get(slice) {
+            return idx as usize;
         }
+        slots.push(RwLock::new(Slot::default()));
+        let idx = slots.len() - 1;
+        self.layer.insert(slice, idx as u64);
+        idx
     }
 
     /// Inserts `key -> value`, returning the previous value if any.

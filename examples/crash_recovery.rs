@@ -10,22 +10,21 @@ use flatstore::{Config, FlatStore, StoreError};
 use workloads::value_bytes;
 
 fn main() -> Result<(), StoreError> {
-    let cfg = Config {
-        pm_bytes: 256 << 20,
-        ncores: 2,
-        group_size: 2,
-        crash_tracking: true, // keep a shadow of flushed state
-        ..Config::default()
-    };
+    let cfg = Config::builder()
+        .pm_bytes(256 << 20)
+        .ncores(2)
+        .group_size(2)
+        .crash_tracking(true) // keep a shadow of flushed state
+        .build()?;
     let store = FlatStore::create(cfg.clone())?;
 
     // A mix of inline (≤256 B) and allocator-backed (>256 B) values,
     // overwrites, and a delete.
     for k in 0..1_000u64 {
-        store.put(k, &value_bytes(k, 64))?;
+        store.put(k, value_bytes(k, 64))?;
     }
     for k in 0..100u64 {
-        store.put(k, &value_bytes(k + 7, 2000))?;
+        store.put(k, value_bytes(k + 7, 2000))?;
     }
     store.delete(500)?;
     store.barrier(); // every op above is acknowledged == durable

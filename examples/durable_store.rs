@@ -14,12 +14,11 @@ use pmem::PmRegion;
 
 fn main() -> Result<(), StoreError> {
     let path = std::env::temp_dir().join("flatstore-demo.pm");
-    let cfg = Config {
-        pm_bytes: 128 << 20,
-        ncores: 2,
-        group_size: 2,
-        ..Config::default()
-    };
+    let cfg = Config::builder()
+        .pm_bytes(128 << 20)
+        .ncores(2)
+        .group_size(2)
+        .build()?;
 
     let store = if path.exists() {
         let pm = Arc::new(PmRegion::load(&path, false).expect("load PM image"));
@@ -35,7 +34,7 @@ fn main() -> Result<(), StoreError> {
         .map(|v| u64::from_le_bytes(v.try_into().expect("8-byte counter")))
         .unwrap_or(0);
     println!("this store has been opened {runs} time(s) before");
-    store.put(0, &(runs + 1).to_le_bytes())?;
+    store.put(0, (runs + 1).to_le_bytes())?;
     store.put(1_000 + runs, format!("run #{runs}").as_bytes())?;
 
     for r in 0..=runs {

@@ -16,19 +16,18 @@ const CLIENTS: u64 = 4;
 const OPS_PER_CLIENT: u64 = 10_000;
 
 fn main() -> Result<(), StoreError> {
-    let cfg = Config {
-        pm_bytes: 512 << 20,
-        ncores: 4,
-        group_size: 4,
-        ..Config::default()
-    };
+    let cfg = Config::builder()
+        .pm_bytes(512 << 20)
+        .ncores(4)
+        .group_size(4)
+        .build()?;
     let store = FlatStore::create(cfg)?;
 
     // Preload every key with its class-determined size (40 % tiny 1–13 B,
     // 55 % small 14–300 B, 5 % large > 300 B).
     for key in 0..KEYSPACE {
         let len = EtcWorkload::value_len(key, KEYSPACE);
-        store.put(key, &value_bytes(key, len))?;
+        store.put(key, value_bytes(key, len))?;
     }
     println!("preloaded {} keys", store.len());
 
@@ -41,7 +40,7 @@ fn main() -> Result<(), StoreError> {
             let mut gen = EtcWorkload::new(KEYSPACE, 0.5, client + 1);
             for _ in 0..OPS_PER_CLIENT {
                 match gen.next_op() {
-                    Op::Put { key, value_len } => h.put(key, &value_bytes(key, value_len))?,
+                    Op::Put { key, value_len } => h.put(key, value_bytes(key, value_len))?,
                     Op::Get { key } => {
                         let _ = h.get(key)?;
                     }

@@ -10,12 +10,11 @@ use flatstore::{Config, FlatStore, StoreError};
 fn main() -> Result<(), StoreError> {
     // A small engine: 256 MB of (simulated) PM, four server cores in one
     // horizontal-batching group.
-    let cfg = Config {
-        pm_bytes: 256 << 20,
-        ncores: 4,
-        group_size: 4,
-        ..Config::default()
-    };
+    let cfg = Config::builder()
+        .pm_bytes(256 << 20)
+        .ncores(4)
+        .group_size(4)
+        .build()?;
     let store = FlatStore::create(cfg.clone())?;
 
     // Small values embed directly in 16-byte-headed log entries…

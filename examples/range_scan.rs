@@ -13,13 +13,12 @@ fn key(sensor: u16, ts: u32) -> u64 {
 }
 
 fn main() -> Result<(), StoreError> {
-    let cfg = Config {
-        pm_bytes: 256 << 20,
-        ncores: 4,
-        group_size: 4,
-        index: IndexKind::Masstree,
-        ..Config::default()
-    };
+    let cfg = Config::builder()
+        .pm_bytes(256 << 20)
+        .ncores(4)
+        .group_size(4)
+        .index(IndexKind::Masstree)
+        .build()?;
     let store = FlatStore::create(cfg)?;
 
     // Ingest readings from a few sensors, out of order.

@@ -17,8 +17,11 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== tests (unit + integration + property) =="
 cargo test --workspace -q --offline
 
-echo "== docs =="
-cargo doc --workspace --no-deps --offline
+echo "== docs (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
+echo "== session smoke: pipelined sessions fill HB batches =="
+cargo run --release --offline --example session_pipeline
 
 echo "== observability smoke: simulate with exporters =="
 tmpdir="$(mktemp -d)"

@@ -354,7 +354,7 @@ pub fn any<T: arbitrary::Arbitrary>() -> arbitrary::Any<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length bound for [`vec`]; build from `usize` or a range.
+    /// Length bound for [`vec()`]; build from `usize` or a range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

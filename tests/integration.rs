@@ -7,13 +7,13 @@ use flatstore::{Config, ExecutionModel, FlatStore, IndexKind};
 use workloads::{value_bytes, EtcWorkload, KeyDist, Op, Workload};
 
 fn cfg() -> Config {
-    Config {
-        pm_bytes: 192 << 20,
-        dram_bytes: 16 << 20,
-        ncores: 3,
-        group_size: 3,
-        ..Config::default()
-    }
+    Config::builder()
+        .pm_bytes(192 << 20)
+        .dram_bytes(16 << 20)
+        .ncores(3)
+        .group_size(3)
+        .build()
+        .expect("valid test config")
 }
 
 /// Replays a YCSB-style script through the engine and checks the final
@@ -87,7 +87,7 @@ fn double_crash_recovery() {
     c.crash_tracking = true;
     let store = FlatStore::create(c.clone()).unwrap();
     for k in 0..500u64 {
-        store.put(k, &value_bytes(k, 120)).unwrap();
+        store.put(k, value_bytes(k, 120)).unwrap();
     }
     store.barrier();
     let pm = store.kill();
@@ -95,7 +95,7 @@ fn double_crash_recovery() {
 
     let store = FlatStore::open(pm, c.clone()).unwrap();
     for k in 500..800u64 {
-        store.put(k, &value_bytes(k, 120)).unwrap();
+        store.put(k, value_bytes(k, 120)).unwrap();
     }
     store.delete(0).unwrap();
     store.barrier();
@@ -117,13 +117,13 @@ fn clean_then_crash_paths_compose() {
     c.crash_tracking = true;
     let store = FlatStore::create(c.clone()).unwrap();
     for k in 0..400u64 {
-        store.put(k, &value_bytes(k, 200)).unwrap();
+        store.put(k, value_bytes(k, 200)).unwrap();
     }
     let pm = store.shutdown().unwrap();
 
     let store = FlatStore::open(pm, c.clone()).unwrap();
     for k in 0..200u64 {
-        store.put(k, &value_bytes(k + 1, 500)).unwrap();
+        store.put(k, value_bytes(k + 1, 500)).unwrap();
     }
     store.barrier();
     let pm = store.kill();
@@ -149,7 +149,7 @@ fn ordered_index_full_stack() {
     c.model = ExecutionModel::PipelinedHb;
     let store = FlatStore::create(c).unwrap();
     for k in (0..1_000u64).step_by(2) {
-        store.put(k, &value_bytes(k, 33)).unwrap();
+        store.put(k, value_bytes(k, 33)).unwrap();
     }
     store.barrier();
     let rows = store.range(100, 200, 1000).unwrap();
