@@ -17,6 +17,7 @@ struct Inner<T> {
 // SAFETY: slots are accessed exclusively by the single producer (tail side)
 // or the single consumer (head side), synchronized through the indices.
 unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: same single-producer/single-consumer discipline as `Send` above.
 unsafe impl<T: Send> Sync for Inner<T> {}
 
 /// Creates a connected SPSC ring of `capacity` messages.

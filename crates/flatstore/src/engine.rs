@@ -80,6 +80,7 @@ impl StoreHandle {
             }
             *guard = Some(Session::attach(Arc::clone(&self.shared)));
         }
+        // pmlint: allow(no-unwrap) — the branch above just filled the slot.
         f(guard.as_mut().expect("session attached above"))
     }
 
@@ -616,6 +617,9 @@ impl FlatStore {
         }
         // 4. Publish.
         Superblock::new(&self.pm).set_ckpt_valid(true);
+        // Durability point: cursors, bitmaps and snapshot are all
+        // persisted, and the valid flag just made them reachable.
+        self.pm.commit_point();
         self.ckpt.arm();
         self.stats
             .checkpoints
@@ -691,6 +695,8 @@ impl FlatStore {
                 std::thread::Builder::new()
                     .name(format!("flatstore-core-{core}"))
                     .spawn(move || shard.run())
+                    // pmlint: allow(no-unwrap) — thread-spawn failure at startup
+                    // is unrecoverable; no PM state exists to strand yet.
                     .expect("spawn worker"),
             );
         }
@@ -829,6 +835,8 @@ impl FlatStore {
         let shards: Vec<Shard> = self
             .workers
             .drain(..)
+            // pmlint: allow(no-unwrap) — propagate a worker panic rather
+            // than pretend a clean shutdown happened over its corpse.
             .map(|w| w.join().expect("worker panicked"))
             .collect();
         // Only now do sessions fail fast: every ring has been fully
@@ -858,6 +866,9 @@ impl FlatStore {
         self.mgr.persist_bitmaps();
         sb.set_ckpt_valid(false);
         sb.set_clean(true);
+        // Durability point: the image is now a complete clean-shutdown
+        // state (snapshot + bitmaps + clean flag).
+        self.pm.commit_point();
         drop(shards);
         Ok(Arc::clone(&self.pm))
     }

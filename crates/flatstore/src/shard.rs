@@ -316,6 +316,7 @@ impl Shard {
         };
         let entry = if value.len() <= INLINE_MAX {
             // The request's value is moved into the entry — no second copy.
+            // pmlint: allow(no-unwrap) — guarded by `len() <= INLINE_MAX`.
             LogEntry::put_inline(key, version, value).expect("length checked")
         } else {
             let block = match self.alloc.alloc(record_size(value.len())) {
@@ -539,6 +540,8 @@ impl Shard {
             }
             match self.inflight[i].completion.poll() {
                 Some(result) => {
+                    // pmlint: allow(no-unwrap) — `i < inflight.len()` is the
+                    // loop condition and complete() runs after the remove.
                     let inf = self.inflight.remove(i).expect("index in bounds");
                     self.complete(inf, result);
                     progressed = true;
@@ -651,6 +654,7 @@ impl Shard {
         // them to preserve per-key FIFO.
         let mut repushed: HashSet<u64> = HashSet::new();
         for _ in 0..n {
+            // pmlint: allow(no-unwrap) — the loop runs deferred.len() times.
             let (client, env) = self.deferred.pop_front().expect("len checked");
             let key = env.body.conflict_key();
             let blocked = key.is_some_and(|k| {
@@ -692,6 +696,9 @@ impl Shard {
                 let cursor = crate::superblock::Superblock::ckpt_cursor(self.core);
                 self.pm.write_u64(cursor, self.log.tail().offset());
                 self.pm.persist(cursor, 8);
+                // Durability point: the shard is quiet, so its whole log
+                // prefix (and now the cursor) is persistent.
+                self.pm.commit_point();
                 for (client, seq) in std::mem::take(&mut self.ckpt_cursors) {
                     self.respond(client, seq, OpResult::Control);
                 }

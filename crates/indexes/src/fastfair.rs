@@ -109,6 +109,9 @@ impl FastFair {
     }
 
     fn set_count(&self, n: PmAddr, c: u16) {
+        // pmlint: allow(write-without-persist) — FAST&FAIR inserts persist
+        // the whole node once per mutation at the call site, after the
+        // shifted entries and the count are all in place.
         self.store.pm.write(n + OFF_COUNT, &c.to_le_bytes());
     }
 
@@ -125,6 +128,9 @@ impl FastFair {
 
     fn write_entry(&self, n: PmAddr, i: u16, key: u64, val: u64) {
         let a = Self::entry_addr(n, i);
+        // pmlint: allow(write-without-persist) — value before key is the
+        // FAST ordering; callers flush the affected lines and fence once
+        // per shift sequence (§FAST&FAIR), not per entry.
         self.store.pm.write_u64(a + 8, val);
         self.store.pm.write_u64(a, key);
     }

@@ -209,6 +209,7 @@ impl LogEntry {
         let ver_lo = (b0 >> 4) as u32;
         let ver_hi = u16::from_le_bytes([hdr[1], hdr[2]]) as u32;
         let version = ver_lo | (ver_hi << 4);
+        // pmlint: allow(no-unwrap) — hdr is 11 bytes, so [3..11] is 8 bytes.
         let key = u64::from_le_bytes(hdr[3..11].try_into().expect("8 bytes"));
         match op {
             LogOp::Seal => Ok(Some((LogEntry::seal(), PTR_ENTRY_LEN))),

@@ -127,6 +127,8 @@ impl OpLog {
         pm.write_u64(desc + DESC_HEAD, first.offset());
         pm.write_u64(desc + DESC_TAIL, tail.offset());
         pm.persist(desc, 16);
+        // Durability point: the descriptor now anchors a recoverable chain.
+        pm.commit_point();
         let mut usage = HashMap::new();
         usage.insert(first.offset(), ChunkUsage::default());
         Ok(OpLog {
@@ -220,6 +222,8 @@ impl OpLog {
             if !reached_cursor {
                 if Some(cur) == from_chunk {
                     // Resume scanning exactly at the checkpoint cursor.
+                    // pmlint: allow(no-unwrap) — from_chunk is Some only
+                    // when `from` is (both derive from the same Option).
                     pos = from.expect("cursor present");
                     reached_cursor = true;
                 } else {
@@ -256,6 +260,8 @@ impl OpLog {
         }
         if !reached_cursor {
             return Err(LogError::Corrupt {
+                // pmlint: allow(no-unwrap) — reached_cursor starts false only
+                // when `from` is Some (see the initialisation above).
                 addr: from.expect("cursor present").offset(),
             });
         }
@@ -363,6 +369,9 @@ impl OpLog {
         self.tail = base + len;
         self.pm.write_u64(self.desc + DESC_TAIL, self.tail.offset());
         self.pm.persist(self.desc + DESC_TAIL, 8);
+        // Durability point: entries first, then the tail pointer — the
+        // batch is now acknowledged-durable (pmcheck verifies the order).
+        self.pm.commit_point();
 
         let cur = Self::chunk_of(base);
         self.usage.entry(cur.offset()).or_default().total += entries.len() as u32;
@@ -414,7 +423,7 @@ impl OpLog {
             .filter(|(c, u)| *c != tail_chunk && u.total > 0 && u.live_ratio() <= max_live_ratio)
             .map(|(c, u)| (c, u.live_ratio()))
             .collect();
-        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("ratios are finite"));
+        v.sort_by(|a, b| a.1.total_cmp(&b.1));
         v.into_iter().map(|(c, _)| c).collect()
     }
 
@@ -476,6 +485,7 @@ impl OpLog {
         if live.is_empty() {
             // Nothing to relocate; just unlink and free.
             self.unlink(idx)?;
+            self.pm.commit_point();
             return Ok(relocations);
         }
 
@@ -520,6 +530,9 @@ impl OpLog {
 
         // Victim moved one position right after the head insert.
         self.unlink(idx + 1)?;
+        // Durability point: relocated entries persisted and linked, victim
+        // unlinked — the chain is consistent again.
+        self.pm.commit_point();
         Ok(relocations)
     }
 

@@ -125,6 +125,7 @@ impl Bitmap {
             if i >= bm.words.len() {
                 break;
             }
+            // pmlint: allow(no-unwrap) — chunks_exact(8) yields 8-byte slices.
             bm.words[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
         }
         bm.used = bm.words.iter().map(|w| w.count_ones()).sum();

@@ -1,0 +1,387 @@
+//! The per-cacheline persistency state machine.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pmem::{PmEvent, CACHELINE};
+
+/// The persistency-ordering rules the checker enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// A [`PmEvent::CommitPoint`] passed a cacheline holding a store that
+    /// was not yet flushed **and** fenced. The durability claim the commit
+    /// point makes is false: a crash at that instant loses acknowledged
+    /// data (the classic "log tail persisted before its entry" bug).
+    UnpersistedAtCommit,
+    /// A flush targeted a line with no store since its last flush. Wasted
+    /// `clwb` bandwidth, and on Optane the repeat-flush stall (~800 ns).
+    RedundantFlush,
+    /// A store landed on a line that was flushed but not yet fenced. The
+    /// in-flight `clwb` races the new data: what reaches the media is
+    /// nondeterministic, so the earlier flush guarantees nothing.
+    WriteAfterFlush,
+    /// A fence was issued with zero flushes outstanding since the previous
+    /// fence — it orders nothing and burns a pipeline drain.
+    UselessFence,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 4] = [
+        Rule::UnpersistedAtCommit,
+        Rule::RedundantFlush,
+        Rule::WriteAfterFlush,
+        Rule::UselessFence,
+    ];
+
+    /// Stable kebab-case name (used in reports and by `pmlint` escapes).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnpersistedAtCommit => "unpersisted-at-commit",
+            Rule::RedundantFlush => "redundant-flush",
+            Rule::WriteAfterFlush => "write-after-flush",
+            Rule::UselessFence => "useless-fence",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One persistency-ordering violation found in an event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Index of the offending event within the stream fed to the checker.
+    pub index: usize,
+    /// Cacheline index (byte offset / 64) the violation concerns, if any
+    /// ([`Rule::UselessFence`] has no line).
+    pub line: Option<u64>,
+    /// The commit epoch in force, for [`Rule::UnpersistedAtCommit`].
+    pub epoch: Option<u64>,
+    /// Human-readable explanation with addresses and event indices.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] event #{}", self.rule, self.index)?;
+        if let Some(line) = self.line {
+            write!(f, " line {} (addr {:#x})", line, line * CACHELINE)?;
+        }
+        if let Some(epoch) = self.epoch {
+            write!(f, " epoch {epoch}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Per-cacheline persistence state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineState {
+    /// No store since the last flush+fence cycle completed.
+    Clean,
+    /// Stored to, not yet flushed. Remembers the event index of the
+    /// earliest unflushed store for the violation message.
+    Dirty { since: usize },
+    /// Flushed, fence still pending. Remembers the flush's event index.
+    Flushed { at: usize },
+}
+
+/// Replays a [`PmEvent`] stream into per-cacheline state machines and
+/// records [`Violation`]s.
+///
+/// The checker is incremental: [`feed`](Checker::feed) may be called many
+/// times with successive drains of the same region's trace (the state
+/// carries over), or the whole stream can be checked at once with the
+/// associated function [`Checker::scan`].
+#[derive(Debug, Default)]
+pub struct Checker {
+    lines: HashMap<u64, LineState>,
+    /// Lines currently in `Flushed` state (for O(flushed) fence handling).
+    unfenced: Vec<u64>,
+    /// Flushes issued since the last fence.
+    outstanding: u64,
+    /// Events consumed so far (so indices stay global across `feed`s).
+    consumed: usize,
+    violations: Vec<Violation>,
+}
+
+impl Checker {
+    /// A fresh checker: all lines clean, no events consumed.
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// One-shot scan of a complete event stream.
+    pub fn scan(events: &[PmEvent]) -> Vec<Violation> {
+        let mut c = Checker::new();
+        c.feed(events);
+        c.into_violations()
+    }
+
+    /// Replays `events`, accumulating state and violations. Event indices
+    /// in violations are global: the n-th event ever fed is index n.
+    pub fn feed(&mut self, events: &[PmEvent]) {
+        for ev in events {
+            let index = self.consumed;
+            self.consumed += 1;
+            match *ev {
+                PmEvent::Write { addr, len } => self.on_write(index, addr, len),
+                PmEvent::Flush { line } => self.on_flush(index, line),
+                PmEvent::Fence => self.on_fence(index),
+                PmEvent::Read { .. } => {}
+                PmEvent::CommitPoint { epoch } => self.on_commit(index, epoch),
+            }
+        }
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Consumes the checker, returning its violations.
+    pub fn into_violations(self) -> Vec<Violation> {
+        self.violations
+    }
+
+    /// Violation totals by rule (the obs/report vocabulary).
+    pub fn counts(&self) -> crate::RuleCounts {
+        let mut c = crate::RuleCounts::default();
+        for v in &self.violations {
+            c.add(v.rule);
+        }
+        c
+    }
+
+    fn on_write(&mut self, index: usize, addr: u64, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let first = addr / CACHELINE;
+        let last = (addr + len as u64 - 1) / CACHELINE;
+        for line in first..=last {
+            let state = self.lines.entry(line).or_insert(LineState::Clean);
+            match *state {
+                LineState::Flushed { at } => {
+                    self.violations.push(Violation {
+                        rule: Rule::WriteAfterFlush,
+                        index,
+                        line: Some(line),
+                        epoch: None,
+                        detail: format!(
+                            "store at {addr:#x}+{len} overwrites a line flushed at event \
+                             #{at} before any fence — the flush guarantees nothing"
+                        ),
+                    });
+                    *state = LineState::Dirty { since: index };
+                }
+                LineState::Clean => *state = LineState::Dirty { since: index },
+                LineState::Dirty { .. } => {} // keep the earliest store index
+            }
+        }
+    }
+
+    fn on_flush(&mut self, index: usize, line: u64) {
+        let state = self.lines.entry(line).or_insert(LineState::Clean);
+        match *state {
+            LineState::Dirty { .. } => {}
+            LineState::Clean => {
+                self.violations.push(Violation {
+                    rule: Rule::RedundantFlush,
+                    index,
+                    line: Some(line),
+                    epoch: None,
+                    detail: "flush of a line with no store since its last flush".to_string(),
+                });
+            }
+            LineState::Flushed { at } => {
+                self.violations.push(Violation {
+                    rule: Rule::RedundantFlush,
+                    index,
+                    line: Some(line),
+                    epoch: None,
+                    detail: format!("line already flushed at event #{at}, no store since"),
+                });
+            }
+        }
+        if !matches!(*state, LineState::Flushed { .. }) {
+            self.unfenced.push(line);
+        }
+        *state = LineState::Flushed { at: index };
+        self.outstanding += 1;
+    }
+
+    fn on_fence(&mut self, index: usize) {
+        if self.outstanding == 0 {
+            self.violations.push(Violation {
+                rule: Rule::UselessFence,
+                index,
+                line: None,
+                epoch: None,
+                detail: "fence with zero flushes outstanding since the previous fence".to_string(),
+            });
+        }
+        for line in self.unfenced.drain(..) {
+            if let Some(state) = self.lines.get_mut(&line) {
+                if matches!(*state, LineState::Flushed { .. }) {
+                    *state = LineState::Clean;
+                }
+            }
+        }
+        self.outstanding = 0;
+    }
+
+    fn on_commit(&mut self, index: usize, epoch: u64) {
+        let mut offenders: Vec<(u64, LineState)> = self
+            .lines
+            .iter()
+            .filter(|(_, s)| !matches!(s, LineState::Clean))
+            .map(|(l, s)| (*l, *s))
+            .collect();
+        offenders.sort_by_key(|(l, _)| *l);
+        for (line, state) in offenders {
+            let detail = match state {
+                LineState::Dirty { since } => {
+                    format!("store at event #{since} reached commit point #{epoch} without a flush")
+                }
+                LineState::Flushed { at } => {
+                    format!("flush at event #{at} reached commit point #{epoch} without a fence")
+                }
+                LineState::Clean => unreachable!("filtered above"),
+            };
+            self.violations.push(Violation {
+                rule: Rule::UnpersistedAtCommit,
+                index,
+                line: Some(line),
+                epoch: Some(epoch),
+                detail,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: fn(u64, u32) -> PmEvent = |addr, len| PmEvent::Write { addr, len };
+    const F: fn(u64) -> PmEvent = |line| PmEvent::Flush { line };
+    const COMMIT: fn(u64) -> PmEvent = |epoch| PmEvent::CommitPoint { epoch };
+
+    #[test]
+    fn clean_protocol_passes() {
+        let v = Checker::scan(&[W(0, 64), W(64, 16), F(0), F(1), PmEvent::Fence, COMMIT(1)]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn dirty_line_at_commit_fires() {
+        let v = Checker::scan(&[W(0, 8), COMMIT(1)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UnpersistedAtCommit);
+        assert_eq!(v[0].line, Some(0));
+        assert_eq!(v[0].epoch, Some(1));
+    }
+
+    #[test]
+    fn flushed_but_unfenced_at_commit_fires() {
+        let v = Checker::scan(&[W(0, 8), F(0), COMMIT(1)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UnpersistedAtCommit);
+        assert!(v[0].detail.contains("without a fence"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn redundant_flush_fires_for_clean_and_double_flush() {
+        let v = Checker::scan(&[F(3)]);
+        assert_eq!(v[0].rule, Rule::RedundantFlush);
+
+        let v = Checker::scan(&[W(0, 8), F(0), F(0), PmEvent::Fence]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::RedundantFlush);
+        assert_eq!(v[0].index, 2);
+    }
+
+    #[test]
+    fn flush_after_fence_without_new_store_is_redundant() {
+        let v = Checker::scan(&[W(0, 8), F(0), PmEvent::Fence, F(0), PmEvent::Fence]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::RedundantFlush);
+    }
+
+    #[test]
+    fn write_after_flush_before_fence_fires() {
+        let v = Checker::scan(&[W(0, 8), F(0), W(8, 8), PmEvent::Fence]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::WriteAfterFlush);
+        // ... but re-writing after the fence is a fresh cycle:
+        let v = Checker::scan(&[W(0, 8), F(0), PmEvent::Fence, W(8, 8), F(0), PmEvent::Fence]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn useless_fence_fires() {
+        let v = Checker::scan(&[PmEvent::Fence]);
+        assert_eq!(v[0].rule, Rule::UselessFence);
+        let v = Checker::scan(&[W(0, 8), F(0), PmEvent::Fence, PmEvent::Fence]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UselessFence);
+        assert_eq!(v[0].index, 3);
+    }
+
+    #[test]
+    fn write_spanning_lines_tracks_both() {
+        let v = Checker::scan(&[W(60, 8), F(0), PmEvent::Fence, COMMIT(1)]);
+        // line 1 (bytes 64..) was stored to but only line 0 was flushed
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UnpersistedAtCommit);
+        assert_eq!(v[0].line, Some(1));
+    }
+
+    #[test]
+    fn reads_are_ignored() {
+        let v = Checker::scan(&[PmEvent::Read { addr: 0, len: 64 }]);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn feed_is_incremental_with_global_indices() {
+        let mut c = Checker::new();
+        c.feed(&[W(0, 8)]);
+        c.feed(&[F(0)]);
+        c.feed(&[PmEvent::Fence, COMMIT(1)]);
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+
+        let mut c = Checker::new();
+        c.feed(&[W(0, 8)]);
+        c.feed(&[COMMIT(1)]);
+        assert_eq!(c.violations()[0].index, 1, "index global across feeds");
+    }
+
+    #[test]
+    fn counts_group_by_rule() {
+        let mut c = Checker::new();
+        c.feed(&[W(0, 8), COMMIT(1), F(9), PmEvent::Fence, PmEvent::Fence]);
+        let n = c.counts();
+        assert_eq!(n.unpersisted_at_commit, 1);
+        assert_eq!(n.redundant_flush, 1);
+        assert_eq!(n.useless_fence, 1);
+        assert_eq!(n.write_after_flush, 0);
+        assert_eq!(n.total(), 3);
+    }
+
+    #[test]
+    fn violations_render_with_context() {
+        let v = Checker::scan(&[W(128, 8), COMMIT(7)]);
+        let text = v[0].to_string();
+        assert!(text.contains("unpersisted-at-commit"), "{text}");
+        assert!(text.contains("line 2"), "{text}");
+        assert!(text.contains("epoch 7"), "{text}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Test harness: a traced region paired with an incremental checker.
+
+use std::sync::{Arc, Mutex};
+
+use pmem::PmRegion;
+
+use crate::checker::{Checker, Violation};
+
+/// A crash-tracked, trace-enabled [`PmRegion`] paired with a [`Checker`]
+/// that replays everything the region records.
+///
+/// Tests drive the *real* data-structure code against
+/// [`CheckedRegion::pm`] and finish with
+/// [`assert_clean`](CheckedRegion::assert_clean) (strict mode: zero
+/// violations) or inspect [`violations`](CheckedRegion::violations) when a
+/// deliberately buggy sequence is expected to fire.
+pub struct CheckedRegion {
+    pm: Arc<PmRegion>,
+    checker: Mutex<Checker>,
+}
+
+/// Creates a [`CheckedRegion`] of `len` bytes: crash tracking on, event
+/// tracing on from the very first write, so the checker observes the
+/// region's entire life.
+///
+/// # Panics
+///
+/// Panics if `len` is zero or not a multiple of the cacheline size (64).
+pub fn checked_region(len: usize) -> CheckedRegion {
+    let pm = Arc::new(PmRegion::with_crash_tracking(len));
+    pm.set_trace(true);
+    CheckedRegion {
+        pm,
+        checker: Mutex::new(Checker::new()),
+    }
+}
+
+impl CheckedRegion {
+    /// The region under test. Hand clones of this `Arc` to the code being
+    /// exercised (allocators, logs, engines).
+    pub fn pm(&self) -> &Arc<PmRegion> {
+        &self.pm
+    }
+
+    /// Drains the region's pending trace into the checker. Called
+    /// automatically by [`violations`](Self::violations) and
+    /// [`assert_clean`](Self::assert_clean); call it directly to bound
+    /// trace memory in long runs.
+    pub fn sync(&self) {
+        let events = self.pm.take_events();
+        self.checker
+            .lock()
+            .expect("checker mutex poisoned")
+            .feed(&events);
+    }
+
+    /// All violations observed so far (drains pending events first).
+    pub fn violations(&self) -> Vec<Violation> {
+        self.sync();
+        self.checker
+            .lock()
+            .expect("checker mutex poisoned")
+            .violations()
+            .to_vec()
+    }
+
+    /// Strict mode: panics with a full listing if any rule fired.
+    ///
+    /// # Panics
+    ///
+    /// Panics when at least one violation was recorded, printing every
+    /// violation with its rule, event index and cacheline.
+    pub fn assert_clean(&self, context: &str) {
+        let v = self.violations();
+        if !v.is_empty() {
+            let mut msg = format!(
+                "pmcheck: {} persistency violation(s) in `{}`:\n",
+                v.len(),
+                context
+            );
+            for violation in &v {
+                msg.push_str(&format!("  {violation}\n"));
+            }
+            panic!("{msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::Rule;
+    use pmem::PmAddr;
+
+    #[test]
+    fn clean_lifecycle_asserts_clean() {
+        let region = checked_region(4096);
+        let pm = region.pm();
+        pm.write(PmAddr(0), b"hello");
+        pm.persist(PmAddr(0), 5);
+        pm.commit_point();
+        region.assert_clean("clean lifecycle");
+    }
+
+    #[test]
+    fn violations_survive_incremental_syncs() {
+        let region = checked_region(4096);
+        let pm = region.pm();
+        pm.write(PmAddr(0), b"a");
+        region.sync(); // split the stream mid-cycle
+        pm.flush(PmAddr(0), 1);
+        region.sync();
+        pm.fence();
+        pm.commit_point();
+        region.assert_clean("state carries across syncs");
+    }
+
+    #[test]
+    #[should_panic(expected = "unpersisted-at-commit")]
+    fn assert_clean_panics_with_rule_name() {
+        let region = checked_region(4096);
+        region.pm().write(PmAddr(0), b"lost");
+        region.pm().commit_point();
+        region.assert_clean("buggy sequence");
+    }
+
+    #[test]
+    fn buggy_sequence_reports_through_violations() {
+        let region = checked_region(4096);
+        region.pm().write(PmAddr(0), b"x");
+        region.pm().flush(PmAddr(0), 1);
+        region.pm().commit_point(); // fence missing
+        let v = region.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UnpersistedAtCommit);
+    }
+}

@@ -1,0 +1,113 @@
+//! Reporting: violation totals in the shared `obs` report vocabulary.
+
+use crate::checker::{Rule, Violation};
+
+/// Violation totals by rule — the summary a metrics export carries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleCounts {
+    /// [`Rule::UnpersistedAtCommit`] count.
+    pub unpersisted_at_commit: u64,
+    /// [`Rule::RedundantFlush`] count.
+    pub redundant_flush: u64,
+    /// [`Rule::WriteAfterFlush`] count.
+    pub write_after_flush: u64,
+    /// [`Rule::UselessFence`] count.
+    pub useless_fence: u64,
+}
+
+impl RuleCounts {
+    /// Tallies a slice of violations.
+    pub fn from_violations(violations: &[Violation]) -> RuleCounts {
+        let mut c = RuleCounts::default();
+        for v in violations {
+            c.add(v.rule);
+        }
+        c
+    }
+
+    /// Bumps the counter for `rule`.
+    pub fn add(&mut self, rule: Rule) {
+        match rule {
+            Rule::UnpersistedAtCommit => self.unpersisted_at_commit += 1,
+            Rule::RedundantFlush => self.redundant_flush += 1,
+            Rule::WriteAfterFlush => self.write_after_flush += 1,
+            Rule::UselessFence => self.useless_fence += 1,
+        }
+    }
+
+    /// Total violations across every rule.
+    pub fn total(&self) -> u64 {
+        self.unpersisted_at_commit
+            + self.redundant_flush
+            + self.write_after_flush
+            + self.useless_fence
+    }
+
+    /// Whether no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Appends the verdict as rows of `section` (the shared
+    /// [`obs::StatsReport`] vocabulary): one row per rule, a total, and a
+    /// `verdict` text row (`clean` / `violations`) so JSON/JSONL exports
+    /// carry an unambiguous pass/fail signal.
+    pub fn fill_section(&self, section: &mut obs::Section) {
+        section
+            .row(
+                "verdict",
+                if self.is_clean() {
+                    "clean"
+                } else {
+                    "violations"
+                },
+            )
+            .row("violations_total", self.total())
+            .row(Rule::UnpersistedAtCommit.name(), self.unpersisted_at_commit)
+            .row(Rule::RedundantFlush.name(), self.redundant_flush)
+            .row(Rule::WriteAfterFlush.name(), self.write_after_flush)
+            .row(Rule::UselessFence.name(), self.useless_fence);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::Checker;
+    use pmem::PmEvent;
+
+    #[test]
+    fn fill_section_carries_the_verdict() {
+        let clean = RuleCounts::default();
+        let mut r = obs::StatsReport::new("t");
+        clean.fill_section(r.section("pmcheck"));
+        assert_eq!(
+            r.get("pmcheck", "verdict"),
+            Some(&obs::Value::Text("clean".into()))
+        );
+        assert_eq!(
+            r.get("pmcheck", "violations_total"),
+            Some(&obs::Value::U64(0))
+        );
+
+        let v = Checker::scan(&[
+            PmEvent::Write { addr: 0, len: 8 },
+            PmEvent::CommitPoint { epoch: 1 },
+        ]);
+        let counts = RuleCounts::from_violations(&v);
+        assert!(!counts.is_clean());
+        let mut r = obs::StatsReport::new("t");
+        counts.fill_section(r.section("pmcheck"));
+        assert_eq!(
+            r.get("pmcheck", "verdict"),
+            Some(&obs::Value::Text("violations".into()))
+        );
+        assert_eq!(
+            r.get("pmcheck", "unpersisted-at-commit"),
+            Some(&obs::Value::U64(1))
+        );
+        // the verdict survives the JSON export round-trip
+        let json = r.to_json();
+        assert!(json.contains("\"verdict\":\"violations\""), "{json}");
+    }
+}

@@ -52,5 +52,5 @@ mod trace;
 
 pub use addr::{PmAddr, CACHELINE, XPLINE};
 pub use region::PmRegion;
-pub use stats::{PmStats, PmStatsSnapshot};
+pub use stats::{PmStats, PmStatsSnapshot, REDUNDANT_FLUSH_BUDGET};
 pub use trace::PmEvent;

@@ -18,6 +18,8 @@ struct RawBuf {
 impl RawBuf {
     fn new(len: usize) -> Self {
         assert!(len > 0, "PM region must be non-empty");
+        // pmlint: allow(no-unwrap) — len > 0 asserted above and 64 is a valid
+        // power-of-two alignment, so the layout is always constructible.
         let layout = Layout::from_size_align(len, CACHELINE as usize).expect("layout");
         // SAFETY: layout has non-zero size.
         let ptr = unsafe { alloc_zeroed(layout) };
@@ -36,6 +38,7 @@ impl Drop for RawBuf {
 // SAFETY: access discipline is enforced by callers (each byte range is owned
 // by a single writer at a time); see the `PmRegion` docs.
 unsafe impl Send for RawBuf {}
+// SAFETY: same caller-enforced single-writer-per-range discipline as `Send`.
 unsafe impl Sync for RawBuf {}
 
 /// A simulated persistent-memory device.
@@ -79,6 +82,7 @@ pub struct PmRegion {
     stats: PmStats,
     trace_on: AtomicBool,
     trace: Mutex<Vec<PmEvent>>,
+    commit_epoch: AtomicU64,
 }
 
 struct StrictFence {
@@ -155,6 +159,7 @@ impl PmRegion {
             stats: PmStats::new(),
             trace_on: AtomicBool::new(false),
             trace: Mutex::new(Vec::new()),
+            commit_epoch: AtomicU64::new(0),
         }
     }
 
@@ -183,6 +188,8 @@ impl PmRegion {
         let end = addr
             .offset()
             .checked_add(len as u64)
+            // pmlint: allow(no-unwrap) — deliberate loud death: an offset
+            // overflow is a caller bug the bounds assert below cannot name.
             .expect("PM address overflow");
         assert!(
             end <= self.len as u64,
@@ -378,6 +385,22 @@ impl PmRegion {
         self.fence();
     }
 
+    /// Marks a **durability commit point**: the caller asserts that every
+    /// store it issued so far has been flushed and fenced. The operation
+    /// log places one after persisting its tail pointer, and the engine
+    /// after publishing a checkpoint or clean-shutdown superblock.
+    ///
+    /// With tracing enabled this emits [`PmEvent::CommitPoint`] carrying a
+    /// monotonically increasing epoch, which `pmcheck` replays to verify
+    /// the claim. Without tracing the call is a no-op, so production hot
+    /// paths pay nothing.
+    pub fn commit_point(&self) {
+        if self.trace_on.load(Ordering::Relaxed) {
+            let epoch = self.commit_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+            self.trace.lock().push(PmEvent::CommitPoint { epoch });
+        }
+    }
+
     /// Is the cacheline containing `addr` dirty (written but not flushed)?
     pub fn is_dirty(&self, addr: PmAddr) -> bool {
         self.check(addr, 1);
@@ -400,6 +423,8 @@ impl PmRegion {
         let shadow = self
             .shadow
             .as_ref()
+            // pmlint: allow(no-unwrap) — documented panic contract of this
+            // test-oriented API (see the doc comment above).
             .expect("simulate_crash requires a region built with_crash_tracking");
         if let Some(strict) = &self.strict {
             // Flushed-but-unfenced lines race the power failure: each one
@@ -599,6 +624,28 @@ mod tests {
         pm.set_trace(false);
         pm.write(PmAddr(0), &[0u8; 1]);
         assert!(pm.take_events().is_empty());
+    }
+
+    #[test]
+    fn commit_points_trace_with_increasing_epochs() {
+        let pm = PmRegion::new(4096);
+        pm.commit_point(); // tracing off: no event, no epoch consumed
+        pm.set_trace(true);
+        pm.write(PmAddr(0), b"x");
+        pm.persist(PmAddr(0), 1);
+        pm.commit_point();
+        pm.commit_point();
+        let ev = pm.take_events();
+        assert_eq!(
+            ev,
+            vec![
+                PmEvent::Write { addr: 0, len: 1 },
+                PmEvent::Flush { line: 0 },
+                PmEvent::Fence,
+                PmEvent::CommitPoint { epoch: 1 },
+                PmEvent::CommitPoint { epoch: 2 },
+            ]
+        );
     }
 
     #[test]

@@ -113,6 +113,25 @@ pub struct PmStatsSnapshot {
     pub fences: u64,
 }
 
+/// Regression budget for [`PmStatsSnapshot::redundant_flush_ratio`] on the
+/// standard engine workload (mixed inline/out-of-place puts, gets and
+/// deletes driven through the session path).
+///
+/// FlatStore's design goal is that every issued `clwb` does useful work:
+/// batches are cacheline-padded so adjacent batches never re-flush a shared
+/// line, and the lazy-persist allocator keeps bitmap flushes off the hot
+/// path. A rising ratio means some path started flushing clean lines —
+/// wasted PM bandwidth and, on real hardware, the ~800 ns repeat-flush
+/// stall. The engine regression test
+/// (`flatstore/tests/flush_budget.rs`) fails if the workload ratio ever
+/// exceeds this budget; `pmcheck` additionally reports each individual
+/// redundant flush as a `Violation` in strict mode.
+///
+/// The observed ratio on the standard workload is ~0 (every flush follows
+/// a store to the same line); 2% leaves headroom for benign layout changes
+/// without letting a systematic regression through.
+pub const REDUNDANT_FLUSH_BUDGET: f64 = 0.02;
+
 impl PmStatsSnapshot {
     /// Difference `self - earlier`, counter by counter.
     ///

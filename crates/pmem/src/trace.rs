@@ -30,4 +30,18 @@ pub enum PmEvent {
         /// Length in bytes.
         len: u32,
     },
+    /// A durability commit point emitted by
+    /// [`PmRegion::commit_point`](crate::PmRegion::commit_point): the
+    /// caller asserts that everything it wrote so far is persistent (e.g.
+    /// the operation log just persisted its tail pointer, or the engine
+    /// just published a checkpoint). `pmcheck` verifies the claim: every
+    /// store issued before a commit point must have been flushed **and**
+    /// fenced by the time the marker appears in the stream.
+    ///
+    /// `epoch` is a monotonically increasing marker index (1-based), so
+    /// violations can name the durability epoch they fall into.
+    CommitPoint {
+        /// 1-based index of this commit point within the region's trace.
+        epoch: u64,
+    },
 }

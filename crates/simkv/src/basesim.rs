@@ -251,7 +251,9 @@ impl BaseSim {
             self.step_core(who);
         }
         let device = self.charger.device.stats();
-        self.clients.metrics.summary(device, 1.0)
+        let mut summary = self.clients.metrics.summary(device, 1.0);
+        summary.persistency = self.charger.persistency();
+        summary
     }
 
     fn step_core(&mut self, i: usize) {

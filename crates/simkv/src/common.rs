@@ -85,11 +85,18 @@ impl<T> Mailbox<T> {
 
 /// Converts the [`PmEvent`] traces emitted by the real data-structure code
 /// into simulated time on a core's clock, via the shared device model.
+///
+/// Every drained event batch is also fed to a [`pmcheck::Checker`]: the
+/// DES executes the real persistence code sequentially, so the drain order
+/// is a faithful single stream and the run's `Summary` can carry a
+/// persistency verdict alongside its performance numbers.
 pub(crate) struct Charger {
     pub device: Device,
     pub cpu: CpuParams,
     /// Per-stream outstanding flush completions (waited on at fences).
     outstanding: Vec<Vec<f64>>,
+    /// Persistency-ordering checker fed with every charged event.
+    checker: pmcheck::Checker,
 }
 
 impl Charger {
@@ -97,6 +104,7 @@ impl Charger {
         Charger {
             device,
             cpu,
+            checker: pmcheck::Checker::new(),
             outstanding: vec![Vec::new(); streams],
         }
     }
@@ -108,6 +116,7 @@ impl Charger {
     /// [`CpuParams::pm_read_cached_ns`] for front-line code, a smaller
     /// value for the cleaner's sequential scans.
     pub fn charge(&mut self, stream: usize, mut t: f64, events: &[PmEvent], read_ns: f64) -> f64 {
+        self.checker.feed(events);
         let mut read_lines: std::collections::HashSet<u64> = std::collections::HashSet::new();
         for ev in events {
             match ev {
@@ -133,9 +142,16 @@ impl Charger {
                         }
                     }
                 }
+                // Commit points are checker markers, not hardware work.
+                PmEvent::CommitPoint { .. } => {}
             }
         }
         t
+    }
+
+    /// The persistency verdict accumulated across every charged event.
+    pub fn persistency(&self) -> pmcheck::RuleCounts {
+        self.checker.counts()
     }
 }
 

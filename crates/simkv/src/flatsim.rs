@@ -388,6 +388,7 @@ impl FlatSim {
         };
         let ring = self.events.take();
         let mut summary = self.clients.metrics.summary(device, avg_batch);
+        summary.persistency = self.charger.persistency();
         if let Some(ring) = ring {
             summary.events_dropped = ring.dropped();
             summary.events = ring.into_events();

@@ -116,6 +116,7 @@ impl Metrics {
                 .collect(),
             events: Vec::new(),
             events_dropped: 0,
+            persistency: pmcheck::RuleCounts::default(),
         }
     }
 }
@@ -156,6 +157,10 @@ pub struct Summary {
     pub events: Vec<Event>,
     /// Events evicted from the trace ring by overflow.
     pub events_dropped: u64,
+    /// Persistency-ordering verdict: every PM event the run charged was
+    /// also replayed through a [`pmcheck::Checker`]; a non-clean verdict
+    /// means the simulated engine violated its own flush/fence discipline.
+    pub persistency: pmcheck::RuleCounts,
 }
 
 impl Summary {
@@ -177,6 +182,7 @@ impl Summary {
             .row("p999_ns", self.p999_ns)
             .row("max_ns", self.max_ns);
         self.device.fill_section(r.section("device"));
+        self.persistency.fill_section(r.section("pmcheck"));
         if !self.events.is_empty() || self.events_dropped > 0 {
             r.section("trace")
                 .row("events", self.events.len())

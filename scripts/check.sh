@@ -14,6 +14,12 @@ cargo build --release --workspace --all-targets --offline
 echo "== clippy =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== pmlint (persistence-discipline lint) =="
+cargo run --release --offline -p pmlint
+
+echo "== pmcheck strict mode (real paths, zero violations) =="
+cargo test -p pmcheck -q --offline
+
 echo "== tests (unit + integration + property) =="
 cargo test --workspace -q --offline
 

@@ -82,9 +82,11 @@ pub struct RwLock<T: ?Sized> {
     data: UnsafeCell<T>,
 }
 
-// Same bounds as std/parking_lot: the lock hands out &T from many threads
-// (needs T: Sync) and &mut T/moves (needs T: Send).
+// SAFETY: same bounds as std/parking_lot — moving the lock moves the value
+// (needs T: Send).
 unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+// SAFETY: the lock hands out &T from many threads (needs T: Sync) and
+// &mut T via exclusive write acquisition (needs T: Send).
 unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
 
 impl<T> RwLock<T> {
@@ -180,7 +182,7 @@ pub struct RwLockReadGuard<'a, T: ?Sized> {
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        // Safety: read guards exist only while `writer == false`.
+        // SAFETY: read guards exist only while `writer == false`.
         unsafe { &*self.lock.data.get() }
     }
 }
@@ -199,14 +201,14 @@ pub struct RwLockWriteGuard<'a, T: ?Sized> {
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        // Safety: the write guard holds exclusive access.
+        // SAFETY: the write guard holds exclusive access.
         unsafe { &*self.lock.data.get() }
     }
 }
 
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        // Safety: the write guard holds exclusive access.
+        // SAFETY: the write guard holds exclusive access.
         unsafe { &mut *self.lock.data.get() }
     }
 }
@@ -228,7 +230,7 @@ pub struct ArcRwLockReadGuard<R, T: ?Sized> {
 impl<R, T: ?Sized> Deref for ArcRwLockReadGuard<R, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        // Safety: read guards exist only while `writer == false`.
+        // SAFETY: read guards exist only while `writer == false`.
         unsafe { &*self.lock.data.get() }
     }
 }
@@ -248,14 +250,14 @@ pub struct ArcRwLockWriteGuard<R, T: ?Sized> {
 impl<R, T: ?Sized> Deref for ArcRwLockWriteGuard<R, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        // Safety: the write guard holds exclusive access.
+        // SAFETY: the write guard holds exclusive access.
         unsafe { &*self.lock.data.get() }
     }
 }
 
 impl<R, T: ?Sized> DerefMut for ArcRwLockWriteGuard<R, T> {
     fn deref_mut(&mut self) -> &mut T {
-        // Safety: the write guard holds exclusive access.
+        // SAFETY: the write guard holds exclusive access.
         unsafe { &mut *self.lock.data.get() }
     }
 }
