@@ -1,0 +1,62 @@
+//! **flatrepl** — primary–backup log-shipping replication for FlatStore.
+//!
+//! FlatStore persists every batch of compacted log entries with a single
+//! flush+fence pair (paper §3.3); this crate extends the same amortization
+//! to replication, Cyclone-style: the leader that just persisted a
+//! horizontal batch ships **the whole batch as one message** over a
+//! dedicated FlatRPC ring, so the per-message network cost of replication
+//! shrinks with batch size exactly like the per-batch media cost does.
+//!
+//! # Roles
+//!
+//! * [`Replicator`] implements [`flatstore::ReplicationSink`]: the engine
+//!   calls `ship` once per persisted batch; the batch travels as one
+//!   envelope on the shipping fabric; acknowledgments raise a per-core
+//!   watermark that the engine's completion path gates client acks on. An
+//!   operation is acknowledged to the client only once it is durable
+//!   locally **and** durable on the backup.
+//! * [`Backup`] runs the passive replica: an applier thread appends each
+//!   shipped batch into the backup's own persistent per-core logs (its
+//!   durability point is the same batched tail-persist the primary uses)
+//!   and durably advances a per-core ship cursor before acking.
+//! * [`ReplicatedStore`] wires both ends over an in-process fabric and
+//!   adds **failover** ([`ReplicatedStore::fail_primary`] +
+//!   [`Backup::promote`] — promotion is FlatStore's ordinary full-scan
+//!   crash recovery over the backup image) and **catch-up**
+//!   ([`catch_up`] — a rejoining replica receives only the log suffix
+//!   past its persisted cursor).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flatrepl::ReplicatedStore;
+//! use flatstore::Config;
+//!
+//! let cfg = Config::builder()
+//!     .pm_bytes(64 << 20)
+//!     .ncores(2)
+//!     .group_size(2)
+//!     .build()?;
+//! let store = ReplicatedStore::create(cfg.clone())?;
+//! store.put(1, b"replicated")?; // acked only once durable on BOTH nodes
+//!
+//! // Fail the primary; promote the backup via ordinary crash recovery.
+//! let (_dead_primary, backup) = store.fail_primary();
+//! let promoted = backup.promote(cfg)?;
+//! assert_eq!(promoted.get(1)?.as_deref(), Some(&b"replicated"[..]));
+//! promoted.shutdown()?;
+//! # Ok::<(), flatstore::StoreError>(())
+//! ```
+
+mod backup;
+mod replicator;
+mod store;
+
+pub use backup::Backup;
+pub use replicator::{ReplStats, Replicator, ShipAck, ShipBatch};
+pub use store::{catch_up, ReplicatedStore};
+
+/// The shipping fabric: one server core (the backup applier), one client
+/// port per primary core, batch envelopes out, ack envelopes back.
+pub(crate) type ShipFabric =
+    flatrpc::Fabric<flatrpc::Envelope<ShipBatch>, flatrpc::Envelope<ShipAck>>;

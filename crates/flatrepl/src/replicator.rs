@@ -1,0 +1,189 @@
+//! The primary's side of log shipping: the [`flatstore::ReplicationSink`]
+//! implementation and its observability.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use flatrpc::{ClientPort, Envelope};
+use flatstore::{ReplOp, ReplicationSink};
+use obs::{Counter, LogHistogram};
+use pmem::PmAddr;
+
+/// One shipped batch: everything the backup needs to reproduce the
+/// primary's append durably, self-contained (pointer payloads already
+/// resolved to bytes by the engine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShipBatch {
+    /// The primary core whose log this batch extends.
+    pub core: usize,
+    /// Per-core ship sequence number (1-based, monotonic).
+    pub seq: u64,
+    /// The primary's log tail after this batch — persisted by the backup
+    /// as its catch-up cursor into the primary's log.
+    pub tail: PmAddr,
+    /// The operations, in log order.
+    pub ops: Vec<ReplOp>,
+}
+
+/// The backup's acknowledgment: batch `seq` of `core` is durably applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShipAck {
+    /// The primary core acknowledged.
+    pub core: usize,
+    /// The acknowledged ship sequence number.
+    pub seq: u64,
+}
+
+/// Replication counters and distributions, reported through [`obs`].
+#[derive(Debug, Default)]
+pub struct ReplStats {
+    /// Batches shipped on the fast path.
+    pub ship_batches: Counter,
+    /// Operations those batches carried.
+    pub shipped_entries: Counter,
+    /// Batches re-shipped by [`catch_up`](crate::catch_up).
+    pub catch_up_batches: Counter,
+    /// Operations catch-up re-shipped.
+    pub catch_up_entries: Counter,
+    /// Operations per shipped batch (the amortization lever: one message
+    /// per batch, so bigger batches mean fewer messages per op).
+    pub ship_batch_size: LogHistogram,
+    /// Shipped-but-unacked batches outstanding at each ship (replication
+    /// lag in batches; bounded by the ring capacity).
+    pub ship_lag: LogHistogram,
+}
+
+impl ReplStats {
+    /// Adds a `replication` section to `r`.
+    pub fn fill_report(&self, r: &mut obs::StatsReport) {
+        let batches = self.ship_batches.get();
+        let entries = self.shipped_entries.get();
+        let sec = r.section("replication");
+        sec.row("ship_batches", batches)
+            .row("shipped_entries", entries)
+            .row("catch_up_batches", self.catch_up_batches.get())
+            .row("catch_up_entries", self.catch_up_entries.get());
+        if batches > 0 {
+            sec.row("avg_ship_batch", entries as f64 / batches as f64);
+        }
+        if !self.ship_lag.is_empty() {
+            let s = self.ship_lag.snapshot();
+            sec.row("ship_lag_p50", s.p50())
+                .row("ship_lag_p99", s.p99());
+        }
+    }
+}
+
+/// One primary core's shipping endpoint. The port is owned by that core's
+/// worker while shipping, but any core polling a completion may need the
+/// ack watermark, so the port sits behind a mutex and the watermark is a
+/// plain atomic readable without it.
+struct CoreChannel {
+    port: parking_lot::Mutex<ClientPort<Envelope<ShipBatch>, Envelope<ShipAck>>>,
+    shipped: AtomicU64,
+    acked: AtomicU64,
+}
+
+impl CoreChannel {
+    /// Drains pending acks from this channel's response ring into the
+    /// watermark. Caller holds (or just acquired) the port lock.
+    fn drain_acks(&self, port: &ClientPort<Envelope<ShipBatch>, Envelope<ShipAck>>) {
+        while let Some(env) = port.try_recv() {
+            // Acks arrive in ship order per core; fetch_max tolerates an
+            // out-of-order drain race between two observers anyway.
+            self.acked.fetch_max(env.body.seq, Ordering::AcqRel);
+        }
+    }
+}
+
+/// The engine-facing sink: ships each persisted batch as one envelope and
+/// tracks the backup's acked watermark per core.
+pub struct Replicator {
+    cores: Vec<CoreChannel>,
+    stats: ReplStats,
+}
+
+impl std::fmt::Debug for Replicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replicator")
+            .field("ncores", &self.cores.len())
+            .finish()
+    }
+}
+
+impl Replicator {
+    /// Builds a replicator over one shipping port per primary core (port
+    /// `i` carries core `i`'s batches).
+    pub(crate) fn new(
+        ports: Vec<ClientPort<Envelope<ShipBatch>, Envelope<ShipAck>>>,
+    ) -> Replicator {
+        Replicator {
+            cores: ports
+                .into_iter()
+                .map(|port| CoreChannel {
+                    port: parking_lot::Mutex::new(port),
+                    shipped: AtomicU64::new(0),
+                    acked: AtomicU64::new(0),
+                })
+                .collect(),
+            stats: ReplStats::default(),
+        }
+    }
+
+    /// Replication counters.
+    pub fn stats(&self) -> &ReplStats {
+        &self.stats
+    }
+
+    /// Highest ship sequence assigned on `core`.
+    pub fn shipped(&self, core: usize) -> u64 {
+        self.cores[core].shipped.load(Ordering::Acquire)
+    }
+}
+
+impl ReplicationSink for Replicator {
+    fn ship(&self, core: usize, ops: Vec<ReplOp>, tail: PmAddr) -> u64 {
+        let ch = &self.cores[core];
+        let port = ch.port.lock();
+        let seq = ch.shipped.fetch_add(1, Ordering::AcqRel) + 1;
+        self.stats.ship_batches.inc();
+        self.stats.shipped_entries.add(ops.len() as u64);
+        self.stats.ship_batch_size.record(ops.len() as u64);
+        self.stats
+            .ship_lag
+            .record(seq.saturating_sub(ch.acked.load(Ordering::Acquire)));
+        let mut env = Envelope::new(
+            seq,
+            ShipBatch {
+                core,
+                seq,
+                tail,
+                ops,
+            },
+        );
+        // Pipelined send: enqueue and return; ring-full means the backup is
+        // lagging a full ring behind — drain its acks and retry (the
+        // fabric's send_backpressure counter records each rejection).
+        loop {
+            match port.send(0, env) {
+                Ok(()) => break,
+                Err(e) => {
+                    env = e;
+                    ch.drain_acks(&port);
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        seq
+    }
+
+    fn acked(&self, core: usize) -> u64 {
+        let ch = &self.cores[core];
+        // Only one observer needs to drain; if the shipper holds the port,
+        // it drains on our behalf the moment it hits backpressure, and the
+        // watermark below is still monotonic.
+        if let Some(port) = ch.port.try_lock() {
+            ch.drain_acks(&port);
+        }
+        ch.acked.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,157 @@
+//! Replicated-pair basics: acks gated on the backup watermark, shipped
+//! batches landing durably in the backup image, replication observability,
+//! and a pmcheck pass over the backup's apply path.
+
+use flatrepl::{catch_up, ReplStats, ReplicatedStore};
+use flatstore::{BackupImage, Config, FlatStore, ReplOp};
+use pmcheck::Checker;
+use pmem::PmAddr;
+
+fn cfg(ncores: usize) -> Config {
+    Config::builder()
+        .pm_bytes(64 << 20)
+        .dram_bytes(8 << 20)
+        .ncores(ncores)
+        .group_size(ncores)
+        .build()
+        .expect("valid test config")
+}
+
+fn val(k: u64, len: usize) -> Vec<u8> {
+    vec![(k % 251) as u8; len]
+}
+
+#[test]
+fn replicated_ops_land_on_both_nodes() {
+    let store = ReplicatedStore::create(cfg(2)).expect("create pair");
+    for k in 0..200u64 {
+        // Inline and out-of-line values both cross the wire.
+        store.put(k, val(k, 20 + (k % 400) as usize)).expect("put");
+    }
+    for k in 0..40u64 {
+        assert!(store.delete(k * 5).expect("delete"));
+    }
+    store.barrier();
+
+    // Every acked op was shipped; the watermark covered it before the ack.
+    let stats = store.repl_stats();
+    assert!(stats.ship_batches.get() > 0);
+    assert_eq!(stats.shipped_entries.get(), 240);
+    // The backup persisted a cursor for every core that shipped.
+    let image = store.backup_image();
+    assert!((0..2).any(|c| image.ship_cursor(c) != PmAddr::NULL));
+
+    let report = store.stats_report();
+    assert!(report.get("replication", "ship_batches").is_some());
+    assert!(report.get("replication", "shipped_entries").is_some());
+    assert!(report.get("fabric", "send_backpressure").is_some());
+    assert!(report.get("fabric", "peak_ring_occupancy").is_some());
+
+    // Both regions reopen as complete stores holding the same data.
+    let (ppm, bpm) = store.shutdown().expect("shutdown");
+    let primary = FlatStore::open(ppm, cfg(2)).expect("reopen primary");
+    let backup = FlatStore::open(bpm, cfg(2)).expect("promote backup");
+    for k in 0..200u64 {
+        let expect = if k % 5 == 0 && k / 5 < 40 {
+            None
+        } else {
+            Some(val(k, 20 + (k % 400) as usize))
+        };
+        assert_eq!(primary.get(k).expect("get"), expect, "primary key {k}");
+        assert_eq!(backup.get(k).expect("get"), expect, "backup key {k}");
+    }
+    primary.shutdown().expect("shutdown primary");
+    backup.shutdown().expect("shutdown backup");
+}
+
+#[test]
+fn pipelined_sessions_replicate_under_load() {
+    let store = ReplicatedStore::create(
+        Config::builder()
+            .pm_bytes(64 << 20)
+            .dram_bytes(8 << 20)
+            .ncores(2)
+            .group_size(2)
+            .pipeline_depth(16)
+            .build()
+            .expect("valid test config"),
+    )
+    .expect("create pair");
+    let mut session = store.handle().session().expect("session");
+    let tickets: Vec<_> = (0..500u64)
+        .map(|k| session.submit_put(k, val(k, 24)))
+        .collect::<Result<_, _>>()
+        .expect("submit");
+    for t in tickets {
+        session.wait(t).expect("wait");
+    }
+    drop(session);
+    assert_eq!(store.repl_stats().shipped_entries.get(), 500);
+    // Pipelining actually batches the shipping: fewer messages than ops.
+    assert!(store.repl_stats().ship_batches.get() < 500);
+    store.shutdown().expect("shutdown");
+}
+
+#[test]
+fn backup_apply_path_is_checker_clean() {
+    // pmcheck over the backup's whole ingest path: out-of-line records,
+    // batched appends, cursor advances — zero ordering violations.
+    let cfg = Config::builder()
+        .pm_bytes(64 << 20)
+        .ncores(2)
+        .group_size(2)
+        .crash_tracking(true)
+        .build()
+        .expect("valid test config");
+    let image = BackupImage::format(&cfg).expect("format image");
+    image.pm().set_trace(true);
+    let mut checker = Checker::new();
+    for round in 0..50u64 {
+        for core in 0..2 {
+            let ops: Vec<ReplOp> = (0..16u64)
+                .map(|i| {
+                    let key = round * 100 + i;
+                    match i % 4 {
+                        3 => ReplOp::Delete {
+                            key,
+                            version: round as u32 + 1,
+                        },
+                        2 => ReplOp::Put {
+                            key,
+                            version: round as u32 + 1,
+                            value: val(key, 2048), // out-of-line
+                        },
+                        _ => ReplOp::Put {
+                            key,
+                            version: round as u32 + 1,
+                            value: val(key, 20),
+                        },
+                    }
+                })
+                .collect();
+            image.apply(core, &ops).expect("apply");
+            image.set_ship_cursor(core, PmAddr(0x40_0040 + round));
+            checker.feed(&image.pm().take_events());
+        }
+    }
+    let v = checker.violations();
+    assert!(v.is_empty(), "backup apply violations: {v:?}");
+}
+
+#[test]
+fn catch_up_counters_feed_the_report() {
+    let primary = FlatStore::create(cfg(2)).expect("create primary");
+    for k in 0..100u64 {
+        primary.put(k, val(k, 30)).expect("put");
+    }
+    let image = BackupImage::format(&cfg(2)).expect("format image");
+    let stats = ReplStats::default();
+    let shipped = catch_up(&primary, &image, &stats).expect("catch up");
+    assert_eq!(shipped, 100);
+    assert_eq!(stats.catch_up_entries.get(), 100);
+    assert!(stats.catch_up_batches.get() >= 2, "chunked into batches");
+    let mut r = obs::StatsReport::new("repl");
+    stats.fill_report(&mut r);
+    assert!(r.get("replication", "catch_up_entries").is_some());
+    primary.shutdown().expect("shutdown");
+}

@@ -91,6 +91,19 @@ pub struct FabricStats {
     pub delegated_responses: AtomicU64,
     /// Clients attached after construction via [`Fabric::attach_client`].
     pub clients_attached: AtomicU64,
+    /// Sends rejected because the request ring was out of credits (the
+    /// caller retries); a rising rate means a server core is falling
+    /// behind its message buffers.
+    pub send_backpressure: AtomicU64,
+    /// High-water mark of request-ring occupancy observed at send time
+    /// (messages queued in the ring just after a successful push).
+    pub peak_ring_occupancy: AtomicU64,
+}
+
+impl FabricStats {
+    fn note_occupancy(&self, n: u64) {
+        self.peak_ring_occupancy.fetch_max(n, Ordering::Relaxed);
+    }
 }
 
 /// `[core][client]` request-ring halves.
@@ -335,10 +348,20 @@ impl<Req, Resp> ClientPort<Req, Resp> {
         match self.to_core[core].push((self.id, req)) {
             Ok(()) => {
                 self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                self.stats.note_occupancy(self.to_core[core].len() as u64);
                 Ok(())
             }
-            Err((_, r)) => Err(r),
+            Err((_, r)) => {
+                self.stats.send_backpressure.fetch_add(1, Ordering::Relaxed);
+                Err(r)
+            }
         }
+    }
+
+    /// Messages currently queued in this port's request ring into `core`
+    /// (approximate under concurrency).
+    pub fn ring_occupancy(&self, core: usize) -> usize {
+        self.to_core[core].len()
     }
 
     /// Polls for one response.
@@ -549,8 +572,14 @@ mod tests {
         client.send(0, 1).unwrap();
         client.send(0, 2).unwrap();
         assert!(client.send(0, 3).is_err(), "no credits left");
-        // Failed sends are not counted as delivered requests.
-        assert_eq!(fabric.stats().requests.load(Ordering::Relaxed), 2);
+        let stats = fabric.stats();
+        // Failed sends are not counted as delivered requests — they count
+        // as backpressure events instead.
+        assert_eq!(stats.requests.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.send_backpressure.load(Ordering::Relaxed), 1);
+        // The occupancy high-water mark saw the full ring.
+        assert_eq!(stats.peak_ring_occupancy.load(Ordering::Relaxed), 2);
+        assert_eq!(client.ring_occupancy(0), 2);
     }
 
     #[test]

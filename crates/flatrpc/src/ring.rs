@@ -82,6 +82,23 @@ impl<T> Producer<T> {
             }
         }
     }
+
+    /// Messages currently queued (approximate under concurrency: the two
+    /// indices are read independently).
+    pub fn len(&self) -> usize {
+        occupancy(&self.inner)
+    }
+
+    /// Whether the ring currently holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn occupancy<T>(inner: &Inner<T>) -> usize {
+    let head = inner.head.load(Ordering::Acquire);
+    let tail = inner.tail.load(Ordering::Acquire);
+    (tail + inner.slots.len() - head) % inner.slots.len()
 }
 
 impl<T> Consumer<T> {
@@ -103,6 +120,11 @@ impl<T> Consumer<T> {
     /// Whether a message is waiting.
     pub fn is_empty(&self) -> bool {
         self.inner.head.load(Ordering::Relaxed) == self.inner.tail.load(Ordering::Acquire)
+    }
+
+    /// Messages currently queued (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        occupancy(&self.inner)
     }
 }
 
@@ -135,6 +157,26 @@ mod tests {
         }
         assert_eq!(c.pop(), None);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_occupancy_across_wraparound() {
+        let (p, c) = ring::<u32>(3);
+        assert_eq!(p.len(), 0);
+        p.push(1).unwrap();
+        p.push(2).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(c.len(), 2);
+        c.pop().unwrap();
+        assert_eq!(p.len(), 1);
+        // Wrap the indices past the physical end.
+        for i in 0..10 {
+            p.push(i).unwrap();
+            c.pop().unwrap();
+        }
+        assert_eq!(p.len(), 1);
+        c.pop().unwrap();
+        assert!(p.is_empty());
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub(crate) struct Completion {
     /// 0 = pending; `u64::MAX` = failed; otherwise the entry's PM address
     /// (entry addresses are always ≥ the first chunk's entry area, never 0).
     addr: AtomicU64,
+    /// Replication watermark gating the client ack: `(core << 48) | seq`
+    /// of the ship batch that carried this op, 0 = not replicated. Written
+    /// by the leader *before* [`fulfil`](Self::fulfil) (whose `Release`
+    /// store publishes it) and read by the owner core's ack gate.
+    repl: AtomicU64,
 }
 
 impl Completion {
@@ -43,6 +48,21 @@ impl Completion {
             0 => None,
             FAILED => Some(Err(())),
             a => Some(Ok(PmAddr(a))),
+        }
+    }
+
+    /// Records the ship-batch watermark this op's ack must wait for.
+    pub fn set_repl(&self, core: usize, seq: u64) {
+        debug_assert!(core < 1 << 16 && seq >> 48 == 0);
+        self.repl
+            .store(((core as u64) << 48) | seq, Ordering::Relaxed);
+    }
+
+    /// The `(leader core, ship seq)` watermark, if this op was replicated.
+    pub fn repl(&self) -> Option<(usize, u64)> {
+        match self.repl.load(Ordering::Relaxed) {
+            0 => None,
+            v => Some(((v >> 48) as usize, v & ((1 << 48) - 1))),
         }
     }
 }

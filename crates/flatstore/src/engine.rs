@@ -13,6 +13,7 @@ use pmem::{PmAddr, PmRegion};
 use crate::batch::{CkptGuard, DeletedTable, EngineStats, Group, Quarantine, UsageTable};
 use crate::config::Config;
 use crate::error::StoreError;
+use crate::repl::ReplicationSink;
 use crate::request::{OpResult, StoreFabric};
 use crate::session::{EngineShared, Session};
 use crate::shard::{core_of, Shard};
@@ -236,6 +237,28 @@ impl FlatStore {
     /// [`StoreError::OutOfSpace`] if the region cannot hold the initial
     /// per-core logs.
     pub fn create(cfg: Config) -> Result<FlatStore, StoreError> {
+        Self::create_inner(cfg, None)
+    }
+
+    /// Like [`create`](Self::create), but every persisted batch is also
+    /// shipped through `sink`, and operations are acknowledged to clients
+    /// only once the sink's acked watermark covers them (primary–backup
+    /// replication; see the `flatrepl` crate for the transport).
+    ///
+    /// # Errors
+    ///
+    /// As for [`create`](Self::create).
+    pub fn create_with_replication(
+        cfg: Config,
+        sink: Arc<dyn ReplicationSink>,
+    ) -> Result<FlatStore, StoreError> {
+        Self::create_inner(cfg, Some(sink))
+    }
+
+    fn create_inner(
+        cfg: Config,
+        repl: Option<Arc<dyn ReplicationSink>>,
+    ) -> Result<FlatStore, StoreError> {
         cfg.validate()?;
         let pm = if let Some(seed) = cfg.strict_fence_seed {
             Arc::new(PmRegion::with_strict_fences(cfg.pm_bytes, seed))
@@ -261,7 +284,7 @@ impl FlatStore {
             let alloc = CoreAllocator::new(Arc::clone(&mgr), core as u32);
             shards.push((log, alloc));
         }
-        Self::start(pm, mgr, index, deleted, usage, shards, cfg)
+        Self::start(pm, mgr, index, deleted, usage, shards, cfg, repl)
     }
 
     /// Reopens an existing region: fast path after a clean shutdown,
@@ -276,6 +299,29 @@ impl FlatStore {
     /// [`StoreError::BadImage`] if the region is not a FlatStore image;
     /// [`StoreError::InvalidConfig`] on inconsistent settings.
     pub fn open(pm: Arc<PmRegion>, cfg: Config) -> Result<FlatStore, StoreError> {
+        Self::open_inner(pm, cfg, None)
+    }
+
+    /// Like [`open`](Self::open), with replication through `sink` (see
+    /// [`create_with_replication`](Self::create_with_replication)). Used
+    /// when a recovered or rejoining node resumes the primary role.
+    ///
+    /// # Errors
+    ///
+    /// As for [`open`](Self::open).
+    pub fn open_with_replication(
+        pm: Arc<PmRegion>,
+        cfg: Config,
+        sink: Arc<dyn ReplicationSink>,
+    ) -> Result<FlatStore, StoreError> {
+        Self::open_inner(pm, cfg, Some(sink))
+    }
+
+    fn open_inner(
+        pm: Arc<PmRegion>,
+        cfg: Config,
+        repl: Option<Arc<dyn ReplicationSink>>,
+    ) -> Result<FlatStore, StoreError> {
         let sb = Superblock::new(&pm);
         let (ncores, nchunks) = sb.load()?;
         let mut cfg = cfg;
@@ -416,7 +462,7 @@ impl FlatStore {
             alloc.adopt_recovered(ncores as u32);
             shards.push((log, alloc));
         }
-        Self::start(pm, mgr, index, deleted, usage, shards, cfg)
+        Self::start(pm, mgr, index, deleted, usage, shards, cfg, repl)
     }
 
     /// Applies one post-checkpoint log entry on top of snapshot state:
@@ -627,7 +673,7 @@ impl FlatStore {
         Ok(())
     }
 
-    #[allow(clippy::type_complexity)]
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     fn start(
         pm: Arc<PmRegion>,
         mgr: Arc<ChunkManager>,
@@ -636,6 +682,7 @@ impl FlatStore {
         usage: Arc<UsageTable>,
         shards: Vec<(OpLog, CoreAllocator)>,
         cfg: Config,
+        repl: Option<Arc<dyn ReplicationSink>>,
     ) -> Result<FlatStore, StoreError> {
         let ncores = cfg.ncores;
         let quarantine = Quarantine::new(20);
@@ -690,6 +737,7 @@ impl FlatStore {
                 Arc::clone(&stats),
                 server,
                 Arc::clone(&exited),
+                repl.clone(),
             );
             workers.push(
                 std::thread::Builder::new()
@@ -799,7 +847,9 @@ impl FlatStore {
                 .row("requests", fs.requests.load(Relaxed))
                 .row("direct_responses", fs.direct_responses.load(Relaxed))
                 .row("delegated_responses", fs.delegated_responses.load(Relaxed))
-                .row("clients_attached", fs.clients_attached.load(Relaxed));
+                .row("clients_attached", fs.clients_attached.load(Relaxed))
+                .row("send_backpressure", fs.send_backpressure.load(Relaxed))
+                .row("peak_ring_occupancy", fs.peak_ring_occupancy.load(Relaxed));
         }
         let sec = r.section("pm");
         self.pm.stats().snapshot().fill_section(sec);
@@ -825,6 +875,55 @@ impl FlatStore {
     /// The underlying (simulated) PM region.
     pub fn pm(&self) -> Arc<PmRegion> {
         Arc::clone(&self.pm)
+    }
+
+    /// Read-only scan of `core`'s log suffix at or after `from` (the whole
+    /// log when `from` is [`PmAddr::NULL`]), invoking `f` per surviving
+    /// entry and returning the persisted tail. Replication catch-up uses
+    /// this to re-ship everything past a stale backup's persisted cursor.
+    ///
+    /// Only yields a consistent cut while the engine is quiescent (call
+    /// [`barrier`](Self::barrier) first and keep clients paused), and only
+    /// while the cleaner has not reordered the chain since the cursor was
+    /// recorded — disable GC or fall back to a full re-ship on error.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] variants if the chain cannot be walked from
+    /// `from` (e.g. the cleaner relocated it).
+    pub fn log_suffix(
+        &self,
+        core: usize,
+        from: PmAddr,
+        f: impl FnMut(LogEntry, PmAddr),
+    ) -> Result<PmAddr, StoreError> {
+        let from = (from != PmAddr::NULL).then_some(from);
+        Ok(OpLog::scan_descriptor(
+            &self.pm,
+            Superblock::log_desc(core),
+            from,
+            f,
+        )?)
+    }
+
+    /// Like [`log_suffix`](Self::log_suffix), but yields shipping-ready
+    /// [`ReplOp`](crate::ReplOp)s (pointer payloads resolved to bytes) —
+    /// the catch-up path: re-ship everything a stale backup's persisted
+    /// cursor has not covered. Same quiescence caveats as `log_suffix`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`log_suffix`](Self::log_suffix).
+    pub fn repl_suffix(
+        &self,
+        core: usize,
+        from: PmAddr,
+        mut f: impl FnMut(crate::ReplOp),
+    ) -> Result<PmAddr, StoreError> {
+        let pm = Arc::clone(&self.pm);
+        self.log_suffix(core, from, move |e, _| {
+            f(crate::repl::ReplOp::from_entry(&pm, &e));
+        })
     }
 
     fn join_workers(&mut self) -> Vec<Shard> {

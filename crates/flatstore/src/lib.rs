@@ -81,6 +81,7 @@ mod batch;
 mod config;
 mod engine;
 mod error;
+mod repl;
 mod request;
 mod session;
 mod shard;
@@ -92,6 +93,7 @@ pub use batch::EngineStats;
 pub use config::{Config, ConfigBuilder, ExecutionModel, GcConfig, IndexKind};
 pub use engine::{FlatStore, StoreHandle};
 pub use error::StoreError;
+pub use repl::{BackupImage, ReplOp, ReplicationSink};
 pub use request::OpResult;
 pub use session::{Session, Ticket};
 

@@ -23,6 +23,7 @@ use crate::batch::{
 };
 use crate::config::{ExecutionModel, GcConfig};
 use crate::error::StoreError;
+use crate::repl::{ReplOp, ReplicationSink};
 use crate::request::{FabReq, OpReq, OpResult, StoreServerCore};
 use crate::value::{pack, read_record, record_size, unpack, write_record};
 use crate::vindex::VolatileIndex;
@@ -91,6 +92,10 @@ pub(crate) struct Shard {
     /// Count of non-agent cores that finished draining; core 0 exits last,
     /// after pumping their final delegated responses.
     exited: Arc<AtomicUsize>,
+    /// Log-shipping sink: each batch this core leads is shipped as one
+    /// message after its local persist, and a completion is withheld from
+    /// the client until the sink's acked watermark covers it.
+    repl: Option<Arc<dyn ReplicationSink>>,
 
     /// Keys with a Delete in flight (these serialize everything).
     conflicts: HashSet<u64>,
@@ -134,6 +139,7 @@ impl Shard {
         stats: Arc<EngineStats>,
         server: StoreServerCore,
         exited: Arc<AtomicUsize>,
+        repl: Option<Arc<dyn ReplicationSink>>,
     ) -> Shard {
         Shard {
             core,
@@ -155,6 +161,7 @@ impl Shard {
             stats,
             server,
             exited,
+            repl,
             conflicts: HashSet::new(),
             pending_puts: HashMap::new(),
             deferred: VecDeque::new(),
@@ -506,7 +513,21 @@ impl Shard {
             Ok(addrs) => {
                 self.usage
                     .note_appended(OpLog::chunk_of(addrs[0]), addrs.len() as u32);
+                // Ship the whole batch as ONE replication message, piggy-
+                // backing on the HB batch boundary; tag each completion
+                // with the ship sequence before fulfilling it (fulfil is
+                // the Release publish the poller synchronizes on).
+                let shipped = self.repl.as_ref().map(|sink| {
+                    let ops: Vec<ReplOp> = entries
+                        .iter()
+                        .map(|e| ReplOp::from_entry(&self.pm, e))
+                        .collect();
+                    sink.ship(self.core, ops, self.log.tail())
+                });
                 for (c, a) in completions.iter().zip(&addrs) {
+                    if let Some(seq) = shipped {
+                        c.set_repl(self.core, seq);
+                    }
                     c.fulfil(*a);
                 }
                 self.stats.batches.fetch_add(1, Ordering::Relaxed);
@@ -540,6 +561,15 @@ impl Shard {
             }
             match self.inflight[i].completion.poll() {
                 Some(result) => {
+                    // Replication gate: locally durable but not yet covered
+                    // by the backup's acked watermark — the client ack must
+                    // wait (treat like an unfinished completion so per-key
+                    // FIFO holds for everything queued behind it).
+                    if result.is_ok() && !self.repl_acked(&self.inflight[i].completion) {
+                        waiting.insert(key);
+                        i += 1;
+                        continue;
+                    }
                     // pmlint: allow(no-unwrap) — `i < inflight.len()` is the
                     // loop condition and complete() runs after the remove.
                     let inf = self.inflight.remove(i).expect("index in bounds");
@@ -554,6 +584,16 @@ impl Shard {
             }
         }
         progressed
+    }
+
+    /// Whether the replication watermark covers this completion (vacuously
+    /// true without a sink, or for an entry persisted before replication
+    /// tagging — e.g. one that failed before shipping).
+    fn repl_acked(&self, c: &Completion) -> bool {
+        match (&self.repl, c.repl()) {
+            (Some(sink), Some((core, seq))) => sink.acked(core) >= seq,
+            _ => true,
+        }
     }
 
     fn unpend(&mut self, key: u64) {

@@ -5,8 +5,8 @@
 //! media write. Layout (bit offsets, little-endian):
 //!
 //! ```text
-//! [ Op:2 | Emd:2 | Version:20 | Key:64 | Ptr:40            ]  = 128 bits
-//! [ Op:2 | Emd:2 | Version:20 | Key:64 | Size:8 | value... ]  = 96 bits + value
+//! [ Op:2 | Emd:2 | Version:20 | Key:64 | Ptr:32 | Crc:8          ]  = 128 bits
+//! [ Op:2 | Emd:2 | Version:20 | Key:64 | Size:8 | Crc:8 | value… ]  = 104 bits + value
 //! ```
 //!
 //! * `Op` — 0 is *invalid* (so zero-filled padding never parses as an
@@ -16,12 +16,16 @@
 //!   recovery to pick the newest entry. Wrap-around is not disambiguated;
 //!   the cleaner keeps the set of in-log versions per key far below 2²⁰
 //!   (documented paper limitation).
-//! * `Ptr` — 40 bits storing `block_address >> 8`; blocks from the
+//! * `Ptr` — 32 bits storing `block_address >> 8`; blocks from the
 //!   lazy-persist allocator are 256 B-aligned, so the low 8 bits carry no
-//!   information and 48 bits of address space (128 TB) remain reachable.
+//!   information and 40 bits of address space (1 TB) remain reachable.
 //! * `Size` — `value_len − 1`, encoding inline values of 1..=256 bytes.
 //!   Values larger than [`INLINE_MAX`] bytes (and empty values) are stored
 //!   out of the log.
+//! * `Crc` — CRC-8 (polynomial 0x07) over the whole encoded entry with the
+//!   checksum byte zeroed. Recovery and replication catch-up verify it
+//!   before replaying an entry, so a torn write (or a partially-shipped
+//!   batch on a backup) truncates the log instead of replaying garbage.
 
 use pmem::{PmAddr, PmRegion};
 
@@ -35,10 +39,33 @@ pub const INLINE_MAX: usize = 256;
 pub const PTR_ENTRY_LEN: usize = 16;
 
 /// Header bytes preceding the value of an inline entry.
-pub const INLINE_HEADER_LEN: usize = 12;
+pub const INLINE_HEADER_LEN: usize = 13;
 
 const OP_MASK: u8 = 0b11;
 const EMD_SHIFT: u32 = 2;
+/// Byte offset of the inline-entry size field.
+const INLINE_SIZE_OFF: u64 = 11;
+/// Byte offset of the inline-entry checksum.
+const INLINE_CRC_OFF: usize = 12;
+/// Byte offset of the pointer/tombstone/seal checksum.
+const PTR_CRC_OFF: usize = 15;
+
+/// CRC-8, polynomial 0x07 (ATM HEC), bitwise — entries are tiny, so a
+/// lookup table buys nothing.
+fn crc8(bytes: &[u8], skip: usize) -> u8 {
+    let mut crc = 0u8;
+    for (i, &b) in bytes.iter().enumerate() {
+        crc ^= if i == skip { 0 } else { b };
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
 
 /// Operation recorded by a log entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,7 +103,7 @@ pub enum Payload {
     /// No payload (tombstones, seals).
     None,
     /// Value stored out of the log in an allocator block (its 256 B-aligned
-    /// address fits the 40-bit pointer field).
+    /// address fits the 32-bit packed pointer field).
     Ptr(PmAddr),
     /// Value embedded in the entry (1..=256 bytes).
     Inline(Vec<u8>),
@@ -89,7 +116,7 @@ pub enum Payload {
 /// ```
 /// use oplog::{LogEntry, LogOp, Payload};
 /// let e = LogEntry::put_inline(42, 7, b"tiny".to_vec()).unwrap();
-/// assert_eq!(e.encoded_len(), 16); // 12 B header + 4 B value
+/// assert_eq!(e.encoded_len(), 17); // 13 B header + 4 B value
 /// let t = LogEntry::tombstone(42, 8);
 /// assert_eq!(t.encoded_len(), 16);
 /// ```
@@ -128,13 +155,13 @@ impl LogEntry {
     ///
     /// # Panics
     ///
-    /// Panics if `block` is not 256 B-aligned or exceeds 48 bits.
+    /// Panics if `block` is not 256 B-aligned or exceeds 40 bits.
     pub fn put_ptr(key: u64, version: u32, block: PmAddr) -> LogEntry {
         assert!(
             block.is_aligned(256),
             "block pointers must be 256 B aligned"
         );
-        assert!(block.offset() >> 48 == 0, "pointer exceeds 48 bits");
+        assert!(block.offset() >> 40 == 0, "pointer exceeds 40 bits");
         LogEntry {
             op: LogOp::Put,
             key,
@@ -162,7 +189,7 @@ impl LogEntry {
         }
     }
 
-    /// Encoded size in bytes: 16 for pointer-based entries, `12 + len` for
+    /// Encoded size in bytes: 16 for pointer-based entries, `13 + len` for
     /// inline entries.
     pub fn encoded_len(&self) -> usize {
         match &self.payload {
@@ -173,23 +200,32 @@ impl LogEntry {
 
     /// Appends the encoded entry to `buf`.
     pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
         let emd = matches!(self.payload, Payload::Inline(_)) as u8;
         let ver = self.version & 0xF_FFFF;
         let b0 = self.op.code() | (emd << EMD_SHIFT) | (((ver & 0xF) as u8) << 4);
         buf.push(b0);
         buf.extend_from_slice(&((ver >> 4) as u16).to_le_bytes());
         buf.extend_from_slice(&self.key.to_le_bytes());
-        match &self.payload {
+        let crc_off = match &self.payload {
             Payload::Inline(v) => {
                 buf.push((v.len() - 1) as u8);
+                buf.push(0); // checksum placeholder
                 buf.extend_from_slice(v);
+                INLINE_CRC_OFF
             }
             Payload::Ptr(p) => {
-                let packed = p.offset() >> 8; // 40 bits
-                buf.extend_from_slice(&packed.to_le_bytes()[..5]);
+                let packed = (p.offset() >> 8) as u32;
+                buf.extend_from_slice(&packed.to_le_bytes());
+                buf.push(0); // checksum placeholder
+                PTR_CRC_OFF
             }
-            Payload::None => buf.extend_from_slice(&[0u8; 5]),
-        }
+            Payload::None => {
+                buf.extend_from_slice(&[0u8; 5]);
+                PTR_CRC_OFF
+            }
+        };
+        buf[start + crc_off] = crc8(&buf[start..], crc_off);
     }
 
     /// Decodes the entry at `addr`, returning it and its encoded length.
@@ -197,20 +233,35 @@ impl LogEntry {
     ///
     /// # Errors
     ///
-    /// [`LogError::Corrupt`] if the bytes do not decode.
+    /// [`LogError::ChecksumMismatch`] if the entry's CRC-8 does not match
+    /// (a torn write); [`LogError::Corrupt`] if the bytes do not decode.
     pub fn decode(pm: &PmRegion, addr: PmAddr) -> Result<Option<(LogEntry, usize)>, LogError> {
         let b0 = pm.read_u8(addr);
         let Some(op) = LogOp::from_code(b0 & OP_MASK) else {
             return Ok(None); // padding
         };
         let emd = (b0 >> EMD_SHIFT) & 0b11;
-        let mut hdr = [0u8; 11];
-        pm.read(addr, &mut hdr);
+        let inline = op == LogOp::Put && emd == 1;
+        // Verify the checksum over the whole encoded entry before trusting
+        // any field beyond the two needed to find its length.
+        let (len, crc_off) = if inline {
+            let size = pm.read_u8(addr + INLINE_SIZE_OFF) as usize + 1;
+            (INLINE_HEADER_LEN + size, INLINE_CRC_OFF)
+        } else {
+            (PTR_ENTRY_LEN, PTR_CRC_OFF)
+        };
+        let raw = pm.read_vec(addr, len);
+        if crc8(&raw, crc_off) != raw[crc_off] {
+            return Err(LogError::ChecksumMismatch {
+                addr: addr.offset(),
+            });
+        }
         let ver_lo = (b0 >> 4) as u32;
-        let ver_hi = u16::from_le_bytes([hdr[1], hdr[2]]) as u32;
+        let ver_hi = u16::from_le_bytes([raw[1], raw[2]]) as u32;
         let version = ver_lo | (ver_hi << 4);
-        // pmlint: allow(no-unwrap) — hdr is 11 bytes, so [3..11] is 8 bytes.
-        let key = u64::from_le_bytes(hdr[3..11].try_into().expect("8 bytes"));
+        // pmlint: allow(no-unwrap) — raw is at least 16 bytes, so [3..11]
+        // is 8 bytes.
+        let key = u64::from_le_bytes(raw[3..11].try_into().expect("8 bytes"));
         match op {
             LogOp::Seal => Ok(Some((LogEntry::seal(), PTR_ENTRY_LEN))),
             LogOp::Delete => Ok(Some((
@@ -222,9 +273,8 @@ impl LogEntry {
                 },
                 PTR_ENTRY_LEN,
             ))),
-            LogOp::Put if emd == 1 => {
-                let size = pm.read_u8(addr + 11) as usize + 1;
-                let value = pm.read_vec(addr + 12, size);
+            LogOp::Put if inline => {
+                let value = raw[INLINE_HEADER_LEN..].to_vec();
                 Ok(Some((
                     LogEntry {
                         op,
@@ -232,26 +282,24 @@ impl LogEntry {
                         version,
                         payload: Payload::Inline(value),
                     },
-                    INLINE_HEADER_LEN + size,
+                    len,
                 )))
             }
             LogOp::Put => {
-                let mut pbytes = [0u8; 8];
-                pm.read(addr + 11, &mut pbytes[..5]);
-                let ptr = u64::from_le_bytes(pbytes) << 8;
-                let payload = if ptr == 0 {
+                // pmlint: allow(no-unwrap) — raw[11..15] is 4 bytes.
+                let packed = u32::from_le_bytes(raw[11..15].try_into().expect("4 bytes"));
+                let ptr = (packed as u64) << 8;
+                if ptr == 0 {
                     return Err(LogError::Corrupt {
                         addr: addr.offset(),
                     });
-                } else {
-                    Payload::Ptr(PmAddr(ptr))
-                };
+                }
                 Ok(Some((
                     LogEntry {
                         op,
                         key,
                         version,
-                        payload,
+                        payload: Payload::Ptr(PmAddr(ptr)),
                     },
                     PTR_ENTRY_LEN,
                 )))
@@ -286,7 +334,7 @@ mod tests {
     fn inline_entry_round_trips_all_sizes() {
         for len in [1usize, 2, 7, 8, 52, 255, 256] {
             let e = LogEntry::put_inline(99, 3, vec![0xA5; len]).unwrap();
-            assert_eq!(e.encoded_len(), 12 + len);
+            assert_eq!(e.encoded_len(), 13 + len);
             assert_eq!(round_trip(&e), e);
         }
     }
@@ -320,6 +368,32 @@ mod tests {
     #[should_panic(expected = "256 B aligned")]
     fn unaligned_ptr_panics() {
         let _ = LogEntry::put_ptr(1, 1, PmAddr(100));
+    }
+
+    #[test]
+    fn corrupt_byte_fails_checksum() {
+        // Flip one byte anywhere in an encoded entry (including the CRC
+        // itself) and decode must report ChecksumMismatch, never a wrong
+        // entry.
+        for e in [
+            LogEntry::put_ptr(0xdead_beef, 0x5_4321, PmAddr(0x1234_5600)),
+            LogEntry::put_inline(99, 3, vec![0xA5; 8]).unwrap(),
+            LogEntry::tombstone(7, 9),
+        ] {
+            let mut buf = Vec::new();
+            e.encode_into(&mut buf);
+            for i in 0..buf.len() {
+                let pm = PmRegion::new(4096);
+                let mut torn = buf.clone();
+                torn[i] ^= 0x40; // keeps the op code valid (bits 0..2 untouched)
+                pm.write(PmAddr(64), &torn);
+                assert_eq!(
+                    LogEntry::decode(&pm, PmAddr(64)),
+                    Err(LogError::ChecksumMismatch { addr: 64 }),
+                    "byte {i} of {e:?}"
+                );
+            }
+        }
     }
 
     #[test]

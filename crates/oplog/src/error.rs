@@ -26,6 +26,13 @@ pub enum LogError {
         /// Address of the corruption.
         addr: u64,
     },
+    /// An entry's CRC-8 did not match its bytes — a torn write (or a
+    /// partially-shipped replication batch). Recovery truncates the log
+    /// here instead of replaying the entry.
+    ChecksumMismatch {
+        /// Address of the torn entry.
+        addr: u64,
+    },
     /// The chunk allocator rejected an operation.
     Alloc(AllocError),
 }
@@ -41,6 +48,9 @@ impl fmt::Display for LogError {
                 write!(f, "batch of {bytes} bytes exceeds chunk capacity")
             }
             LogError::Corrupt { addr } => write!(f, "corrupt log entry at {addr:#x}"),
+            LogError::ChecksumMismatch { addr } => {
+                write!(f, "log entry checksum mismatch (torn write) at {addr:#x}")
+            }
             LogError::Alloc(e) => write!(f, "allocator error: {e}"),
         }
     }

@@ -157,6 +157,11 @@ impl OpLog {
     /// caller replays entries into the volatile index, newest version wins)
     /// and after clean shutdown (the caller may ignore the entries).
     ///
+    /// An entry failing its CRC-8 (a torn write) is **truncated, not
+    /// replayed**: the scan stops there, and if the tear precedes the
+    /// persisted tail the tail is pulled back and re-persisted so later
+    /// appends overwrite the garbage.
+    ///
     /// # Errors
     ///
     /// [`LogError::Corrupt`] on undecodable state.
@@ -172,6 +177,9 @@ impl OpLog {
     /// before `from` (a checkpoint cursor: a tail address recorded while
     /// the log was quiescent). Chunks preceding the cursor's chunk are not
     /// scanned at all — the checkpoint's recovery speedup (paper §3.5).
+    /// Replication catch-up uses the same cursor semantics to ship only the
+    /// suffix past a backup's persisted watermark. Torn entries truncate as
+    /// in [`recover_with`](Self::recover_with).
     ///
     /// Only sound while the chain has not been re-ordered by the cleaner
     /// since the cursor was taken (the engine invalidates checkpoints
@@ -209,6 +217,7 @@ impl OpLog {
         let mut cur = head;
         let from_chunk = from.map(Self::chunk_of);
         let mut reached_cursor = from.is_none();
+        let mut new_tail = tail;
         loop {
             chunks.push(cur);
             seq = seq.max(pm.read_u64(cur + OFF_SEQ));
@@ -232,17 +241,28 @@ impl OpLog {
                 }
             }
             while pos < end {
-                match LogEntry::decode(&pm, pos)? {
-                    None => {
+                match LogEntry::decode(&pm, pos) {
+                    Ok(None) => {
                         // Padding: skip to the next cacheline.
                         pos = (pos + 1).align_up(CACHELINE);
                     }
-                    Some((e, _)) if e.op == LogOp::Seal => break,
-                    Some((e, len)) => {
+                    Ok(Some((e, _))) if e.op == LogOp::Seal => break,
+                    Ok(Some((e, len))) => {
                         count += 1;
                         f(e, pos);
                         pos += len as u64;
                     }
+                    Err(LogError::ChecksumMismatch { .. }) => {
+                        // Torn write: nothing from here on in this chunk was
+                        // ever acknowledged. Truncate instead of replaying;
+                        // if the tear precedes the persisted tail, pull the
+                        // tail back so later appends overwrite the garbage.
+                        if Self::chunk_of(tail) == cur && pos < tail {
+                            new_tail = pos;
+                        }
+                        break;
+                    }
+                    Err(e) => return Err(e),
                 }
             }
             usage.insert(
@@ -265,12 +285,18 @@ impl OpLog {
                 addr: from.expect("cursor present").offset(),
             });
         }
+        if new_tail != tail {
+            pm.write_u64(desc + DESC_TAIL, new_tail.offset());
+            pm.persist(desc + DESC_TAIL, 8);
+            // Durability point: the truncated tail is now the log's end.
+            pm.commit_point();
+        }
         Ok(OpLog {
             pm,
             mgr,
             desc,
             chunks,
-            tail,
+            tail: new_tail,
             usage,
             seq,
             scratch: Vec::with_capacity(4096),
@@ -552,6 +578,81 @@ impl OpLog {
         self.chunks.remove(idx);
         self.usage.remove(&victim.offset());
         Ok(())
+    }
+
+    /// Read-only scan of a log chain straight from its persistent
+    /// descriptor, without constructing an [`OpLog`] (and so without
+    /// needing the [`ChunkManager`] that owns the live log). Invokes `f`
+    /// for every surviving entry at or after `from` (all entries when
+    /// `from` is `None`) and returns the persisted tail.
+    ///
+    /// Used by replication catch-up to ship a quiescent primary's log
+    /// suffix past a backup's persisted watermark; the cursor soundness
+    /// caveat of [`recover_with_from`](Self::recover_with_from) applies.
+    /// Unlike recovery, a torn entry here is an error (`ChecksumMismatch`)
+    /// rather than a truncation: the caller's log is supposed to be quiet.
+    ///
+    /// # Errors
+    ///
+    /// [`LogError::Corrupt`] on undecodable state or when `from` is not on
+    /// the chain; [`LogError::ChecksumMismatch`] on a torn entry.
+    pub fn scan_descriptor(
+        pm: &PmRegion,
+        desc: PmAddr,
+        from: Option<PmAddr>,
+        mut f: impl FnMut(LogEntry, PmAddr),
+    ) -> Result<PmAddr, LogError> {
+        let head = PmAddr(pm.read_u64(desc + DESC_HEAD));
+        let tail = PmAddr(pm.read_u64(desc + DESC_TAIL));
+        if head == PmAddr::NULL {
+            return Err(LogError::Corrupt {
+                addr: desc.offset(),
+            });
+        }
+        let from_chunk = from.map(Self::chunk_of);
+        let mut reached_cursor = from.is_none();
+        let mut cur = head;
+        loop {
+            let end = if tail.offset() >= cur.offset() && tail - cur < CHUNK_SIZE {
+                tail
+            } else {
+                PmAddr(cur.offset() + ENTRY_END)
+            };
+            let mut pos = cur + ENTRY_AREA;
+            if !reached_cursor {
+                if Some(cur) == from_chunk {
+                    // pmlint: allow(no-unwrap) — from_chunk is Some only
+                    // when `from` is (both derive from the same Option).
+                    pos = from.expect("cursor present");
+                    reached_cursor = true;
+                } else {
+                    pos = end; // entirely pre-cursor: skip
+                }
+            }
+            while pos < end {
+                match LogEntry::decode(pm, pos)? {
+                    None => pos = (pos + 1).align_up(CACHELINE),
+                    Some((e, _)) if e.op == LogOp::Seal => break,
+                    Some((e, len)) => {
+                        f(e, pos);
+                        pos += len as u64;
+                    }
+                }
+            }
+            let next = PmAddr(pm.read_u64(cur + OFF_NEXT));
+            if next == PmAddr::NULL {
+                break;
+            }
+            cur = next;
+        }
+        if !reached_cursor {
+            return Err(LogError::Corrupt {
+                // pmlint: allow(no-unwrap) — reached_cursor starts false
+                // only when `from` is Some (see the initialisation above).
+                addr: from.expect("cursor present").offset(),
+            });
+        }
+        Ok(tail)
     }
 
     /// Scans all surviving entries in chain order (used by tests and the

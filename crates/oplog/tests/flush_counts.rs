@@ -16,9 +16,9 @@ fn fresh_log() -> (Arc<PmRegion>, OpLog) {
     (pm, log)
 }
 
-/// A 16-byte compacted entry: 12 B header + 4 B inline value.
+/// A 16-byte compacted entry: 13 B header + 3 B inline value.
 fn small_entry(key: u64) -> LogEntry {
-    LogEntry::put_inline(key, 1, vec![0xAB; 4]).expect("inline entry")
+    LogEntry::put_inline(key, 1, vec![0xAB; 3]).expect("inline entry")
 }
 
 #[test]

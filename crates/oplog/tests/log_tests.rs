@@ -151,6 +151,44 @@ fn recovery_sees_only_persisted_tail() {
 }
 
 #[test]
+fn torn_entry_before_tail_truncates_instead_of_replaying() {
+    let (pm, mgr) = setup(4, false);
+    let mut log = OpLog::create(Arc::clone(&mgr), PmAddr(0)).unwrap();
+    log.append_batch(&[
+        LogEntry::put_inline(1, 1, vec![1; 8]).unwrap(),
+        LogEntry::put_inline(2, 1, vec![2; 8]).unwrap(),
+    ])
+    .unwrap();
+    let addrs = log
+        .append_batch(&[LogEntry::put_inline(3, 1, vec![3; 8]).unwrap()])
+        .unwrap();
+    let torn_at = addrs[0];
+    let tail_before = log.tail();
+    drop(log);
+    // Tear the entry in place: flip one bit of its inline value, as a torn
+    // media write (or a partially-shipped replication batch) would.
+    let b = pm.read_u8(torn_at + 13);
+    pm.write_u8(torn_at + 13, b ^ 0x40);
+    pm.persist(torn_at + 13, 1);
+
+    let mut recovered = Vec::new();
+    let mut log =
+        OpLog::recover_with(Arc::clone(&mgr), PmAddr(0), |e, _| recovered.push(e.key)).unwrap();
+    assert_eq!(recovered, vec![1, 2], "torn entry must not be replayed");
+    assert!(log.tail() < tail_before, "tail pulled back over the tear");
+    assert_eq!(log.tail(), torn_at);
+
+    // The truncated tail is persisted and appendable: a new batch
+    // overwrites the garbage and a second recovery converges.
+    log.append_batch(&[LogEntry::put_inline(4, 1, vec![4; 8]).unwrap()])
+        .unwrap();
+    drop(log);
+    let mut again = Vec::new();
+    OpLog::recover_with(mgr, PmAddr(0), |e, _| again.push(e.key)).unwrap();
+    assert_eq!(again, vec![1, 2, 4]);
+}
+
+#[test]
 fn recovery_after_rollover_walks_all_chunks() {
     let (pm, mgr) = setup(6, true);
     let mut log = OpLog::create(Arc::clone(&mgr), PmAddr(0)).unwrap();

@@ -5,7 +5,7 @@
 //! | rule | scope | requirement |
 //! |------|-------|-------------|
 //! | `safety-comment` | every file | each line containing `unsafe` carries a `// SAFETY:` comment on it or directly above |
-//! | `write-without-persist` | oplog, pmalloc, indexes, flatstore `src/` | a function that stores to PM (`write*`/`fill`) must also flush/fence/persist, or explain why its caller does |
+//! | `write-without-persist` | oplog, pmalloc, indexes, flatstore, flatrepl `src/` | a function that stores to PM (`write*`/`fill`) must also flush/fence/persist, or explain why its caller does |
 //! | `sim-wall-clock` | simkv `src/` | no `Instant::now`/`SystemTime` inside the discrete-event simulator (virtual time only) |
 //! | `no-unwrap` | pmem, pmalloc, oplog, indexes, flatstore `src/` | no `.unwrap()`/`.expect(` in non-test library code |
 //!
@@ -30,7 +30,7 @@ use std::process::ExitCode;
 const NO_UNWRAP_CRATES: &[&str] = &["pmem", "pmalloc", "oplog", "indexes", "flatstore"];
 
 /// Crates whose `src/` functions are held to the write-implies-persist rule.
-const WRITE_PERSIST_CRATES: &[&str] = &["oplog", "pmalloc", "indexes", "flatstore"];
+const WRITE_PERSIST_CRATES: &[&str] = &["oplog", "pmalloc", "indexes", "flatstore", "flatrepl"];
 
 /// PM store entry points on `PmRegion` (and the index stores built on it).
 const WRITE_TOKENS: &[&str] = &[".write(", ".write_u64(", ".write_u8(", ".fill("];

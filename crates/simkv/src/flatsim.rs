@@ -191,6 +191,8 @@ pub(crate) struct FlatSim {
     nic: Nic,
     batches: u64,
     batched_entries: u64,
+    ship_batches: u64,
+    ship_msgs: u64,
     /// Virtual-time trace events, on when `cfg.trace_events > 0`. The
     /// simulated core id doubles as the trace `tid`; cleaners render on
     /// tracks `ncores + group`.
@@ -273,6 +275,8 @@ impl FlatSim {
             nic: Nic::new(cfg.net.nic_ns_per_msg),
             batches: 0,
             batched_entries: 0,
+            ship_batches: 0,
+            ship_msgs: 0,
             events: (cfg.trace_events > 0).then(|| EventRing::new(cfg.trace_events)),
             cfg,
         }
@@ -389,6 +393,8 @@ impl FlatSim {
         let ring = self.events.take();
         let mut summary = self.clients.metrics.summary(device, avg_batch);
         summary.persistency = self.charger.persistency();
+        summary.ship_batches = self.ship_batches;
+        summary.ship_msgs = self.ship_msgs;
         if let Some(ring) = ring {
             summary.events_dropped = ring.dropped();
             summary.events = ring.into_events();
@@ -619,8 +625,30 @@ impl FlatSim {
                     .charge(i, t, &ev, self.cfg.cpu.pm_read_cached_ns);
                 self.usage
                     .appended(OpLog::chunk_of(addrs[0]), addrs.len() as u32);
+                // Log shipping (flatrepl): the whole batch travels to each
+                // replica as ONE envelope, and the ops only become
+                // completable once the slowest replica's durable-apply ack
+                // returns. The leader does NOT wait — shipping pipelines
+                // like the early lock release — so only the *completion*
+                // time moves, by one NIC hop pair per replica plus the
+                // backup's own persist.
+                let acked_t = if self.cfg.replicas > 0 {
+                    let msgs = 2.0 * self.cfg.replicas as f64;
+                    let nic = self.nic.delay(t, msgs);
+                    self.ship_batches += 1;
+                    self.ship_msgs += msgs as u64;
+                    if let Some(events) = self.events.as_mut() {
+                        events.push(
+                            Event::instant("ship", "repl", i as u32, t as u64)
+                                .arg("entries", ids.len() as u64),
+                        );
+                    }
+                    t + nic + 2.0 * self.cfg.net.one_way_ns + self.cfg.repl_persist_ns
+                } else {
+                    t
+                };
                 for (&id, a) in ids.iter().zip(&addrs) {
-                    self.posts[id].done = Some((t, a.offset()));
+                    self.posts[id].done = Some((acked_t, a.offset()));
                     let owner = self.posts[id].core;
                     if self.cores[owner].clock.is_infinite() {
                         self.cores[owner].clock = t;
@@ -738,6 +766,13 @@ impl FlatSim {
                 j += 1;
                 continue;
             };
+            // Replicated runs: a persisted-but-unacked op stays in flight —
+            // the core keeps serving other requests (shipping is pipelined)
+            // and `next_wake` re-arms at the ack time.
+            if self.cfg.replicas > 0 && done_t > t {
+                j += 1;
+                continue;
+            }
             self.cores[i].inflight.swap_remove(j);
             t = t.max(done_t);
             t += self.index.op_ns(&self.cfg.cpu);

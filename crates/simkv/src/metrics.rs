@@ -117,6 +117,8 @@ impl Metrics {
             events: Vec::new(),
             events_dropped: 0,
             persistency: pmcheck::RuleCounts::default(),
+            ship_batches: 0,
+            ship_msgs: 0,
         }
     }
 }
@@ -161,6 +163,13 @@ pub struct Summary {
     /// also replayed through a [`pmcheck::Checker`]; a non-clean verdict
     /// means the simulated engine violated its own flush/fence discipline.
     pub persistency: pmcheck::RuleCounts,
+    /// Batches shipped to replicas ([`SimConfig::replicas`] > 0).
+    ///
+    /// [`SimConfig::replicas`]: crate::SimConfig::replicas
+    pub ship_batches: u64,
+    /// Replication messages (request + ack per replica per batch) charged
+    /// to the shared NIC.
+    pub ship_msgs: u64,
 }
 
 impl Summary {
@@ -183,6 +192,12 @@ impl Summary {
             .row("max_ns", self.max_ns);
         self.device.fill_section(r.section("device"));
         self.persistency.fill_section(r.section("pmcheck"));
+        if self.ship_batches > 0 {
+            r.section("replication")
+                .row("ship_batches", self.ship_batches)
+                .row("ship_msgs", self.ship_msgs)
+                .row("ship_msgs_per_op", self.ship_msgs as f64 / self.ops as f64);
+        }
         if !self.events.is_empty() || self.events_dropped > 0 {
             r.section("trace")
                 .row("events", self.events.len())

@@ -213,6 +213,15 @@ pub struct SimConfig {
     pub cost: CostParams,
     /// Network calibration.
     pub net: NetParams,
+    /// Passive backups each persisted batch is shipped to (0 = standalone,
+    /// no replication). Shipping is batched exactly like the paper's
+    /// horizontal batching: ONE request/ack message pair per replica per
+    /// *batch*, so the per-operation NIC cost of replication shrinks as
+    /// batches grow.
+    pub replicas: usize,
+    /// Backup-side durability time for one shipped batch (its own log
+    /// append — flush plus fence — before the ack comes back).
+    pub repl_persist_ns: f64,
     /// Design-choice ablations (benchmarks only).
     pub ablate: Ablation,
     /// RNG seed.
@@ -252,6 +261,8 @@ impl Default for SimConfig {
             cpu: CpuParams::default(),
             cost: CostParams::default(),
             net: NetParams::default(),
+            replicas: 0,
+            repl_persist_ns: 500.0,
             ablate: Ablation::default(),
             seed: 42,
             window_ns: 0.0,

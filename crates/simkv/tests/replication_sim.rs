@@ -1,0 +1,116 @@
+//! Replication-overhead shape tests: shipping one envelope per persisted
+//! batch means horizontal batching amortizes the replication messages the
+//! same way it amortizes flushes — the per-operation cost of a backup
+//! strictly shrinks as batches grow.
+
+use simkv::{Engine, ExecModel, SimConfig, SimIndex, WorkloadSpec};
+use workloads::KeyDist;
+
+fn replicated(client_batch: usize, group_size: usize, replicas: usize) -> SimConfig {
+    SimConfig {
+        engine: Engine::FlatStore {
+            model: ExecModel::PipelinedHb,
+            index: SimIndex::Hash,
+        },
+        ncores: 8,
+        group_size,
+        clients: 64,
+        client_batch,
+        keyspace: 30_000,
+        pool_chunks: 128,
+        ops: 30_000,
+        warmup: 3_000,
+        workload: WorkloadSpec::Ycsb {
+            dist: KeyDist::Uniform,
+            value_len: 64,
+            put_ratio: 1.0,
+        },
+        replicas,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn per_op_replication_overhead_shrinks_with_batch_size() {
+    // The tentpole claim: one ship message pair per HB batch, so the NIC
+    // time replication charges per operation strictly decreases as the
+    // measured batch size grows. The knobs (client batching and group
+    // width) only exist to produce runs whose *measured* average batch
+    // sizes differ; the assertion is on the measured relationship.
+    let mut runs: Vec<(f64, f64)> = [(1, 1), (4, 4), (16, 8)]
+        .into_iter()
+        .map(|(client_batch, group_size)| {
+            let cfg = replicated(client_batch, group_size, 1);
+            let s = simkv::run(&cfg);
+            assert!(s.ship_batches > 0, "replicated run shipped nothing");
+            assert_eq!(s.ship_msgs, 2 * s.ship_batches);
+            let per_op_ns = s.ship_msgs as f64 * cfg.net.nic_ns_per_msg / s.ops as f64;
+            println!(
+                "client_batch={client_batch} group={group_size}: avg_batch={:.2} \
+                 ship_batches={} per_op_overhead={:.3}ns mops={:.2}",
+                s.avg_batch, s.ship_batches, per_op_ns, s.mops
+            );
+            (s.avg_batch, per_op_ns)
+        })
+        .collect();
+    runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    assert!(
+        runs[2].0 > 2.0 * runs[0].0,
+        "configs failed to spread the batch size: {runs:?}"
+    );
+    assert!(
+        runs[0].1 > runs[1].1 && runs[1].1 > runs[2].1,
+        "per-op replication overhead must strictly decrease with batch size: {runs:?}"
+    );
+}
+
+#[test]
+fn batching_shrinks_the_replication_toll() {
+    // A backup is not free — the ack round-trip gates completions — but
+    // shipping per batch keeps the toll proportional to messages, so wide
+    // batching shrinks the relative throughput loss until it disappears
+    // into measurement noise.
+    let loss = |client_batch, group_size| {
+        let alone = simkv::run(&replicated(client_batch, group_size, 0));
+        let paired = simkv::run(&replicated(client_batch, group_size, 1));
+        assert_eq!(alone.ship_batches, 0);
+        assert!(paired.ops >= 30_000);
+        assert!(paired.mops > 0.0);
+        println!(
+            "client_batch={client_batch} group={group_size}: alone={:.2} paired={:.2} Mops",
+            alone.mops, paired.mops
+        );
+        (alone.mops - paired.mops) / alone.mops
+    };
+    let narrow = loss(1, 1);
+    let wide = loss(16, 8);
+    assert!(
+        narrow > 0.0,
+        "unbatched replication must cost throughput: loss {narrow}"
+    );
+    assert!(
+        wide < narrow,
+        "batching must shrink the relative replication toll: {wide} !< {narrow}"
+    );
+}
+
+#[test]
+fn more_replicas_cost_more_messages() {
+    let one = simkv::run(&replicated(8, 4, 1));
+    let two = simkv::run(&replicated(8, 4, 2));
+    assert_eq!(one.ship_msgs, 2 * one.ship_batches);
+    assert_eq!(two.ship_msgs, 4 * two.ship_batches);
+    // The report carries the replication section only when it applies.
+    assert!(two
+        .report("sim")
+        .get("replication", "ship_msgs_per_op")
+        .is_some());
+    assert!(one
+        .report("sim")
+        .get("replication", "ship_batches")
+        .is_some());
+    assert!(simkv::run(&replicated(8, 4, 0))
+        .report("sim")
+        .get("replication", "ship_batches")
+        .is_none());
+}

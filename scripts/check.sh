@@ -29,6 +29,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 echo "== session smoke: pipelined sessions fill HB batches =="
 cargo run --release --offline --example session_pipeline
 
+echo "== replication smoke: failover, promotion, catch-up =="
+cargo run --release --offline --example replicated_failover
+
 echo "== observability smoke: simulate with exporters =="
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
