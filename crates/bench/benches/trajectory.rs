@@ -1,0 +1,151 @@
+//! BENCH trajectory — the hot-read DRAM cache across key skew.
+//!
+//! Runs the read-heavy YCSB point (Put:Get = 5:95, 64 B values) at
+//! zipf θ ∈ {uniform, 0.9, 0.99} with the read-cache model off and on,
+//! and emits a machine-readable `BENCH_5.json` (path from
+//! `FLATBENCH_OUT`, default `BENCH_5.json` in the working directory)
+//! recording ns/op, tail latency, cold PM value reads, PM media writes
+//! and cache hit rates. `scripts/bench.sh` pins the scale and commits
+//! the result; `FLATBENCH_QUICK=1` shrinks it to a CI smoke run.
+
+use flatstore_bench::{print_header, print_row, run, Scale};
+use simkv::{Engine, ExecModel, SimConfig, SimIndex, Summary, WorkloadSpec};
+use workloads::KeyDist;
+
+/// One measured point of the trajectory.
+struct Point {
+    theta: f64,
+    entries: usize,
+    s: Summary,
+}
+
+fn config(scale: &Scale, theta: f64, entries: usize) -> SimConfig {
+    let mut cfg = scale.config();
+    cfg.engine = Engine::FlatStore {
+        model: ExecModel::PipelinedHb,
+        index: SimIndex::Hash,
+    };
+    cfg.workload = WorkloadSpec::Ycsb {
+        // Zipfian::new panics at θ = 0; uniform IS the θ → 0 limit.
+        dist: if theta > 0.0 {
+            KeyDist::Zipfian { theta }
+        } else {
+            KeyDist::Uniform
+        },
+        value_len: 64,
+        put_ratio: 0.05,
+    };
+    cfg.read_cache_entries = entries;
+    cfg
+}
+
+fn hit_rate(s: &Summary) -> f64 {
+    let probes = s.cache_hits + s.cache_misses;
+    if probes == 0 {
+        0.0
+    } else {
+        s.cache_hits as f64 / probes as f64
+    }
+}
+
+fn json_point(p: &Point) -> String {
+    let ns_per_op = if p.s.mops > 0.0 { 1e3 / p.s.mops } else { 0.0 };
+    format!(
+        concat!(
+            "    {{\"theta\": {}, \"cache_entries_per_core\": {}, ",
+            "\"mops\": {:.4}, \"ns_per_op\": {:.2}, \"avg_ns\": {:.1}, ",
+            "\"p50_ns\": {:.1}, \"p99_ns\": {:.1}, ",
+            "\"pm_value_reads\": {}, \"pm_media_writes\": {}, ",
+            "\"cache_hits\": {}, \"cache_misses\": {}, \"hit_rate\": {:.4}}}"
+        ),
+        p.theta,
+        p.entries,
+        p.s.mops,
+        ns_per_op,
+        p.s.avg_latency_ns,
+        p.s.p50_ns,
+        p.s.p99_ns,
+        p.s.pm_value_reads,
+        p.s.device.media_writes,
+        p.s.cache_hits,
+        p.s.cache_misses,
+        hit_rate(&p.s),
+    )
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let quick = std::env::var("FLATBENCH_QUICK").is_ok_and(|v| v != "0");
+    // Mirror the engine default: 8 MiB of DRAM budget split across cores,
+    // each 64 B value costing value + SLOT_OVERHEAD (64 B) in the budget.
+    let entries = ((8usize << 20) / scale.ncores / 128).max(1);
+    let thetas = [0.0, 0.9, 0.99];
+
+    let mut points: Vec<Point> = Vec::new();
+    for theta in thetas {
+        for e in [0, entries] {
+            let s = run(&config(&scale, theta, e));
+            points.push(Point {
+                theta,
+                entries: e,
+                s,
+            });
+        }
+    }
+
+    println!("== BENCH trajectory: hot-read cache, Put:Get 5:95, 64 B ==");
+    print_header(
+        "zipf theta",
+        &["off ns/op", "on ns/op", "off p99", "on p99", "hit rate"],
+    );
+    for pair in points.chunks(2) {
+        let (off, on) = (&pair[0], &pair[1]);
+        print_row(
+            &format!("{:.2}", off.theta),
+            &[
+                ("", 1e3 / off.s.mops),
+                ("", 1e3 / on.s.mops),
+                ("", off.s.p99_ns),
+                ("", on.s.p99_ns),
+                ("", hit_rate(&on.s) * 100.0),
+            ],
+        );
+    }
+    println!();
+    for pair in points.chunks(2) {
+        let (off, on) = (&pair[0], &pair[1]);
+        let reduction = if off.s.pm_value_reads == 0 {
+            0.0
+        } else {
+            1.0 - on.s.pm_value_reads as f64 / off.s.pm_value_reads as f64
+        };
+        println!(
+            "theta {:.2}: PM value reads {} -> {} ({:.1}% fewer)",
+            off.theta,
+            off.s.pm_value_reads,
+            on.s.pm_value_reads,
+            reduction * 100.0
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"hot_read_cache_trajectory\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        concat!(
+            "  \"scale\": {{\"keyspace\": {}, \"ops\": {}, \"warmup\": {}, ",
+            "\"ncores\": {}, \"clients\": {}, \"cache_entries_per_core\": {}}},\n"
+        ),
+        scale.keyspace, scale.ops, scale.warmup, scale.ncores, scale.clients, entries
+    ));
+    json.push_str("  \"workload\": {\"value_len\": 64, \"put_ratio\": 0.05},\n");
+    json.push_str("  \"runs\": [\n");
+    let rows: Vec<String> = points.iter().map(json_point).collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    let out = std::env::var("FLATBENCH_OUT").unwrap_or_else(|_| "BENCH_5.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_5.json");
+    println!("\nwrote {out}");
+}

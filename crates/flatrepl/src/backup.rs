@@ -118,6 +118,11 @@ impl Backup {
     /// path and rebuilds the index and allocator state from the shipped
     /// logs alone (paper §3.5, path 3).
     ///
+    /// Volatile engine state starts fresh: in particular the hot-read
+    /// cache (`Config::read_cache_bytes`) comes up empty on the promoted
+    /// store, so nothing cached on the failed primary can outlive it —
+    /// the first reads warm it from the recovered logs.
+    ///
     /// # Errors
     ///
     /// As for [`FlatStore::open`]; applier failures surface first.

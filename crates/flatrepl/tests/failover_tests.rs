@@ -187,3 +187,71 @@ fn stale_replica_catches_up_from_cursors() {
     replica.shutdown().expect("shutdown replica");
     primary.shutdown().expect("shutdown primary");
 }
+
+/// The read cache is volatile, per-engine state: promotion rebuilds a
+/// fresh `FlatStore` from the shipped logs, so the promoted replica
+/// starts with a *cold* cache — nothing from the failed primary's DRAM
+/// can leak across. After promotion the cache goes live on the new
+/// primary: reads warm it, overwrites invalidate it, and every answer
+/// matches the acknowledged history.
+#[test]
+fn promoted_replica_with_cache_enabled_serves_acked_state() {
+    let mk = |seed: u64| {
+        Config::builder()
+            .pm_bytes(64 << 20)
+            .dram_bytes(8 << 20)
+            .ncores(2)
+            .group_size(2)
+            .pipeline_depth(16)
+            .read_cache_bytes(1 << 20)
+            .crash_tracking(true)
+            .strict_fence_seed(Some(seed))
+            .build()
+            .expect("valid test config")
+    };
+    let store = ReplicatedStore::create_with(mk(201), mk(202)).expect("create pair");
+    let handle = store.handle();
+    for k in 0..200u64 {
+        handle.put(k, val(k, 0)).expect("put");
+    }
+    // Warm the primary's cache, then overwrite half the keys so the
+    // primary holds a mix of cached-stale-then-invalidated entries.
+    for k in 0..200u64 {
+        assert_eq!(handle.get(k).expect("get"), Some(val(k, 0)));
+    }
+    for k in (0..200u64).step_by(2) {
+        handle.put(k, val(k, 1)).expect("put");
+    }
+
+    let (_primary_pm, backup) = store.fail_primary();
+    let promoted = backup.promote(mk(202)).expect("promote");
+    for k in 0..200u64 {
+        let round = u64::from(k % 2 == 0);
+        assert_eq!(
+            promoted.get(k).expect("get"),
+            Some(val(k, round)),
+            "key {k}"
+        );
+    }
+    // Re-read everything: this round is served (partly) from the promoted
+    // store's own cache and must tell the same story.
+    for k in 0..200u64 {
+        let round = u64::from(k % 2 == 0);
+        assert_eq!(
+            promoted.get(k).expect("get"),
+            Some(val(k, round)),
+            "key {k}"
+        );
+    }
+    promoted.put(0, b"post-failover").expect("put");
+    assert_eq!(
+        promoted.get(0).expect("get").as_deref(),
+        Some(b"post-failover".as_ref())
+    );
+    let r = promoted.stats_report();
+    assert!(
+        r.get("read_cache", "hits").is_some(),
+        "promoted store should report its (fresh) cache"
+    );
+    promoted.shutdown().expect("shutdown");
+}

@@ -321,6 +321,12 @@ pub struct EngineStats {
     pub put_latency: obs::LogHistogram,
     /// Client-observed Get latency (ns).
     pub get_latency: obs::LogHistogram,
+    /// Server-side Get service latency for read-cache hits (ns, recorded
+    /// on the owner core; excludes fabric round-trip time).
+    pub get_hit_latency: obs::LogHistogram,
+    /// Server-side Get service latency for read-cache misses served from
+    /// the log (ns).
+    pub get_miss_latency: obs::LogHistogram,
     /// Client-observed Delete latency (ns).
     pub delete_latency: obs::LogHistogram,
     /// Client-observed Range latency (ns).
@@ -380,6 +386,13 @@ impl EngineStats {
             sec.latency_rows("get", &self.get_latency.snapshot());
             sec.latency_rows("delete", &self.delete_latency.snapshot());
             sec.latency_rows("range", &self.range_latency.snapshot());
+            // The hit/miss split only exists with the read cache enabled.
+            let hit = self.get_hit_latency.snapshot();
+            let miss = self.get_miss_latency.snapshot();
+            if hit.count > 0 || miss.count > 0 {
+                sec.latency_rows("get_hit", &hit);
+                sec.latency_rows("get_miss", &miss);
+            }
         }
         {
             let depth = self.inflight_depth.snapshot();

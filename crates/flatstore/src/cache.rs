@@ -1,0 +1,344 @@
+//! DRAM-resident hot-value read cache.
+//!
+//! Every Get that misses here pays a simulated-PM media read to fetch the
+//! value from the log (two for out-of-log values); under skewed workloads a
+//! small DRAM cache absorbs most of that cost. The cache is **purely
+//! volatile** — it is rebuilt empty on every open/recovery/promotion and
+//! never touches the [`PmRegion`](pmem::PmRegion) — so it cannot affect
+//! durability, only read latency.
+//!
+//! # Sharding and coherence
+//!
+//! The cache is sharded per server core. Requests are routed by keyhash
+//! ([`core_of`](crate::shard::core_of)), so a key's cache shard is only
+//! ever touched by its owner core's worker thread: the per-shard mutex is
+//! uncontended and exists only to keep the type `Sync` for the engine's
+//! report path. Coherence follows from two facts (see DESIGN.md §11):
+//!
+//! 1. the conflict gate defers a Get while the key has an in-flight Put or
+//!    Delete, so a cached fill can never race an older pending write, and
+//! 2. [`Shard::complete`](crate::shard::Shard) invalidates the key *before*
+//!    acknowledging the write, on the same thread that serves the key's
+//!    Gets — so once a client sees a write acked, the stale value is gone.
+//!
+//! Range scans bypass the cache entirely: a shared ordered index crosses
+//! core ownership, and filling another core's shard from a scan would break
+//! the single-writer discipline above.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Accounted DRAM bytes per cached entry beyond the value itself — one
+/// cacheline of metadata (key, map slot, CLOCK state, allocation headers).
+const SLOT_OVERHEAD: usize = 64;
+
+struct Slot {
+    key: u64,
+    value: Box<[u8]>,
+    /// CLOCK reference bit: set on hit, cleared as the hand sweeps past.
+    referenced: bool,
+}
+
+impl Slot {
+    fn cost(&self) -> usize {
+        SLOT_OVERHEAD + self.value.len()
+    }
+}
+
+/// One core's CLOCK ring: a slot vector swept by a hand plus a key → slot
+/// map. Eviction order is approximate LRU (second chance).
+#[derive(Default)]
+struct ClockShard {
+    cap_bytes: usize,
+    used_bytes: usize,
+    hand: usize,
+    slots: Vec<Slot>,
+    map: HashMap<u64, usize>,
+}
+
+impl ClockShard {
+    fn get(&mut self, key: u64) -> Option<Vec<u8>> {
+        let &i = self.map.get(&key)?;
+        self.slots[i].referenced = true;
+        Some(self.slots[i].value.to_vec())
+    }
+
+    /// Inserts (or replaces) `key`; returns how many entries were evicted
+    /// to make room. Values that cannot fit even an empty shard are not
+    /// cached at all rather than wiping the whole shard.
+    fn insert(&mut self, key: u64, value: &[u8]) -> u64 {
+        let cost = SLOT_OVERHEAD + value.len();
+        if cost > self.cap_bytes {
+            self.remove(key);
+            return 0;
+        }
+        let mut evicted = 0;
+        if let Some(&i) = self.map.get(&key) {
+            self.used_bytes -= self.slots[i].cost();
+            self.slots[i].value = value.into();
+            self.slots[i].referenced = true;
+            self.used_bytes += cost;
+        } else {
+            self.slots.push(Slot {
+                key,
+                value: value.into(),
+                referenced: true,
+            });
+            self.map.insert(key, self.slots.len() - 1);
+            self.used_bytes += cost;
+        }
+        while self.used_bytes > self.cap_bytes {
+            // The newly inserted entry has its reference bit set, so a full
+            // sweep always finds an older victim first (second chance); the
+            // ring can only empty down to the entry just inserted.
+            self.clock_evict(key);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Sweeps the hand to the first unreferenced slot and evicts it,
+    /// skipping `protect` (the entry being inserted).
+    fn clock_evict(&mut self, protect: u64) {
+        loop {
+            if self.hand >= self.slots.len() {
+                self.hand = 0;
+            }
+            let s = &mut self.slots[self.hand];
+            if s.referenced || s.key == protect {
+                s.referenced = s.key == protect;
+                self.hand += 1;
+            } else {
+                let key = s.key;
+                self.remove(key);
+                return;
+            }
+        }
+    }
+
+    fn remove(&mut self, key: u64) -> bool {
+        let Some(i) = self.map.remove(&key) else {
+            return false;
+        };
+        self.used_bytes -= self.slots[i].cost();
+        self.slots.swap_remove(i);
+        if let Some(moved) = self.slots.get(i) {
+            self.map.insert(moved.key, i);
+        }
+        if self.hand >= self.slots.len() {
+            self.hand = 0;
+        }
+        true
+    }
+}
+
+/// The engine-wide read cache: one [`ClockShard`] per server core plus the
+/// monotonic counters surfaced through
+/// [`FlatStore::stats_report`](crate::FlatStore::stats_report).
+pub(crate) struct ReadCache {
+    shards: Vec<Mutex<ClockShard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl ReadCache {
+    /// Splits `total_bytes` of DRAM budget evenly across `ncores` shards;
+    /// `total_bytes == 0` disables the cache (the engine then skips it
+    /// entirely, leaving the Get path byte-identical to a cache-less
+    /// build).
+    pub fn new(total_bytes: usize, ncores: usize) -> Option<Arc<ReadCache>> {
+        if total_bytes == 0 {
+            return None;
+        }
+        let per_shard = (total_bytes / ncores.max(1)).max(1);
+        let mut shards = Vec::with_capacity(ncores);
+        shards.resize_with(ncores, || {
+            Mutex::new(ClockShard {
+                cap_bytes: per_shard,
+                ..ClockShard::default()
+            })
+        });
+        Some(Arc::new(ReadCache {
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }))
+    }
+
+    /// Looks `key` up in `core`'s shard, counting the hit or miss.
+    pub fn get(&self, core: usize, key: u64) -> Option<Vec<u8>> {
+        let got = self.shards[core].lock().get(key);
+        if got.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    /// Fills `key` after a cache miss served from the log.
+    pub fn insert(&self, core: usize, key: u64, value: &[u8]) {
+        let evicted = self.shards[core].lock().insert(key, value);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Write-through invalidation: called by the owner core before it acks
+    /// a Put or Delete of `key`.
+    pub fn invalidate(&self, core: usize, key: u64) {
+        if self.shards[core].lock().remove(key) {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Fills the `read_cache` report section.
+    pub fn fill_report(&self, r: &mut obs::StatsReport) {
+        let (mut entries, mut used, mut cap) = (0usize, 0usize, 0usize);
+        for shard in &self.shards {
+            let s = shard.lock();
+            entries += s.slots.len();
+            used += s.used_bytes;
+            cap += s.cap_bytes;
+        }
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        let lookups = hits + misses;
+        let sec = r.section("read_cache");
+        sec.row("capacity_bytes", cap)
+            .row("used_bytes", used)
+            .row("entries", entries)
+            .row("hits", hits)
+            .row("misses", misses)
+            .row(
+                "hit_rate",
+                if lookups == 0 {
+                    0.0
+                } else {
+                    hits as f64 / lookups as f64
+                },
+            )
+            .row("inserts", self.inserts.load(Ordering::Relaxed))
+            .row("evictions", self.evictions.load(Ordering::Relaxed))
+            .row("invalidations", self.invalidations.load(Ordering::Relaxed));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(bytes: usize, ncores: usize) -> Arc<ReadCache> {
+        match ReadCache::new(bytes, ncores) {
+            Some(c) => c,
+            None => panic!("capacity {bytes} should enable the cache"),
+        }
+    }
+
+    #[test]
+    fn zero_budget_disables() {
+        assert!(ReadCache::new(0, 4).is_none());
+    }
+
+    #[test]
+    fn hit_after_insert_miss_after_invalidate() {
+        let c = cache(1 << 20, 2);
+        assert_eq!(c.get(0, 7), None);
+        c.insert(0, 7, b"value");
+        assert_eq!(c.get(0, 7).as_deref(), Some(&b"value"[..]));
+        // Shards are independent: the same key misses on another core.
+        assert_eq!(c.get(1, 7), None);
+        c.invalidate(0, 7);
+        assert_eq!(c.get(0, 7), None);
+    }
+
+    #[test]
+    fn replacing_insert_updates_value_and_bytes() {
+        let c = cache(1 << 20, 1);
+        c.insert(0, 1, b"old");
+        c.insert(0, 1, b"newer-value");
+        assert_eq!(c.get(0, 1).as_deref(), Some(&b"newer-value"[..]));
+        let s = c.shards[0].lock();
+        assert_eq!(s.slots.len(), 1);
+        assert_eq!(s.used_bytes, SLOT_OVERHEAD + b"newer-value".len());
+    }
+
+    #[test]
+    fn oversized_value_is_not_cached() {
+        // Budget below one slot's overhead: nothing ever fits (the
+        // "capacity 1" degenerate case must behave, not panic).
+        let c = cache(1, 1);
+        c.insert(0, 1, b"x");
+        assert_eq!(c.get(0, 1), None);
+        assert_eq!(c.shards[0].lock().used_bytes, 0);
+    }
+
+    #[test]
+    fn clock_evicts_cold_entries_first() {
+        // Room for exactly two value-less-than-16B entries.
+        let c = cache(2 * (SLOT_OVERHEAD + 16), 1);
+        c.insert(0, 1, &[1u8; 16]);
+        c.insert(0, 2, &[2u8; 16]);
+        // Touch key 1 so its reference bit survives the next sweep.
+        assert!(c.get(0, 1).is_some());
+        // But clear key 2's bit by sweeping: inserting key 3 must evict the
+        // unreferenced key 2, not the just-touched key 1.
+        c.shards[0].lock().slots.iter_mut().for_each(|s| {
+            if s.key == 2 {
+                s.referenced = false;
+            }
+        });
+        c.insert(0, 3, &[3u8; 16]);
+        assert!(c.get(0, 1).is_some(), "hot key evicted");
+        assert_eq!(c.get(0, 2), None, "cold key kept");
+        assert!(c.get(0, 3).is_some());
+        assert_eq!(c.evictions.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn eviction_churn_keeps_accounting_consistent() {
+        let c = cache(8 * (SLOT_OVERHEAD + 32), 1);
+        for round in 0..50u64 {
+            for k in 0..16u64 {
+                c.insert(0, k, &[round as u8; 32]);
+                let _ = c.get(0, (k * 7 + round) % 16);
+            }
+            c.invalidate(0, round % 16);
+        }
+        let s = c.shards[0].lock();
+        let sum: usize = s.slots.iter().map(Slot::cost).sum();
+        assert_eq!(s.used_bytes, sum);
+        assert!(s.used_bytes <= s.cap_bytes);
+        assert_eq!(s.map.len(), s.slots.len());
+        for (k, &i) in &s.map {
+            assert_eq!(s.slots[i].key, *k);
+        }
+    }
+
+    #[test]
+    fn report_rows_reflect_counters() {
+        let c = cache(1 << 20, 1);
+        c.insert(0, 1, b"v");
+        let _ = c.get(0, 1);
+        let _ = c.get(0, 2);
+        c.invalidate(0, 1);
+        let mut r = obs::StatsReport::new("t");
+        c.fill_report(&mut r);
+        assert_eq!(r.get("read_cache", "hits"), Some(&obs::Value::U64(1)));
+        assert_eq!(r.get("read_cache", "misses"), Some(&obs::Value::U64(1)));
+        assert_eq!(
+            r.get("read_cache", "invalidations"),
+            Some(&obs::Value::U64(1))
+        );
+    }
+}

@@ -95,6 +95,12 @@ pub struct Config {
     ///
     /// [`Session`]: crate::Session
     pub pipeline_depth: usize,
+    /// DRAM budget for the hot-value read cache, split evenly across the
+    /// server cores' shards; 0 disables the cache. Purely volatile — the
+    /// cache starts empty on every open/recovery/failover and never
+    /// changes what a Get returns, only whether it pays the simulated-PM
+    /// media read.
+    pub read_cache_bytes: usize,
 }
 
 impl Default for Config {
@@ -111,6 +117,7 @@ impl Default for Config {
             gc: GcConfig::default(),
             channel_batch: 32,
             pipeline_depth: 16,
+            read_cache_bytes: 8 << 20,
         }
     }
 }
@@ -266,6 +273,13 @@ impl ConfigBuilder {
         self
     }
 
+    /// DRAM budget for the hot-value read cache; 0 disables it (see
+    /// [`Config::read_cache_bytes`]).
+    pub fn read_cache_bytes(mut self, v: usize) -> Self {
+        self.cfg.read_cache_bytes = v;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -288,10 +302,24 @@ mod tests {
             .ncores(2)
             .group_size(2)
             .pipeline_depth(8)
+            .read_cache_bytes(1 << 20)
             .build()
             .unwrap();
         assert_eq!(cfg.ncores, 2);
         assert_eq!(cfg.pipeline_depth, 8);
+        assert_eq!(cfg.read_cache_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn zero_read_cache_is_valid_and_means_disabled() {
+        let cfg = Config::builder()
+            .pm_bytes(64 << 20)
+            .ncores(2)
+            .group_size(2)
+            .read_cache_bytes(0)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.read_cache_bytes, 0);
     }
 
     #[test]

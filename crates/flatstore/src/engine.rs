@@ -11,6 +11,7 @@ use pmalloc::{ChunkManager, CoreAllocator, CHUNK_SIZE};
 use pmem::{PmAddr, PmRegion};
 
 use crate::batch::{CkptGuard, DeletedTable, EngineStats, Group, Quarantine, UsageTable};
+use crate::cache::ReadCache;
 use crate::config::Config;
 use crate::error::StoreError;
 use crate::repl::ReplicationSink;
@@ -210,6 +211,9 @@ pub struct FlatStore {
     quarantine: Arc<Quarantine>,
     ckpt: Arc<CkptGuard>,
     stats: Arc<EngineStats>,
+    /// Hot-value read cache (`None` when `read_cache_bytes == 0`). Volatile
+    /// by construction: create/open/promote all start it empty.
+    cache: Option<Arc<ReadCache>>,
     shared: Arc<EngineShared>,
     handle: StoreHandle,
     /// The engine's own fabric client (client id 0), used for checkpoint
@@ -688,6 +692,7 @@ impl FlatStore {
         let quarantine = Quarantine::new(20);
         let ckpt = CkptGuard::new(Arc::clone(&pm));
         let stats = Arc::new(EngineStats::default());
+        let cache = ReadCache::new(cfg.read_cache_bytes, ncores);
         let ngroups = ncores.div_ceil(cfg.group_size);
         let groups: Vec<Arc<Group>> = (0..ngroups)
             .map(|g| {
@@ -738,6 +743,7 @@ impl FlatStore {
                 server,
                 Arc::clone(&exited),
                 repl.clone(),
+                cache.clone(),
             );
             workers.push(
                 std::thread::Builder::new()
@@ -763,6 +769,7 @@ impl FlatStore {
             quarantine,
             ckpt,
             stats,
+            cache,
             shared,
             handle,
             control,
@@ -850,6 +857,9 @@ impl FlatStore {
                 .row("clients_attached", fs.clients_attached.load(Relaxed))
                 .row("send_backpressure", fs.send_backpressure.load(Relaxed))
                 .row("peak_ring_occupancy", fs.peak_ring_occupancy.load(Relaxed));
+        }
+        if let Some(cache) = &self.cache {
+            cache.fill_report(&mut r);
         }
         let sec = r.section("pm");
         self.pm.stats().snapshot().fill_section(sec);

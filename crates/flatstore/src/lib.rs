@@ -78,6 +78,7 @@
 //! ```
 
 mod batch;
+mod cache;
 mod config;
 mod engine;
 mod error;

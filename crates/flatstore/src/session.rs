@@ -41,6 +41,63 @@ impl EngineShared {
     }
 }
 
+/// Bounded spin-then-yield-then-sleep backoff for the session's poll
+/// loops.
+///
+/// A hot busy-poll burns a full client core while waiting and, on an
+/// oversubscribed host, steals cycles from the very worker threads it is
+/// waiting on; sleeping immediately would add wake-up latency to every
+/// completion. The ladder escalates instead: a short `spin_loop` burst
+/// (completions usually land within a batch flush), then scheduler
+/// yields, then exponentially growing sleeps capped at
+/// [`SLEEP_CAP_US`](Backoff::SLEEP_CAP_US) so even a long stall polls
+/// frequently enough to keep tail latency bounded. Any progress resets
+/// the ladder to fully responsive.
+pub(crate) struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Steps spent in `spin_loop` before yielding.
+    const SPIN: u32 = 64;
+    /// Further steps spent in `yield_now` before sleeping.
+    const YIELD: u32 = 192;
+    /// First sleep duration; doubles each step.
+    const SLEEP_BASE_US: u64 = 5;
+    /// Longest sleep between polls.
+    const SLEEP_CAP_US: u64 = 200;
+
+    pub fn new() -> Backoff {
+        Backoff { step: 0 }
+    }
+
+    /// Restores full responsiveness after progress.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// The sleep this step takes, in µs — 0 while still spinning or
+    /// yielding.
+    fn sleep_us(step: u32) -> u64 {
+        let Some(exp) = step.checked_sub(Self::SPIN + Self::YIELD) else {
+            return 0;
+        };
+        (Self::SLEEP_BASE_US << exp.min(16)).min(Self::SLEEP_CAP_US)
+    }
+
+    /// One step of waiting; escalates each call until [`reset`](Self::reset).
+    pub fn wait(&mut self) {
+        if self.step < Self::SPIN {
+            std::hint::spin_loop();
+        } else if self.step < Self::SPIN + Self::YIELD {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(std::time::Duration::from_micros(Self::sleep_us(self.step)));
+        }
+        self.step = self.step.saturating_add(1);
+    }
+}
+
 /// Identifies one submitted operation within its [`Session`].
 ///
 /// Tickets are session-local: a ticket from one session is meaningless to
@@ -151,9 +208,10 @@ impl Session {
         progressed
     }
 
-    /// Blocks (polling) until at least one response arrives.
+    /// Blocks (polling with bounded backoff) until at least one response
+    /// arrives.
     fn absorb_blocking(&mut self) -> Result<(), StoreError> {
-        let mut spins = 0u32;
+        let mut backoff = Backoff::new();
         loop {
             if self.absorb() {
                 return Ok(());
@@ -161,19 +219,14 @@ impl Session {
             if self.stopped() {
                 return Err(StoreError::ShuttingDown);
             }
-            spins += 1;
-            if spins > 64 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
+            backoff.wait();
         }
     }
 
     /// Sends one envelope to `core`, absorbing completions while the ring
     /// is out of credits.
     fn send(&mut self, core: usize, mut env: Envelope<OpReq>) -> Result<(), StoreError> {
-        let mut spins = 0u32;
+        let mut backoff = Backoff::new();
         loop {
             if self.stopped() {
                 return Err(StoreError::ShuttingDown);
@@ -184,13 +237,10 @@ impl Session {
             }
             // Ring full: the core is behind — drain our completions so the
             // agent can make progress, then retry.
-            if !self.absorb() {
-                spins += 1;
-                if spins > 64 {
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
-                }
+            if self.absorb() {
+                backoff.reset();
+            } else {
+                backoff.wait();
             }
         }
     }
@@ -364,10 +414,51 @@ impl Drop for Session {
         // Drain in-flight work so the agent never blocks pushing into a
         // ring nobody reads. If the engine already stopped, the rings are
         // dead and there is nothing to wait for.
+        let mut backoff = Backoff::new();
         while (!self.inflight.is_empty() || !self.pending_control.is_empty()) && !self.stopped() {
-            if !self.absorb() {
-                std::thread::yield_now();
+            if self.absorb() {
+                backoff.reset();
+            } else {
+                backoff.wait();
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Backoff;
+
+    #[test]
+    fn ladder_escalates_spin_yield_sleep() {
+        // Spinning and yielding sleep nothing.
+        assert_eq!(Backoff::sleep_us(0), 0);
+        assert_eq!(Backoff::sleep_us(Backoff::SPIN), 0);
+        assert_eq!(Backoff::sleep_us(Backoff::SPIN + Backoff::YIELD - 1), 0);
+        // First sleep is the base, then doubles.
+        let s0 = Backoff::SPIN + Backoff::YIELD;
+        assert_eq!(Backoff::sleep_us(s0), Backoff::SLEEP_BASE_US);
+        assert_eq!(Backoff::sleep_us(s0 + 1), 2 * Backoff::SLEEP_BASE_US);
+        assert_eq!(Backoff::sleep_us(s0 + 2), 4 * Backoff::SLEEP_BASE_US);
+    }
+
+    #[test]
+    fn sleep_is_capped_and_never_overflows() {
+        let s0 = Backoff::SPIN + Backoff::YIELD;
+        for step in [s0 + 6, s0 + 16, s0 + 63, s0 + 1000, u32::MAX] {
+            assert_eq!(Backoff::sleep_us(step), Backoff::SLEEP_CAP_US);
+        }
+    }
+
+    #[test]
+    fn reset_restores_spinning() {
+        let mut b = Backoff::new();
+        for _ in 0..(Backoff::SPIN + Backoff::YIELD) {
+            b.wait(); // never sleeps: all spin/yield steps
+        }
+        assert_eq!(Backoff::sleep_us(b.step), Backoff::SLEEP_BASE_US);
+        b.reset();
+        assert_eq!(b.step, 0);
+        assert_eq!(Backoff::sleep_us(b.step), 0);
     }
 }

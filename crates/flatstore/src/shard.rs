@@ -21,6 +21,7 @@ use pmem::{PmAddr, PmRegion};
 use crate::batch::{
     CkptGuard, Completion, DeletedTable, EngineStats, Group, Posted, Quarantine, UsageTable,
 };
+use crate::cache::ReadCache;
 use crate::config::{ExecutionModel, GcConfig};
 use crate::error::StoreError;
 use crate::repl::{ReplOp, ReplicationSink};
@@ -96,6 +97,9 @@ pub(crate) struct Shard {
     /// message after its local persist, and a completion is withheld from
     /// the client until the sink's acked watermark covers it.
     repl: Option<Arc<dyn ReplicationSink>>,
+    /// Hot-value read cache; this core only ever touches its own shard
+    /// (keyhash routing), and invalidates a key *before* acking its write.
+    cache: Option<Arc<ReadCache>>,
 
     /// Keys with a Delete in flight (these serialize everything).
     conflicts: HashSet<u64>,
@@ -140,6 +144,7 @@ impl Shard {
         server: StoreServerCore,
         exited: Arc<AtomicUsize>,
         repl: Option<Arc<dyn ReplicationSink>>,
+        cache: Option<Arc<ReadCache>>,
     ) -> Shard {
         Shard {
             core,
@@ -162,6 +167,7 @@ impl Shard {
             server,
             exited,
             repl,
+            cache,
             conflicts: HashSet::new(),
             pending_puts: HashMap::new(),
             deferred: VecDeque::new(),
@@ -390,35 +396,65 @@ impl Shard {
     }
 
     fn serve_get(&mut self, client: ClientId, seq: u64, key: u64) {
+        let start = std::time::Instant::now();
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        // Dispatch already deferred this Get if the key has an in-flight
+        // Put or Delete, so a cache hit here can never be older than an
+        // acked write (complete() invalidates before it acks).
+        if let Some(cache) = &self.cache {
+            if let Some(value) = cache.get(self.core, key) {
+                self.stats
+                    .get_hit_latency
+                    .record(start.elapsed().as_nanos() as u64);
+                self.respond(client, seq, OpResult::Get(Ok(Some(value))));
+                return;
+            }
+        }
         let result = match self.index.get(self.core, key) {
             None => Ok(None),
             Some(packed) => {
                 let (_, addr) = unpack(packed);
                 match self.log.read_entry(addr) {
-                    Ok(e) => Ok(Some(self.payload_bytes(&e))),
+                    Ok(e) => Ok(Some(self.payload_into_bytes(e))),
                     Err(e) => Err(e.into()),
                 }
             }
         };
-        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        if let Some(cache) = &self.cache {
+            if let Ok(Some(value)) = &result {
+                cache.insert(self.core, key, value);
+            }
+            self.stats
+                .get_miss_latency
+                .record(start.elapsed().as_nanos() as u64);
+        }
         self.respond(client, seq, OpResult::Get(result));
     }
 
-    fn payload_bytes(&self, e: &LogEntry) -> Vec<u8> {
-        match &e.payload {
-            Payload::Inline(v) => v.clone(),
-            Payload::Ptr(b) => read_record(&self.pm, *b),
+    /// Consumes a decoded entry into its value bytes. Inline payloads are
+    /// *moved* out of the entry — the Vec decode filled from PM is the one
+    /// handed to the client, with no intermediate copy.
+    fn payload_into_bytes(&self, e: LogEntry) -> Vec<u8> {
+        match e.payload {
+            Payload::Inline(v) => v,
+            Payload::Ptr(b) => read_record(&self.pm, b),
             Payload::None => Vec::new(),
         }
     }
 
+    /// Range scans read the log directly and never consult or fill the
+    /// cache: the shared ordered index crosses core ownership, and another
+    /// core's cache shard must only be touched by its own worker (see
+    /// `cache.rs`). Bypassing is always coherent — the log entry an index
+    /// value points at *is* the current value.
     fn serve_range(&mut self, client: ClientId, seq: u64, lo: u64, hi: u64, limit: usize) {
         let mut out = Vec::new();
         let r = self.index.range(lo, hi, &mut |k, packed| {
             let (_, addr) = unpack(packed);
             if let Ok(Some((e, _))) = LogEntry::decode(&self.pm, addr) {
                 if e.op == LogOp::Put {
-                    out.push((k, self.payload_bytes(&e)));
+                    let value = self.payload_into_bytes(e);
+                    out.push((k, value));
                 }
             }
             out.len() < limit
@@ -605,6 +641,16 @@ impl Shard {
         }
     }
 
+    /// Write-through invalidation: drops `key` from this core's cache
+    /// shard. Must run before the write's `respond()` — once the client
+    /// sees the ack, the next Get on this core must re-read the log (or it
+    /// could serve a value older than the acked write).
+    fn invalidate_cached(&self, key: u64) {
+        if let Some(cache) = &self.cache {
+            cache.invalidate(self.core, key);
+        }
+    }
+
     fn complete(&mut self, inf: Inflight, result: Result<PmAddr, ()>) {
         let Inflight {
             op, client, seq, ..
@@ -612,6 +658,9 @@ impl Shard {
         match op {
             InflightOp::Put { key, version } => {
                 self.unpend(key);
+                // Invalidate even on failure or supersession: dropping a
+                // still-valid entry costs one extra miss, never coherence.
+                self.invalidate_cached(key);
                 let Ok(addr) = result else {
                     self.respond(client, seq, OpResult::Put(Err(StoreError::OutOfSpace)));
                     return;
@@ -667,6 +716,7 @@ impl Shard {
                 version,
                 old_block,
             } => {
+                self.invalidate_cached(key);
                 let Ok(addr) = result else {
                     self.conflicts.remove(&key);
                     self.respond(client, seq, OpResult::Delete(Err(StoreError::OutOfSpace)));

@@ -132,6 +132,43 @@ fn pipelined_sessions_fill_hb_batches() {
     store.shutdown().unwrap();
 }
 
+/// The backoff ladder in `Session::wait` must never throttle an *active*
+/// pipeline: a saturated depth-8 session spends its waits in the spin
+/// phase (completions arrive within microseconds), so a sustained burst
+/// has to finish at interactive speed AND still fill HB batches. If the
+/// ladder ever escalated to sleeps on the hot path, this burst would
+/// take minutes, not seconds.
+#[test]
+fn backoff_does_not_throttle_a_saturated_pipeline() {
+    let mut c = cfg(2, 8);
+    c.model = ExecutionModel::PipelinedHb;
+    let store = FlatStore::create(c).unwrap();
+    let mut session = store.session().unwrap();
+
+    let ops = 20_000u64;
+    let start = std::time::Instant::now();
+    for i in 0..ops {
+        session.submit_put(i % 1024, value_bytes(i, 32)).unwrap();
+    }
+    for (_, r) in session.wait_all().unwrap() {
+        assert_eq!(r, OpResult::Put(Ok(())));
+    }
+    let elapsed = start.elapsed();
+    drop(session);
+
+    // Generous bound: the engine sustains well over 100k puts/s here even
+    // on a loaded CI box; a sleep-poisoned wait path would blow through it
+    // by orders of magnitude (20k ops x 5 µs minimum sleep = 100 ms of
+    // sleeping per escalation round).
+    assert!(
+        elapsed < std::time::Duration::from_secs(20),
+        "saturated pipeline took {elapsed:?} for {ops} ops"
+    );
+    let avg = store.stats().avg_batch();
+    assert!(avg > 1.0, "pipelined puts should still batch, got {avg:.3}");
+    store.shutdown().unwrap();
+}
+
 /// Dropping a session mid-flight must not wedge the engine or lose
 /// acknowledged-by-submission durability semantics for completed ops.
 #[test]

@@ -274,7 +274,12 @@ impl LogEntry {
                 PTR_ENTRY_LEN,
             ))),
             LogOp::Put if inline => {
-                let value = raw[INLINE_HEADER_LEN..].to_vec();
+                // Reuse the checksummed read buffer as the value (one
+                // allocation per decode, not two): the header is drained
+                // off the front and the Vec handed onward — the Get path
+                // moves it to the client without another copy.
+                let mut value = raw;
+                value.drain(..INLINE_HEADER_LEN);
                 Ok(Some((
                     LogEntry {
                         op,

@@ -8,6 +8,7 @@
 //! | `write-without-persist` | oplog, pmalloc, indexes, flatstore, flatrepl `src/` | a function that stores to PM (`write*`/`fill`) must also flush/fence/persist, or explain why its caller does |
 //! | `sim-wall-clock` | simkv `src/` | no `Instant::now`/`SystemTime` inside the discrete-event simulator (virtual time only) |
 //! | `no-unwrap` | pmem, pmalloc, oplog, indexes, flatstore `src/` | no `.unwrap()`/`.expect(` in non-test library code |
+//! | `volatile-only` | flatstore `src/cache.rs` | the DRAM read cache must never touch PM (`PmRegion`/`PmAddr`/flush/fence/persist) — its whole coherence argument rests on being reconstructible-from-nothing volatile state |
 //!
 //! A finding can be waived in place with an *escape comment* on the
 //! offending line or the line above, naming the rule and giving a reason:
@@ -40,11 +41,20 @@ const WRITE_TOKENS: &[&str] = &[".write(", ".write_u64(", ".write_u8(", ".fill("
 /// helper names like `persist_header`, and so on.
 const PERSIST_TOKENS: &[&str] = &[".flush(", ".fence(", "persist", "commit_point("];
 
+/// PM-facing names that must never appear in volatile-only modules. The
+/// cache's crash-safety story is "lose everything, rebuild from misses";
+/// any PM type or persistence call in it breaks that argument. This is
+/// deliberately a per-file rule with reasoned escapes, not a blanket
+/// allowlist exempting the cache from `write-without-persist` — the cache
+/// stays inside that rule's scope, it just has nothing for it to match.
+const VOLATILE_ONLY_TOKENS: &[&str] = &["PmRegion", "PmAddr", ".persist(", ".flush(", ".fence("];
+
 const RULE_NAMES: &[&str] = &[
     "safety-comment",
     "write-without-persist",
     "sim-wall-clock",
     "no-unwrap",
+    "volatile-only",
 ];
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -288,6 +298,7 @@ struct Scope {
     no_unwrap: bool,
     write_persist: bool,
     sim_wall_clock: bool,
+    volatile_only: bool,
 }
 
 fn scope_of(rel: &Path) -> Scope {
@@ -301,6 +312,7 @@ fn scope_of(rel: &Path) -> Scope {
         no_unwrap: lib_src && NO_UNWRAP_CRATES.contains(&krate),
         write_persist: lib_src && WRITE_PERSIST_CRATES.contains(&krate),
         sim_wall_clock: lib_src && krate == "simkv",
+        volatile_only: lib_src && krate == "flatstore" && parts[3..] == ["cache.rs"],
     }
 }
 
@@ -422,6 +434,23 @@ fn check_file(rel: &Path, src: &str) -> Vec<Finding> {
                         i,
                         "sim-wall-clock",
                         format!("`{tok}` in simulator code — use the virtual clock"),
+                    );
+                }
+            }
+        }
+    }
+
+    // volatile-only: the DRAM cache module may not name PM types or call
+    // persistence primitives (tests included — a test that hands the cache
+    // a PmRegion is designing the coupling this rule forbids).
+    if scope.volatile_only {
+        for (i, l) in lines.iter().enumerate() {
+            for tok in VOLATILE_ONLY_TOKENS {
+                if l.code.contains(tok) {
+                    report(
+                        i,
+                        "volatile-only",
+                        format!("`{tok}` in the volatile read cache — DRAM state only"),
                     );
                 }
             }
@@ -679,6 +708,23 @@ mod tests {
         let multi = "fn f(\n    pm: &PmRegion,\n) {\n    pm.write(a, b);\n    pm.flush(a, 8);\n}\nfn g() {}\n";
         assert!(check("crates/oplog/src/a.rs", multi).is_empty());
         assert!(check("crates/masstree/src/a.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn volatile_only_scoped_to_the_cache_module() {
+        let bad = "fn f(pm: &PmRegion) {\n    pm.flush(a, 8);\n}\n";
+        let f = check("crates/flatstore/src/cache.rs", bad);
+        assert_eq!(rules(&f), ["volatile-only", "volatile-only"]);
+        // Everywhere else in flatstore PM types are the point.
+        assert!(check("crates/flatstore/src/shard.rs", bad)
+            .iter()
+            .all(|f| f.rule != "volatile-only"));
+
+        let escaped = "// pmlint: allow(volatile-only) — type appears in a doc link only\nfn f(pm: &PmRegion) {}\n";
+        assert!(check("crates/flatstore/src/cache.rs", escaped).is_empty());
+
+        let clean = "fn f(m: &mut HashMap<u64, usize>) { m.clear(); }\n";
+        assert!(check("crates/flatstore/src/cache.rs", clean).is_empty());
     }
 
     #[test]

@@ -135,6 +135,76 @@ struct CoreSim {
     deferred: VecDeque<SimReq>,
     inflight: Vec<usize>,
     group: usize,
+    /// Per-core DRAM read cache (mirrors the engine's `cache.rs`): a hit
+    /// skips the cold PM value read(s); a completed Put invalidates its
+    /// key before the response is scheduled.
+    cache: SimCache,
+}
+
+/// Key-only CLOCK cache for the DES: the engine caches value bytes, but
+/// virtual time only needs membership — what matters is whether the Get
+/// pays `pm_read_cold_ns` or `cache_hit_ns`.
+struct SimCache {
+    /// Capacity in entries; 0 disables the cache entirely.
+    cap: usize,
+    hand: usize,
+    /// `(key, referenced)` CLOCK ring.
+    slots: Vec<(u64, bool)>,
+    map: HashMap<u64, usize>,
+}
+
+impl SimCache {
+    fn new(cap: usize) -> SimCache {
+        SimCache {
+            cap,
+            hand: 0,
+            slots: Vec::new(),
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: u64) -> bool {
+        match self.map.get(&key) {
+            Some(&i) => {
+                self.slots[i].1 = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn insert(&mut self, key: u64) {
+        if self.cap == 0 || self.map.contains_key(&key) {
+            return;
+        }
+        while self.slots.len() >= self.cap {
+            if self.hand >= self.slots.len() {
+                self.hand = 0;
+            }
+            if self.slots[self.hand].1 {
+                self.slots[self.hand].1 = false;
+                self.hand += 1;
+            } else {
+                let victim = self.slots[self.hand].0;
+                self.remove(victim);
+            }
+        }
+        self.slots.push((key, true));
+        self.map.insert(key, self.slots.len() - 1);
+    }
+
+    fn remove(&mut self, key: u64) {
+        let Some(i) = self.map.remove(&key) else {
+            return;
+        };
+        self.slots.swap_remove(i);
+        if let Some(&(moved, _)) = self.slots.get(i) {
+            self.map.insert(moved, i);
+        }
+        if self.hand >= self.slots.len() {
+            self.hand = 0;
+        }
+    }
 }
 
 struct CleanerSim {
@@ -193,6 +263,12 @@ pub(crate) struct FlatSim {
     batched_entries: u64,
     ship_batches: u64,
     ship_msgs: u64,
+    /// Cold PM media reads issued on the Get path (entry fetch, plus one
+    /// more for pointer payloads). Counted whether or not the cache model
+    /// is on, so cache-on vs cache-off runs compare like for like.
+    pm_value_reads: u64,
+    cache_hits: u64,
+    cache_misses: u64,
     /// Virtual-time trace events, on when `cfg.trace_events > 0`. The
     /// simulated core id doubles as the trace `tid`; cleaners render on
     /// tracks `ncores + group`.
@@ -229,6 +305,7 @@ impl FlatSim {
                 deferred: VecDeque::new(),
                 inflight: Vec::new(),
                 group: c / cfg.group_size,
+                cache: SimCache::new(cfg.read_cache_entries),
             });
         }
         let groups = (0..ngroups)
@@ -277,6 +354,9 @@ impl FlatSim {
             batched_entries: 0,
             ship_batches: 0,
             ship_msgs: 0,
+            pm_value_reads: 0,
+            cache_hits: 0,
+            cache_misses: 0,
             events: (cfg.trace_events > 0).then(|| EventRing::new(cfg.trace_events)),
             cfg,
         }
@@ -395,6 +475,9 @@ impl FlatSim {
         summary.persistency = self.charger.persistency();
         summary.ship_batches = self.ship_batches;
         summary.ship_msgs = self.ship_msgs;
+        summary.pm_value_reads = self.pm_value_reads;
+        summary.cache_hits = self.cache_hits;
+        summary.cache_misses = self.cache_misses;
         if let Some(ring) = ring {
             summary.events_dropped = ring.dropped();
             summary.events = ring.into_events();
@@ -526,18 +609,30 @@ impl FlatSim {
             Op::Get { key } => {
                 t += self.index.op_ns(&self.cfg.cpu);
                 if let Some(packed) = self.index.get(i, key) {
-                    let (_, addr) = unpack(packed);
-                    // One cold PM read fetches the entry (inline values
-                    // ride in the same lines); pointer payloads cost a
-                    // second cold read for the record block.
-                    let decoded = LogEntry::decode(&self.pm, PmAddr(addr));
-                    let ev = self.pm.take_events();
-                    t = self.charger.charge(i, t, &ev, 0.0);
-                    t += self.cfg.cpu.pm_read_cold_ns;
-                    if let Ok(Some((e, _))) = decoded {
-                        if matches!(e.payload, Payload::Ptr(_)) {
-                            t += self.cfg.cpu.pm_read_cold_ns;
+                    if self.cores[i].cache.get(key) {
+                        // DRAM hit: the value never touches PM media.
+                        self.cache_hits += 1;
+                        t += self.cfg.cpu.cache_hit_ns;
+                    } else {
+                        if self.cfg.read_cache_entries > 0 {
+                            self.cache_misses += 1;
                         }
+                        let (_, addr) = unpack(packed);
+                        // One cold PM read fetches the entry (inline values
+                        // ride in the same lines); pointer payloads cost a
+                        // second cold read for the record block.
+                        let decoded = LogEntry::decode(&self.pm, PmAddr(addr));
+                        let ev = self.pm.take_events();
+                        t = self.charger.charge(i, t, &ev, 0.0);
+                        t += self.cfg.cpu.pm_read_cold_ns;
+                        self.pm_value_reads += 1;
+                        if let Ok(Some((e, _))) = decoded {
+                            if matches!(e.payload, Payload::Ptr(_)) {
+                                t += self.cfg.cpu.pm_read_cold_ns;
+                                self.pm_value_reads += 1;
+                            }
+                        }
+                        self.cores[i].cache.insert(key);
                     }
                 }
                 self.respond(&req, t);
@@ -778,6 +873,10 @@ impl FlatSim {
             t += self.index.op_ns(&self.cfg.cpu);
             let key = self.posts[id].req.op.key();
             let version = self.posts[id].version;
+            // Write-through invalidation, mirroring the engine: the cached
+            // key is dropped before the response is scheduled, even for
+            // superseded Puts (one extra miss, never staleness).
+            self.cores[i].cache.remove(key);
             // Pipelined same-key Puts may complete out of order across
             // batches; the newest version wins (exactly the rule recovery
             // and the cleaner apply).

@@ -119,6 +119,9 @@ impl Metrics {
             persistency: pmcheck::RuleCounts::default(),
             ship_batches: 0,
             ship_msgs: 0,
+            pm_value_reads: 0,
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 }
@@ -170,6 +173,17 @@ pub struct Summary {
     /// Replication messages (request + ack per replica per batch) charged
     /// to the shared NIC.
     pub ship_msgs: u64,
+    /// Cold PM media reads issued on the Get path (one per entry fetch,
+    /// plus one per pointer-payload record). Counted with the cache model
+    /// on *or* off, so runs compare like for like.
+    pub pm_value_reads: u64,
+    /// Gets served from the DRAM read cache
+    /// ([`SimConfig::read_cache_entries`] > 0).
+    ///
+    /// [`SimConfig::read_cache_entries`]: crate::SimConfig::read_cache_entries
+    pub cache_hits: u64,
+    /// Gets that probed the enabled cache and fell through to PM.
+    pub cache_misses: u64,
 }
 
 impl Summary {
@@ -190,8 +204,19 @@ impl Summary {
             .row("p99_ns", self.p99_ns)
             .row("p999_ns", self.p999_ns)
             .row("max_ns", self.max_ns);
-        self.device.fill_section(r.section("device"));
+        {
+            let sec = r.section("device");
+            self.device.fill_section(&mut *sec);
+            sec.row("pm_value_reads", self.pm_value_reads);
+        }
         self.persistency.fill_section(r.section("pmcheck"));
+        if self.cache_hits + self.cache_misses > 0 {
+            let probes = (self.cache_hits + self.cache_misses) as f64;
+            r.section("read_cache")
+                .row("hits", self.cache_hits)
+                .row("misses", self.cache_misses)
+                .row("hit_rate", self.cache_hits as f64 / probes);
+        }
         if self.ship_batches > 0 {
             r.section("replication")
                 .row("ship_batches", self.ship_batches)

@@ -30,6 +30,9 @@ pub struct CpuParams {
     pub pm_read_cached_ns: f64,
     /// A cold PM load (reading a value record on the Get path).
     pub pm_read_cold_ns: f64,
+    /// Serving a Get from the DRAM read cache (hash probe + copy-out);
+    /// replaces the cold PM load(s) on a hit.
+    pub cache_hit_ns: f64,
     /// Preparing and posting the response (incl. agent-core delegation).
     pub respond_ns: f64,
     /// The cleaner's per-relocation index CAS.
@@ -50,6 +53,7 @@ impl Default for CpuParams {
             store_ns_per_byte: 0.05,
             pm_read_cached_ns: 25.0,
             pm_read_cold_ns: 170.0,
+            cache_hit_ns: 30.0,
             respond_ns: 150.0,
             gc_cas_ns: 120.0,
         }
@@ -224,6 +228,11 @@ pub struct SimConfig {
     pub repl_persist_ns: f64,
     /// Design-choice ablations (benchmarks only).
     pub ablate: Ablation,
+    /// Per-core DRAM read-cache capacity in *entries* (the engine's
+    /// `read_cache_bytes`, divided by core count and mean entry cost);
+    /// 0 disables the cache model and leaves every Get charging the full
+    /// cold PM read — bit-identical to the pre-cache simulation.
+    pub read_cache_entries: usize,
     /// RNG seed.
     pub seed: u64,
     /// Throughput-timeline window (ns); 0 disables the timeline.
@@ -264,6 +273,7 @@ impl Default for SimConfig {
             replicas: 0,
             repl_persist_ns: 500.0,
             ablate: Ablation::default(),
+            read_cache_entries: 0,
             seed: 42,
             window_ns: 0.0,
             trace_events: 0,

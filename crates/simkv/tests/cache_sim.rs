@@ -1,0 +1,164 @@
+//! DES read-cache model: the regression the cache PR is judged on. Under
+//! a zipf θ=0.99 read-heavy load the cache-enabled run must issue at most
+//! half the cold PM value reads of the cache-disabled run, and disabling
+//! the cache must leave the simulation exactly as it was before the cache
+//! existed.
+
+use simkv::{Engine, ExecModel, SimConfig, SimIndex, WorkloadSpec};
+use workloads::KeyDist;
+
+fn read_heavy(theta: f64, read_cache_entries: usize) -> SimConfig {
+    SimConfig {
+        engine: Engine::FlatStore {
+            model: ExecModel::PipelinedHb,
+            index: SimIndex::Hash,
+        },
+        ncores: 8,
+        group_size: 4,
+        clients: 64,
+        client_batch: 8,
+        keyspace: 30_000,
+        pool_chunks: 128,
+        ops: 30_000,
+        warmup: 3_000,
+        workload: WorkloadSpec::Ycsb {
+            dist: if theta > 0.0 {
+                KeyDist::Zipfian { theta }
+            } else {
+                KeyDist::Uniform
+            },
+            value_len: 64,
+            put_ratio: 0.05,
+        },
+        read_cache_entries,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn zipf_hot_reads_halve_pm_value_reads() {
+    // The ISSUE's acceptance bar: at zipf θ=0.99 the cache-enabled run's
+    // cold PM value reads are ≤ 50% of the cache-disabled run's.
+    let off = simkv::run(&read_heavy(0.99, 0));
+    let on = simkv::run(&read_heavy(0.99, 2048));
+    assert_eq!(off.cache_hits, 0, "disabled cache must never hit");
+    assert_eq!(off.cache_misses, 0, "disabled cache must never probe");
+    assert!(off.pm_value_reads > 0, "baseline must read PM values");
+    assert!(
+        on.pm_value_reads * 2 <= off.pm_value_reads,
+        "cache-enabled PM value reads {} must be <= 50% of disabled {}",
+        on.pm_value_reads,
+        off.pm_value_reads
+    );
+    let probes = on.cache_hits + on.cache_misses;
+    assert!(probes > 0);
+    let hit_rate = on.cache_hits as f64 / probes as f64;
+    assert!(
+        hit_rate > 0.5,
+        "zipf 0.99 hit rate {hit_rate} should exceed 50%"
+    );
+}
+
+#[test]
+fn cache_never_slows_the_skewed_read_path() {
+    // A hit replaces ≥ 1 cold PM read (170 ns default) with a 30 ns DRAM
+    // probe; mean latency must not regress.
+    let off = simkv::run(&read_heavy(0.99, 0));
+    let on = simkv::run(&read_heavy(0.99, 2048));
+    assert!(
+        on.avg_latency_ns <= off.avg_latency_ns,
+        "cache-on mean latency {} must not exceed cache-off {}",
+        on.avg_latency_ns,
+        off.avg_latency_ns
+    );
+    assert!(
+        on.mops >= off.mops * 0.98,
+        "cache-on throughput {} must not regress vs {}",
+        on.mops,
+        off.mops
+    );
+}
+
+#[test]
+fn uniform_reads_gain_little_but_stay_correct() {
+    // Uniform keys defeat a small cache: hit rate stays low, yet every
+    // request still completes and accounting stays consistent.
+    let s = simkv::run(&read_heavy(0.0, 256));
+    assert!(s.ops >= 30_000);
+    let probes = s.cache_hits + s.cache_misses;
+    assert!(probes > 0);
+    let hit_rate = s.cache_hits as f64 / probes as f64;
+    assert!(
+        hit_rate < 0.5,
+        "uniform hit rate {hit_rate} should stay low"
+    );
+    assert!(s.pm_value_reads > 0);
+}
+
+#[test]
+fn disabled_cache_runs_are_bit_identical() {
+    // `read_cache_entries: 0` must leave the simulation untouched: two
+    // runs agree exactly, and the report carries no read_cache section.
+    let a = simkv::run(&read_heavy(0.99, 0));
+    let b = simkv::run(&read_heavy(0.99, 0));
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(a.pm_value_reads, b.pm_value_reads);
+    assert!((a.mops - b.mops).abs() < f64::EPSILON * a.mops.abs());
+    assert!((a.avg_latency_ns - b.avg_latency_ns).abs() < 1e-9);
+    let r = a.report("off");
+    assert!(r.get("read_cache", "hits").is_none());
+    assert_eq!(
+        r.get("device", "pm_value_reads"),
+        Some(&obs::Value::U64(a.pm_value_reads))
+    );
+}
+
+#[test]
+fn report_quotes_cache_counters() {
+    let s = simkv::run(&read_heavy(0.99, 2048));
+    let r = s.report("on");
+    assert_eq!(
+        r.get("read_cache", "hits"),
+        Some(&obs::Value::U64(s.cache_hits))
+    );
+    assert_eq!(
+        r.get("read_cache", "misses"),
+        Some(&obs::Value::U64(s.cache_misses))
+    );
+    let expect = s.cache_hits as f64 / (s.cache_hits + s.cache_misses) as f64;
+    assert_eq!(
+        r.get("read_cache", "hit_rate"),
+        Some(&obs::Value::F64(expect))
+    );
+}
+
+#[test]
+fn write_heavy_skew_keeps_invalidation_coherent() {
+    // Half the ops are Puts to the same hot keys: every applied Put drops
+    // the key from the owning core's cache, so hits can only re-arm after
+    // a fresh miss. The run must complete and hit at a lower rate than the
+    // read-heavy case.
+    let mut cfg = read_heavy(0.99, 2048);
+    cfg.workload = WorkloadSpec::Ycsb {
+        dist: KeyDist::Zipfian { theta: 0.99 },
+        value_len: 64,
+        put_ratio: 0.5,
+    };
+    let s = simkv::run(&cfg);
+    assert!(s.ops >= 30_000);
+    let read_heavy_run = simkv::run(&read_heavy(0.99, 2048));
+    let rate = |x: &simkv::Summary| {
+        let p = x.cache_hits + x.cache_misses;
+        if p == 0 {
+            0.0
+        } else {
+            x.cache_hits as f64 / p as f64
+        }
+    };
+    assert!(
+        rate(&s) < rate(&read_heavy_run),
+        "write-heavy hit rate {} should trail read-heavy {}",
+        rate(&s),
+        rate(&read_heavy_run)
+    );
+}

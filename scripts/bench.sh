@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# BENCH trajectory runner — regenerates BENCH_5.json at the pinned
+# full scale (200k keys / 120k ops / 36 cores / 288 clients, the same
+# defaults every figure harness uses). The DES is deterministic, so the
+# committed file reproduces bit-for-bit on any machine.
+#
+#   scripts/bench.sh              # full scale, writes BENCH_5.json
+#   FLATBENCH_QUICK=1 scripts/bench.sh   # CI smoke: small scale, tmp output
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick="${FLATBENCH_QUICK:-0}"
+if [ "$quick" != "0" ]; then
+    # Smoke mode: exercise the harness end-to-end but do not clobber the
+    # committed full-scale trajectory.
+    out="${FLATBENCH_OUT:-$(mktemp -d)/BENCH_5.json}"
+else
+    out="${FLATBENCH_OUT:-$PWD/BENCH_5.json}"
+fi
+
+FLATBENCH_OUT="$out" cargo bench -p flatstore-bench --bench trajectory --offline
+
+test -s "$out"
+echo "bench trajectory at $out"

@@ -43,4 +43,7 @@ test -s "$tmpdir/trace.json"
 echo "== smoke-scale figures =="
 FLATBENCH_QUICK=1 cargo bench --workspace --offline
 
+echo "== BENCH trajectory smoke (read-cache harness) =="
+FLATBENCH_QUICK=1 scripts/bench.sh
+
 echo "All checks passed."
