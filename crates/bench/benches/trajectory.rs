@@ -1,25 +1,39 @@
-//! BENCH trajectory — the hot-read DRAM cache across key skew.
+//! BENCH trajectory — causal-tracing overhead and stage breakdown.
 //!
-//! Runs the read-heavy YCSB point (Put:Get = 5:95, 64 B values) at
-//! zipf θ ∈ {uniform, 0.9, 0.99} with the read-cache model off and on,
-//! and emits a machine-readable `BENCH_5.json` (path from
-//! `FLATBENCH_OUT`, default `BENCH_5.json` in the working directory)
-//! recording ns/op, tail latency, cold PM value reads, PM media writes
-//! and cache hit rates. `scripts/bench.sh` pins the scale and commits
-//! the result; `FLATBENCH_QUICK=1` shrinks it to a CI smoke run.
+//! Runs the replicated read-heavy YCSB point (Put:Get = 5:95, 64 B
+//! values, one backup, engine-default read cache) at zipf θ ∈ {uniform,
+//! 0.9, 0.99}, once with `trace_sample = 0` (the untraced baseline) and
+//! once with `trace_sample = 32`, and emits a machine-readable
+//! `BENCH_6.json` (path from `FLATBENCH_OUT`, default `BENCH_6.json` in
+//! the working directory). Each point pairs the two runs and records the
+//! throughput delta plus the traced run's stage-latency breakdown
+//! (end-to-end, leader persist, replication ack wait, and the
+//! batch-amortized persist cost).
+//!
+//! Span stamps only *observe* the virtual clock — they never charge it —
+//! so the committed file doubles as the zero-overhead proof: the traced
+//! column is bit-identical to the untraced baseline, comfortably inside
+//! the ≤ 2 % budget the engine promises for `trace_sample = 0`.
+//! `scripts/bench.sh` pins the scale and commits the result;
+//! `FLATBENCH_QUICK=1` shrinks it to a CI smoke run.
 
 use flatstore_bench::{print_header, print_row, run, Scale};
+use obs::Stage;
 use simkv::{Engine, ExecModel, SimConfig, SimIndex, Summary, WorkloadSpec};
 use workloads::KeyDist;
 
-/// One measured point of the trajectory.
+/// Sampling rate for the traced run: 1-in-32, the rate DESIGN.md
+/// recommends for always-on production tracing.
+const TRACE_SAMPLE: u64 = 32;
+
+/// One measured point: the same workload with tracing off and on.
 struct Point {
     theta: f64,
-    entries: usize,
-    s: Summary,
+    off: Summary,
+    on: Summary,
 }
 
-fn config(scale: &Scale, theta: f64, entries: usize) -> SimConfig {
+fn config(scale: &Scale, theta: f64, entries: usize, trace_sample: u64) -> SimConfig {
     let mut cfg = scale.config();
     cfg.engine = Engine::FlatStore {
         model: ExecModel::PipelinedHb,
@@ -36,40 +50,67 @@ fn config(scale: &Scale, theta: f64, entries: usize) -> SimConfig {
         put_ratio: 0.05,
     };
     cfg.read_cache_entries = entries;
+    // One backup so traced puts pass through the full causal chain
+    // (repl_ship / repl_ack_wait show up in the breakdown).
+    cfg.replicas = 1;
+    cfg.trace_sample = trace_sample;
     cfg
 }
 
-fn hit_rate(s: &Summary) -> f64 {
-    let probes = s.cache_hits + s.cache_misses;
-    if probes == 0 {
-        0.0
+fn ns_per_op(s: &Summary) -> f64 {
+    if s.mops > 0.0 {
+        1e3 / s.mops
     } else {
-        s.cache_hits as f64 / probes as f64
+        0.0
     }
 }
 
+/// Throughput overhead of tracing relative to the untraced baseline, in
+/// percent (positive = traced run is slower).
+fn overhead_pct(p: &Point) -> f64 {
+    if p.off.mops > 0.0 {
+        (p.off.mops - p.on.mops) / p.off.mops * 100.0
+    } else {
+        0.0
+    }
+}
+
+fn stage_p50(s: &Summary, stage: Stage) -> u64 {
+    s.breakdown
+        .as_ref()
+        .map_or(0, |b| b.stage_snapshot(stage).p50())
+}
+
 fn json_point(p: &Point) -> String {
-    let ns_per_op = if p.s.mops > 0.0 { 1e3 / p.s.mops } else { 0.0 };
+    let b = p.on.breakdown.as_ref();
     format!(
         concat!(
-            "    {{\"theta\": {}, \"cache_entries_per_core\": {}, ",
-            "\"mops\": {:.4}, \"ns_per_op\": {:.2}, \"avg_ns\": {:.1}, ",
-            "\"p50_ns\": {:.1}, \"p99_ns\": {:.1}, ",
-            "\"pm_value_reads\": {}, \"pm_media_writes\": {}, ",
-            "\"cache_hits\": {}, \"cache_misses\": {}, \"hit_rate\": {:.4}}}"
+            "    {{\"theta\": {}, \"trace_sample\": {}, ",
+            "\"mops_untraced\": {:.4}, \"mops_traced\": {:.4}, ",
+            "\"trace_overhead_pct\": {:.4}, ",
+            "\"ns_per_op_untraced\": {:.2}, \"ns_per_op_traced\": {:.2}, ",
+            "\"p99_ns_untraced\": {:.1}, \"p99_ns_traced\": {:.1}, ",
+            "\"pm_media_writes_untraced\": {}, \"pm_media_writes_traced\": {}, ",
+            "\"spans\": {}, \"end_to_end_p50_ns\": {}, ",
+            "\"leader_persist_p50_ns\": {}, \"repl_ack_wait_p50_ns\": {}, ",
+            "\"persist_per_entry_p50_ns\": {}}}"
         ),
         p.theta,
-        p.entries,
-        p.s.mops,
-        ns_per_op,
-        p.s.avg_latency_ns,
-        p.s.p50_ns,
-        p.s.p99_ns,
-        p.s.pm_value_reads,
-        p.s.device.media_writes,
-        p.s.cache_hits,
-        p.s.cache_misses,
-        hit_rate(&p.s),
+        TRACE_SAMPLE,
+        p.off.mops,
+        p.on.mops,
+        overhead_pct(p),
+        ns_per_op(&p.off),
+        ns_per_op(&p.on),
+        p.off.p99_ns,
+        p.on.p99_ns,
+        p.off.device.media_writes,
+        p.on.device.media_writes,
+        b.map_or(0, |b| b.spans()),
+        b.map_or(0, |b| b.end_to_end_snapshot().p50()),
+        stage_p50(&p.on, Stage::LeaderPersist),
+        stage_p50(&p.on, Stage::ReplAckWait),
+        b.map_or(0, |b| b.persist_per_entry_snapshot().p50()),
     )
 }
 
@@ -81,61 +122,56 @@ fn main() {
     let entries = ((8usize << 20) / scale.ncores / 128).max(1);
     let thetas = [0.0, 0.9, 0.99];
 
-    let mut points: Vec<Point> = Vec::new();
-    for theta in thetas {
-        for e in [0, entries] {
-            let s = run(&config(&scale, theta, e));
-            points.push(Point {
-                theta,
-                entries: e,
-                s,
-            });
-        }
-    }
+    let points: Vec<Point> = thetas
+        .iter()
+        .map(|&theta| Point {
+            theta,
+            off: run(&config(&scale, theta, entries, 0)),
+            on: run(&config(&scale, theta, entries, TRACE_SAMPLE)),
+        })
+        .collect();
 
-    println!("== BENCH trajectory: hot-read cache, Put:Get 5:95, 64 B ==");
+    println!("== BENCH trajectory: tracing overhead, Put:Get 5:95, 64 B, 1 backup ==");
     print_header(
         "zipf theta",
-        &["off ns/op", "on ns/op", "off p99", "on p99", "hit rate"],
+        &["off ns/op", "on ns/op", "ovhd %", "e2e p50", "persist p50"],
     );
-    for pair in points.chunks(2) {
-        let (off, on) = (&pair[0], &pair[1]);
+    for p in &points {
         print_row(
-            &format!("{:.2}", off.theta),
+            &format!("{:.2}", p.theta),
             &[
-                ("", 1e3 / off.s.mops),
-                ("", 1e3 / on.s.mops),
-                ("", off.s.p99_ns),
-                ("", on.s.p99_ns),
-                ("", hit_rate(&on.s) * 100.0),
+                ("", ns_per_op(&p.off)),
+                ("", ns_per_op(&p.on)),
+                ("", overhead_pct(p)),
+                (
+                    "",
+                    p.on.breakdown
+                        .as_ref()
+                        .map_or(0, |b| b.end_to_end_snapshot().p50()) as f64,
+                ),
+                ("", stage_p50(&p.on, Stage::LeaderPersist) as f64),
             ],
         );
     }
     println!();
-    for pair in points.chunks(2) {
-        let (off, on) = (&pair[0], &pair[1]);
-        let reduction = if off.s.pm_value_reads == 0 {
-            0.0
-        } else {
-            1.0 - on.s.pm_value_reads as f64 / off.s.pm_value_reads as f64
-        };
+    for p in &points {
         println!(
-            "theta {:.2}: PM value reads {} -> {} ({:.1}% fewer)",
-            off.theta,
-            off.s.pm_value_reads,
-            on.s.pm_value_reads,
-            reduction * 100.0
+            "theta {:.2}: {} spans sampled (1-in-{TRACE_SAMPLE}), overhead {:+.4}%",
+            p.theta,
+            p.on.breakdown.as_ref().map_or(0, |b| b.spans()),
+            overhead_pct(p),
         );
     }
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": \"hot_read_cache_trajectory\",\n");
+    json.push_str("  \"bench\": \"tracing_overhead_trajectory\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!(
         concat!(
             "  \"scale\": {{\"keyspace\": {}, \"ops\": {}, \"warmup\": {}, ",
-            "\"ncores\": {}, \"clients\": {}, \"cache_entries_per_core\": {}}},\n"
+            "\"ncores\": {}, \"clients\": {}, \"cache_entries_per_core\": {}, ",
+            "\"replicas\": 1}},\n"
         ),
         scale.keyspace, scale.ops, scale.warmup, scale.ncores, scale.clients, entries
     ));
@@ -145,7 +181,7 @@ fn main() {
     json.push_str(&rows.join(",\n"));
     json.push_str("\n  ]\n}\n");
 
-    let out = std::env::var("FLATBENCH_OUT").unwrap_or_else(|_| "BENCH_5.json".into());
-    std::fs::write(&out, &json).expect("write BENCH_5.json");
+    let out = std::env::var("FLATBENCH_OUT").unwrap_or_else(|_| "BENCH_6.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_6.json");
     println!("\nwrote {out}");
 }

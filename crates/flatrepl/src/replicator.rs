@@ -1,9 +1,10 @@
 //! The primary's side of log shipping: the [`flatstore::ReplicationSink`]
 //! implementation and its observability.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use flatrpc::{ClientPort, Envelope};
+use flatrpc::{clock, ClientPort, Envelope};
 use flatstore::{ReplOp, ReplicationSink};
 use obs::{Counter, LogHistogram};
 use pmem::PmAddr;
@@ -50,6 +51,13 @@ pub struct ReplStats {
     /// Shipped-but-unacked batches outstanding at each ship (replication
     /// lag in batches; bounded by the ring capacity).
     pub ship_lag: LogHistogram,
+    /// Ship-to-ack round trip per batch, in nanoseconds: from the moment
+    /// the batch envelope is enqueued to the moment its ack is drained.
+    /// Observed lazily — acks are only drained when someone ships or
+    /// polls the watermark — so it upper-bounds the backup's true apply
+    /// latency (the causal-tracing `repl_ack_wait` stage measures what a
+    /// *client* actually waited, which can be shorter).
+    pub ack_latency: LogHistogram,
 }
 
 impl ReplStats {
@@ -70,6 +78,7 @@ impl ReplStats {
             sec.row("ship_lag_p50", s.p50())
                 .row("ship_lag_p99", s.p99());
         }
+        sec.latency_rows("ack_latency", &self.ack_latency.snapshot());
     }
 }
 
@@ -81,16 +90,34 @@ struct CoreChannel {
     port: parking_lot::Mutex<ClientPort<Envelope<ShipBatch>, Envelope<ShipAck>>>,
     shipped: AtomicU64,
     acked: AtomicU64,
+    /// Ship timestamps of unacked batches, oldest first: `(seq, ship_ns)`.
+    /// Guarded by its own lock so the watermark poller (which may only
+    /// `try_lock` the port) can still retire entries it drained.
+    in_flight: parking_lot::Mutex<VecDeque<(u64, u64)>>,
 }
 
 impl CoreChannel {
     /// Drains pending acks from this channel's response ring into the
     /// watermark. Caller holds (or just acquired) the port lock.
-    fn drain_acks(&self, port: &ClientPort<Envelope<ShipBatch>, Envelope<ShipAck>>) {
+    fn drain_acks(
+        &self,
+        port: &ClientPort<Envelope<ShipBatch>, Envelope<ShipAck>>,
+        ack_latency: &LogHistogram,
+    ) {
+        let mut drained = 0u64;
         while let Some(env) = port.try_recv() {
             // Acks arrive in ship order per core; fetch_max tolerates an
             // out-of-order drain race between two observers anyway.
             self.acked.fetch_max(env.body.seq, Ordering::AcqRel);
+            drained = drained.max(env.body.seq);
+        }
+        if drained > 0 {
+            let now = clock::now_ns();
+            let mut q = self.in_flight.lock();
+            while q.front().is_some_and(|&(seq, _)| seq <= drained) {
+                let (_, ship_ns) = q.pop_front().expect("front checked");
+                ack_latency.record(now.saturating_sub(ship_ns));
+            }
         }
     }
 }
@@ -123,6 +150,7 @@ impl Replicator {
                     port: parking_lot::Mutex::new(port),
                     shipped: AtomicU64::new(0),
                     acked: AtomicU64::new(0),
+                    in_flight: parking_lot::Mutex::new(VecDeque::new()),
                 })
                 .collect(),
             stats: ReplStats::default(),
@@ -160,6 +188,7 @@ impl ReplicationSink for Replicator {
                 ops,
             },
         );
+        ch.in_flight.lock().push_back((seq, clock::now_ns()));
         // Pipelined send: enqueue and return; ring-full means the backup is
         // lagging a full ring behind — drain its acks and retry (the
         // fabric's send_backpressure counter records each rejection).
@@ -168,7 +197,7 @@ impl ReplicationSink for Replicator {
                 Ok(()) => break,
                 Err(e) => {
                     env = e;
-                    ch.drain_acks(&port);
+                    ch.drain_acks(&port, &self.stats.ack_latency);
                     std::hint::spin_loop();
                 }
             }
@@ -182,7 +211,7 @@ impl ReplicationSink for Replicator {
         // it drains on our behalf the moment it hits backpressure, and the
         // watermark below is still monotonic.
         if let Some(port) = ch.port.try_lock() {
-            ch.drain_acks(&port);
+            ch.drain_acks(&port, &self.stats.ack_latency);
         }
         ch.acked.load(Ordering::Acquire)
     }

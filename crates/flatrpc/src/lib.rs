@@ -53,8 +53,27 @@ mod ring;
 
 pub use ring::{ring, Consumer, Producer};
 
+use obs::span::{Span, SpanCtx, Stage};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// The fabric's monotonic clock: nanoseconds since a process-wide
+/// epoch, so stamps taken on any thread (client sessions, server cores,
+/// replication appliers) are directly comparable. Span stamping is the
+/// only consumer; the simulator never calls this — it stamps virtual
+/// time straight into [`obs::span`] types.
+pub mod clock {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+    /// Nanoseconds since the first call in this process.
+    pub fn now_ns() -> u64 {
+        let epoch = *EPOCH.get_or_init(Instant::now);
+        Instant::now().duration_since(epoch).as_nanos() as u64
+    }
+}
 
 /// Identifies a client connection.
 pub type ClientId = usize;
@@ -65,18 +84,57 @@ pub type ClientId = usize;
 /// executed the request, and a pipelined client keeps many requests in
 /// flight — so the wire format needs a client-chosen sequence number to
 /// match completions back to submissions. `seq` is opaque to the fabric.
+///
+/// A sampled request additionally carries its causal [`Span`] (`None`
+/// for the unsampled fast path — every stamping helper is one branch on
+/// that option), which the server side moves onto the response envelope
+/// so the client can finalise the stage vector on delivery.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope<T> {
     /// Client-chosen correlation id, echoed back in the response envelope.
     pub seq: u64,
     /// The actual payload.
     pub body: T,
+    /// Causal trace span; `None` for unsampled traffic.
+    pub span: Option<Box<Span>>,
 }
 
 impl<T> Envelope<T> {
-    /// Wraps `body` under sequence number `seq`.
+    /// Wraps `body` under sequence number `seq` (unsampled).
     pub fn new(seq: u64, body: T) -> Self {
-        Envelope { seq, body }
+        Envelope {
+            seq,
+            body,
+            span: None,
+        }
+    }
+
+    /// Wraps `body` under a sampled trace context.
+    pub fn traced(seq: u64, body: T, ctx: SpanCtx) -> Self {
+        Envelope {
+            seq,
+            body,
+            span: Some(Box::new(Span::new(ctx))),
+        }
+    }
+
+    /// Attaches an existing span (server → response hand-off).
+    pub fn with_span(mut self, span: Option<Box<Span>>) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Stamps `stage` at `at_ns` on a sampled envelope; a no-op (one
+    /// branch) otherwise.
+    pub fn stamp(&mut self, stage: Stage, at_ns: u64) {
+        if let Some(span) = &mut self.span {
+            span.stamp(stage, at_ns);
+        }
+    }
+
+    /// Detaches the span, leaving the envelope unsampled.
+    pub fn take_span(&mut self) -> Option<Box<Span>> {
+        self.span.take()
     }
 }
 
@@ -519,6 +577,20 @@ impl<Req, Resp> ServerCore<Req, Resp> {
     }
 }
 
+impl<A, B> ServerCore<Envelope<A>, Envelope<B>> {
+    /// [`ServerCore::poll`] for envelope fabrics: sampled requests get
+    /// their [`Stage::RingTransit`] stamp the moment they leave the
+    /// message buffer, closing the client-send → server-poll interval.
+    /// Unsampled requests cost one branch and no clock read.
+    pub fn poll_stamped(&mut self) -> Option<(ClientId, Envelope<A>)> {
+        let (client, mut env) = self.poll()?;
+        if env.span.is_some() {
+            env.stamp(Stage::RingTransit, clock::now_ns());
+        }
+        Some((client, env))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -591,6 +663,40 @@ mod tests {
         let (from, env) = cores[0].poll().unwrap();
         cores[0].respond(from, Envelope::new(env.seq, env.body + 1));
         assert_eq!(client.recv(), Envelope::new(41, 11));
+    }
+
+    #[test]
+    fn traced_envelope_accumulates_ring_transit() {
+        let fabric = Fabric::<Envelope<u32>, Envelope<u32>>::new(1, 1, 4);
+        let mut cores = fabric.server_cores();
+        let client = fabric.client_port(0);
+        let ctx = SpanCtx {
+            trace_id: 99,
+            op_seq: 5,
+            origin_tsc: clock::now_ns(),
+        };
+        let mut env = Envelope::traced(5, 11u32, ctx);
+        env.stamp(Stage::ClientEnqueue, clock::now_ns());
+        client.send(0, env).unwrap();
+        let (from, mut req) = cores[0].poll_stamped().unwrap();
+        let span = req.take_span().expect("span crosses the ring");
+        assert_eq!(span.ctx, ctx);
+        assert_eq!(
+            span.stamps.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+            vec![Stage::ClientEnqueue, Stage::RingTransit]
+        );
+        // Monotonic stamps on one clock.
+        assert!(span.stamps[0].1 >= ctx.origin_tsc);
+        assert!(span.stamps[1].1 >= span.stamps[0].1);
+        // The response can carry the span back.
+        cores[0].respond(from, Envelope::new(req.seq, req.body).with_span(Some(span)));
+        let resp = client.recv();
+        assert!(resp.span.is_some());
+
+        // Unsampled envelopes stay spanless through the stamped poll.
+        client.send(0, Envelope::new(6, 1u32)).unwrap();
+        let (_, req) = cores[0].poll_stamped().unwrap();
+        assert!(req.span.is_none());
     }
 
     #[test]

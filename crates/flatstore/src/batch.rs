@@ -27,6 +27,14 @@ pub(crate) struct Completion {
     /// by the leader *before* [`fulfil`](Self::fulfil) (whose `Release`
     /// store publishes it) and read by the owner core's ack gate.
     repl: AtomicU64,
+    /// Traced ops only — leader-side stage stamps (ns, 0 = unset),
+    /// written before [`fulfil`](Self::fulfil) like `repl` so the owner
+    /// core reads them race-free after a successful `poll`: when the
+    /// leader collected the posted entry, when the batched append
+    /// returned, and when the replication sink accepted the batch.
+    collected_ns: AtomicU64,
+    persisted_ns: AtomicU64,
+    shipped_ns: AtomicU64,
 }
 
 impl Completion {
@@ -65,12 +73,33 @@ impl Completion {
             v => Some(((v >> 48) as usize, v & ((1 << 48) - 1))),
         }
     }
+
+    /// Leader stamps for a traced op; call before [`fulfil`](Self::fulfil)
+    /// (`shipped_ns` is 0 when the batch was not shipped).
+    pub fn set_stage_stamps(&self, collected_ns: u64, persisted_ns: u64, shipped_ns: u64) {
+        self.collected_ns.store(collected_ns, Ordering::Relaxed);
+        self.persisted_ns.store(persisted_ns, Ordering::Relaxed);
+        self.shipped_ns.store(shipped_ns, Ordering::Relaxed);
+    }
+
+    /// `(collected, persisted, shipped)` stamps (0 = unset), valid after
+    /// [`poll`](Self::poll) returned `Some`.
+    pub fn stage_stamps(&self) -> (u64, u64, u64) {
+        (
+            self.collected_ns.load(Ordering::Relaxed),
+            self.persisted_ns.load(Ordering::Relaxed),
+            self.shipped_ns.load(Ordering::Relaxed),
+        )
+    }
 }
 
 /// A log entry posted to a request pool, awaiting a leader.
 pub(crate) struct Posted {
     pub entry: LogEntry,
     pub completion: Arc<Completion>,
+    /// Whether the posting core carries a span for this op — tells the
+    /// leader to publish stage stamps through the completion.
+    pub traced: bool,
 }
 
 /// One horizontal-batching group: the per-group "global lock" and the
@@ -338,6 +367,12 @@ pub struct EngineStats {
     pub inflight_depth: obs::LogHistogram,
     /// Submit-to-completion latency per pipelined operation (ns).
     pub completion_latency: obs::LogHistogram,
+    /// Per-stage causal latency breakdown of sampled traces
+    /// ([`Config::trace_sample`]), including the end-to-end distribution
+    /// and the batch-amortized persist cost.
+    ///
+    /// [`Config::trace_sample`]: crate::Config::trace_sample
+    pub breakdown: obs::StageSet,
 }
 
 impl EngineStats {
@@ -403,6 +438,9 @@ impl EngineStats {
                     .row("inflight_p99", depth.percentile(99.0))
                     .row("inflight_max", depth.max);
             }
+        }
+        if self.breakdown.spans() > 0 {
+            self.breakdown.fill_section(r.section("latency_breakdown"));
         }
         r.section("maintenance")
             .row("gc_chunks", self.gc_chunks.load(Ordering::Relaxed))

@@ -101,6 +101,11 @@ pub struct Config {
     /// changes what a Get returns, only whether it pays the simulated-PM
     /// media read.
     pub read_cache_bytes: usize,
+    /// Causal-trace sampling rate: 1-in-N operations carry a full stage
+    /// span through the request pipeline (`1` traces every op, `0`
+    /// disables tracing). Unsampled operations pay one branch per stage
+    /// and no clock reads, so `0` restores the pre-tracing fast path.
+    pub trace_sample: u64,
 }
 
 impl Default for Config {
@@ -118,6 +123,7 @@ impl Default for Config {
             channel_batch: 32,
             pipeline_depth: 16,
             read_cache_bytes: 8 << 20,
+            trace_sample: 0,
         }
     }
 }
@@ -280,6 +286,13 @@ impl ConfigBuilder {
         self
     }
 
+    /// Causal-trace sampling: trace 1-in-`v` operations, 0 = off (see
+    /// [`Config::trace_sample`]).
+    pub fn trace_sample(mut self, v: u64) -> Self {
+        self.cfg.trace_sample = v;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -303,11 +316,24 @@ mod tests {
             .group_size(2)
             .pipeline_depth(8)
             .read_cache_bytes(1 << 20)
+            .trace_sample(16)
             .build()
             .unwrap();
         assert_eq!(cfg.ncores, 2);
         assert_eq!(cfg.pipeline_depth, 8);
         assert_eq!(cfg.read_cache_bytes, 1 << 20);
+        assert_eq!(cfg.trace_sample, 16);
+    }
+
+    #[test]
+    fn trace_sampling_defaults_off() {
+        let cfg = Config::builder()
+            .pm_bytes(64 << 20)
+            .ncores(2)
+            .group_size(2)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.trace_sample, 0);
     }
 
     #[test]

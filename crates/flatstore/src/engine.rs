@@ -14,6 +14,7 @@ use crate::batch::{CkptGuard, DeletedTable, EngineStats, Group, Quarantine, Usag
 use crate::cache::ReadCache;
 use crate::config::Config;
 use crate::error::StoreError;
+use crate::flight::FlightRegistry;
 use crate::repl::ReplicationSink;
 use crate::request::{OpResult, StoreFabric};
 use crate::session::{EngineShared, Session};
@@ -709,12 +710,29 @@ impl FlatStore {
         let mut cores = fabric.server_cores();
         let control_port = fabric.client_port(0);
         let exited = Arc::new(AtomicUsize::new(0));
+        let flight = FlightRegistry::new(ncores);
+        {
+            // The crash dump's stats_report closure captures only Arc'd
+            // state (never the engine or EngineShared — that would cycle
+            // through the registry), so the panic hook can render the full
+            // report from any thread.
+            let stats = Arc::clone(&stats);
+            let fabric = Arc::clone(&fabric);
+            let cache = cache.clone();
+            let pm = Arc::clone(&pm);
+            let mgr = Arc::clone(&mgr);
+            flight.set_stats_source(move || {
+                Self::render_report(&stats, &fabric, cache.as_ref(), &pm, &mgr).to_json()
+            });
+        }
 
         let shared = Arc::new(EngineShared {
             fabric,
             ncores,
             depth: cfg.pipeline_depth,
             stats: Arc::clone(&stats),
+            trace_sample: cfg.trace_sample,
+            flight: Arc::clone(&flight),
             stop: AtomicBool::new(false),
         });
 
@@ -744,6 +762,7 @@ impl FlatStore {
                 Arc::clone(&exited),
                 repl.clone(),
                 cache.clone(),
+                Arc::clone(&flight),
             );
             workers.push(
                 std::thread::Builder::new()
@@ -845,11 +864,30 @@ impl FlatStore {
     /// `Display`, [`obs::StatsReport::to_json`] or
     /// [`obs::StatsReport::to_jsonl`].
     pub fn stats_report(&self) -> obs::StatsReport {
+        Self::render_report(
+            &self.stats,
+            &self.shared.fabric,
+            self.cache.as_ref(),
+            &self.pm,
+            &self.mgr,
+        )
+    }
+
+    /// Builds the full report from `Arc`'d engine state only, so the
+    /// flight recorder's panic hook can render the same document
+    /// [`stats_report`](Self::stats_report) produces.
+    fn render_report(
+        stats: &EngineStats,
+        fabric: &StoreFabric,
+        cache: Option<&Arc<ReadCache>>,
+        pm: &PmRegion,
+        mgr: &ChunkManager,
+    ) -> obs::StatsReport {
         let mut r = obs::StatsReport::new("flatstore");
-        self.stats.fill_report(&mut r);
+        stats.fill_report(&mut r);
         {
             use std::sync::atomic::Ordering::Relaxed;
-            let fs = self.shared.fabric.stats();
+            let fs = fabric.stats();
             r.section("fabric")
                 .row("requests", fs.requests.load(Relaxed))
                 .row("direct_responses", fs.direct_responses.load(Relaxed))
@@ -858,13 +896,39 @@ impl FlatStore {
                 .row("send_backpressure", fs.send_backpressure.load(Relaxed))
                 .row("peak_ring_occupancy", fs.peak_ring_occupancy.load(Relaxed));
         }
-        if let Some(cache) = &self.cache {
+        if let Some(cache) = cache {
             cache.fill_report(&mut r);
         }
         let sec = r.section("pm");
-        self.pm.stats().snapshot().fill_section(sec);
-        sec.row("free_chunks", self.mgr.free_chunks());
+        pm.stats().snapshot().fill_section(sec);
+        sec.row("free_chunks", mgr.free_chunks());
         r
+    }
+
+    /// Renders the engine-side trace accumulated in the flight rings —
+    /// one lane per server core, with `batch_persist` spans linking HB
+    /// batches to their member ops via the `ship_seq`/`entries` args —
+    /// plus the given client-side spans (from [`Session::drain_spans`]),
+    /// as a Chrome trace-event JSON document loadable in
+    /// `chrome://tracing` or Perfetto. Client spans render on their
+    /// owning core's lane; spans that never reached a shard land on the
+    /// extra `client` lane.
+    pub fn chrome_trace(&self, client_spans: &[obs::Span]) -> String {
+        let mut events = self.shared.flight.chrome_events();
+        let client_lane = self.cfg.ncores as u32;
+        for s in client_spans {
+            let tid = if s.core == u32::MAX {
+                client_lane
+            } else {
+                s.core
+            };
+            events.extend(s.chrome_events(tid));
+        }
+        let mut names: Vec<(u32, String)> = (0..self.cfg.ncores)
+            .map(|c| (c as u32, format!("core-{c}")))
+            .collect();
+        names.push((client_lane, "client".to_string()));
+        obs::chrome_trace("flatstore", names, &events)
     }
 
     /// Number of live keys.

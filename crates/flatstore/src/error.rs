@@ -49,21 +49,30 @@ pub enum StoreError {
 
 impl StoreError {
     /// A corruption error with no underlying cause.
+    ///
+    /// Constructing one is treated as a crash: every live flight-recorder
+    /// registry dumps to `FLATSTORE_CRASH_DIR` (when set) so the last
+    /// operations before the corruption are preserved.
     pub fn corrupt(detail: impl Into<String>) -> StoreError {
+        let detail = detail.into();
+        crate::flight::dump_all(&format!("corrupt: {detail}"));
         StoreError::Corrupt {
-            detail: detail.into(),
+            detail,
             source: None,
         }
     }
 
     /// A corruption error caused by a lower-layer error (kept as the
-    /// [`std::error::Error::source`] chain).
+    /// [`std::error::Error::source`] chain). Dumps the flight recorder
+    /// like [`corrupt`](Self::corrupt).
     pub fn corrupt_with(
         detail: impl Into<String>,
         source: impl Error + Send + Sync + 'static,
     ) -> StoreError {
+        let detail = detail.into();
+        crate::flight::dump_all(&format!("corrupt: {detail}"));
         StoreError::Corrupt {
-            detail: detail.into(),
+            detail,
             source: Some(Arc::new(source)),
         }
     }

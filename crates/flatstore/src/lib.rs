@@ -82,6 +82,7 @@ mod cache;
 mod config;
 mod engine;
 mod error;
+mod flight;
 mod repl;
 mod request;
 mod session;

@@ -14,10 +14,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use flatrpc::Envelope;
+use flatrpc::{clock, Envelope};
+use obs::{Sampler, Span, SpanCtx, Stage};
 
 use crate::batch::EngineStats;
 use crate::error::StoreError;
+use crate::flight::FlightRegistry;
 use crate::request::{OpReq, OpResult, StoreClientPort, StoreFabric};
 use crate::shard::core_of;
 
@@ -30,6 +32,13 @@ pub(crate) struct EngineShared {
     /// [`Config::pipeline_depth`]: crate::Config::pipeline_depth
     pub depth: usize,
     pub stats: Arc<EngineStats>,
+    /// Causal-trace sampling rate each session seeds its [`Sampler`]
+    /// with ([`Config::trace_sample`]).
+    ///
+    /// [`Config::trace_sample`]: crate::Config::trace_sample
+    pub trace_sample: u64,
+    /// Per-core flight recorder rings (always on; dumped on panic).
+    pub flight: Arc<FlightRegistry>,
     /// Set once the workers have exited; sessions then fail fast instead
     /// of spinning on rings nobody drains.
     pub stop: AtomicBool,
@@ -147,6 +156,11 @@ pub struct Session {
     pending_control: HashSet<u64>,
     /// Completed but unharvested results.
     ready: VecDeque<(Ticket, OpResult)>,
+    /// Decides which submissions carry a causal span.
+    sampler: Sampler,
+    /// Completed spans awaiting [`drain_spans`](Session::drain_spans);
+    /// bounded to [`SPAN_KEEP`](Session::SPAN_KEEP), oldest dropped.
+    spans: VecDeque<Span>,
 }
 
 impl std::fmt::Debug for Session {
@@ -166,6 +180,7 @@ impl Session {
     }
 
     pub(crate) fn with_port(shared: Arc<EngineShared>, port: StoreClientPort) -> Session {
+        let sampler = Sampler::new(shared.trace_sample);
         Session {
             shared,
             port,
@@ -173,8 +188,14 @@ impl Session {
             inflight: HashMap::new(),
             pending_control: HashSet::new(),
             ready: VecDeque::new(),
+            sampler,
+            spans: VecDeque::new(),
         }
     }
+
+    /// Most completed spans kept for [`drain_spans`](Session::drain_spans)
+    /// before the oldest are discarded.
+    const SPAN_KEEP: usize = 4096;
 
     /// Operations submitted but not yet harvested as completions.
     pub fn in_flight(&self) -> usize {
@@ -194,14 +215,23 @@ impl Session {
     /// anything arrived.
     fn absorb(&mut self) -> bool {
         let mut progressed = false;
-        while let Some(resp) = self.port.try_recv() {
+        while let Some(mut resp) = self.port.try_recv() {
             progressed = true;
+            let span = resp.take_span();
             if self.pending_control.remove(&resp.seq) {
                 continue;
             }
             if let Some(submitted) = self.inflight.remove(&resp.seq) {
                 let ns = u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 self.shared.stats.completion_latency.record(ns);
+                if let Some(mut span) = span {
+                    span.stamp(Stage::Delivery, clock::now_ns());
+                    self.shared.stats.breakdown.record_span(&span);
+                    if self.spans.len() >= Self::SPAN_KEEP {
+                        self.spans.pop_front();
+                    }
+                    self.spans.push_back(*span);
+                }
                 self.ready.push_back((Ticket(resp.seq), resp.body));
             }
         }
@@ -231,6 +261,12 @@ impl Session {
             if self.stopped() {
                 return Err(StoreError::ShuttingDown);
             }
+            if env.span.is_some() {
+                // Re-stamped on every retry (same-stage stamps replace), so
+                // the span records when the envelope actually entered the
+                // ring, not the first refused attempt.
+                env.stamp(Stage::ClientEnqueue, clock::now_ns());
+            }
             match self.port.send(core, env) {
                 Ok(()) => return Ok(()),
                 Err(back) => env = back,
@@ -251,7 +287,20 @@ impl Session {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.send(core, Envelope::new(seq, body))?;
+        let env = if self.sampler.hit() {
+            Envelope::traced(
+                seq,
+                body,
+                SpanCtx {
+                    trace_id: (self.port.id() as u64).rotate_left(40) ^ seq,
+                    op_seq: seq,
+                    origin_tsc: clock::now_ns(),
+                },
+            )
+        } else {
+            Envelope::new(seq, body)
+        };
+        self.send(core, env)?;
         self.inflight.insert(seq, Instant::now());
         self.shared
             .stats
@@ -319,6 +368,18 @@ impl Session {
     pub fn poll_completions(&mut self) -> Vec<(Ticket, OpResult)> {
         self.absorb();
         self.ready.drain(..).collect()
+    }
+
+    /// Takes the causal spans of completed sampled operations
+    /// ([`Config::trace_sample`]), each an ordered stage vector whose
+    /// deltas sum to its end-to-end latency. At most the most recent 4096
+    /// spans are kept between calls; older ones are dropped silently.
+    /// Feed them to [`obs::chrome_trace`] via [`Span::chrome_events`] for
+    /// a per-core timeline view.
+    ///
+    /// [`Config::trace_sample`]: crate::Config::trace_sample
+    pub fn drain_spans(&mut self) -> Vec<Span> {
+        self.spans.drain(..).collect()
     }
 
     /// Blocks until `ticket` completes and returns its result. Other

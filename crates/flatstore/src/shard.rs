@@ -13,7 +13,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use flatrpc::{ClientId, Envelope};
+use flatrpc::{clock, ClientId, Envelope};
+use obs::{Event, FlightRecord, Span, Stage};
 use oplog::{LogEntry, LogOp, OpLog, Payload, INLINE_MAX};
 use pmalloc::{ChunkManager, CoreAllocator};
 use pmem::{PmAddr, PmRegion};
@@ -24,6 +25,7 @@ use crate::batch::{
 use crate::cache::ReadCache;
 use crate::config::{ExecutionModel, GcConfig};
 use crate::error::StoreError;
+use crate::flight::FlightRegistry;
 use crate::repl::{ReplOp, ReplicationSink};
 use crate::request::{FabReq, OpReq, OpResult, StoreServerCore};
 use crate::value::{pack, read_record, record_size, unpack, write_record};
@@ -59,6 +61,8 @@ struct Inflight {
     op: InflightOp,
     client: ClientId,
     seq: u64,
+    /// Causal span of a sampled op, carried until the response ships.
+    span: Option<Box<Span>>,
 }
 
 impl Inflight {
@@ -100,6 +104,12 @@ pub(crate) struct Shard {
     /// Hot-value read cache; this core only ever touches its own shard
     /// (keyhash routing), and invalidates a key *before* acking its write.
     cache: Option<Arc<ReadCache>>,
+    /// Always-on flight recorder: this core's ring of recent op records.
+    flight: Arc<FlightRegistry>,
+    /// Crash-test knob (`FLATSTORE_CRASH_TEST_KEY`): a Put to this key
+    /// panics the worker mid-operation, exercising the flight-recorder
+    /// dump path. Unset in normal operation.
+    crash_key: Option<u64>,
 
     /// Keys with a Delete in flight (these serialize everything).
     conflicts: HashSet<u64>,
@@ -145,7 +155,11 @@ impl Shard {
         exited: Arc<AtomicUsize>,
         repl: Option<Arc<dyn ReplicationSink>>,
         cache: Option<Arc<ReadCache>>,
+        flight: Arc<FlightRegistry>,
     ) -> Shard {
+        let crash_key = std::env::var("FLATSTORE_CRASH_TEST_KEY")
+            .ok()
+            .and_then(|v| v.parse().ok());
         Shard {
             core,
             ncores,
@@ -168,6 +182,8 @@ impl Shard {
             exited,
             repl,
             cache,
+            flight,
+            crash_key,
             conflicts: HashSet::new(),
             pending_puts: HashMap::new(),
             deferred: VecDeque::new(),
@@ -236,7 +252,54 @@ impl Shard {
     }
 
     fn respond(&mut self, client: ClientId, seq: u64, body: OpResult) {
-        self.server.respond(client, Envelope::new(seq, body));
+        self.respond_span(client, seq, body, None);
+    }
+
+    /// Responds, handing a sampled op's span back on the response
+    /// envelope — the client stamps Delivery when it harvests it.
+    fn respond_span(
+        &mut self,
+        client: ClientId,
+        seq: u64,
+        body: OpResult,
+        span: Option<Box<Span>>,
+    ) {
+        self.server
+            .respond(client, Envelope::new(seq, body).with_span(span));
+    }
+
+    /// Records the finished op in this core's flight ring (always on —
+    /// unsampled ops leave a record with no stamps) and responds.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &mut self,
+        client: ClientId,
+        seq: u64,
+        kind: &'static str,
+        ok: bool,
+        detail: String,
+        span: Option<Box<Span>>,
+        body: OpResult,
+    ) {
+        let (trace_id, origin_ns, stamps) = match &span {
+            Some(s) => (s.ctx.trace_id, s.ctx.origin_tsc, s.stamps.clone()),
+            None => (0, 0, Vec::new()),
+        };
+        self.flight.record(
+            self.core,
+            FlightRecord {
+                trace_id,
+                op_seq: seq,
+                origin_ns,
+                core: self.core as u32,
+                client: client as u64,
+                kind,
+                ok,
+                detail,
+                stamps,
+            },
+        );
+        self.respond_span(client, seq, body, span);
     }
 
     fn drain_rings(&mut self) -> bool {
@@ -247,7 +310,7 @@ impl Shard {
         };
         let mut got = false;
         for _ in 0..budget {
-            match self.server.poll() {
+            match self.server.poll_stamped() {
                 Some((client, env)) => {
                     self.dispatch(client, env);
                     got = true;
@@ -258,7 +321,10 @@ impl Shard {
         got
     }
 
-    fn dispatch(&mut self, client: ClientId, env: FabReq) {
+    fn dispatch(&mut self, client: ClientId, mut env: FabReq) {
+        if env.span.is_some() {
+            env.stamp(Stage::ShardPoll, clock::now_ns());
+        }
         if let Some(key) = env.body.conflict_key() {
             // Deletes serialize against everything; reads and deletes also
             // wait for in-flight Puts. Put-after-Put pipelines through
@@ -280,13 +346,22 @@ impl Shard {
     }
 
     /// Runs one request (conflict checks already passed).
-    fn execute(&mut self, client: ClientId, env: FabReq) {
+    fn execute(&mut self, client: ClientId, mut env: FabReq) {
+        if env.span.is_some() {
+            // KeyGate ends here: for deferred ops the delta is the whole
+            // per-key FIFO wait, for the rest it is ~0.
+            env.stamp(Stage::KeyGate, clock::now_ns());
+        }
         let seq = env.seq;
+        let mut span = env.take_span();
+        if let Some(s) = span.as_deref_mut() {
+            s.core = self.core as u32;
+        }
         match env.body {
-            OpReq::Put { key, value } => self.begin_put(client, seq, key, value),
-            OpReq::Get { key } => self.serve_get(client, seq, key),
-            OpReq::Delete { key } => self.begin_delete(client, seq, key),
-            OpReq::Range { lo, hi, limit } => self.serve_range(client, seq, lo, hi, limit),
+            OpReq::Put { key, value } => self.begin_put(client, seq, key, value, span),
+            OpReq::Get { key } => self.serve_get(client, seq, key, span),
+            OpReq::Delete { key } => self.begin_delete(client, seq, key, span),
+            OpReq::Range { lo, hi, limit } => self.serve_range(client, seq, lo, hi, limit, span),
             OpReq::Barrier => self.barriers.push((client, seq)),
             OpReq::CkptCursor => self.ckpt_cursors.push((client, seq)),
             OpReq::Shutdown => self.draining = true,
@@ -314,13 +389,56 @@ impl Shard {
 
     /// Phase 1 (l-persist): allocate + persist the record if large, build
     /// the compacted log entry, stage it for the group pool.
-    fn begin_put(&mut self, client: ClientId, seq: u64, key: u64, value: Vec<u8>) {
+    fn begin_put(
+        &mut self,
+        client: ClientId,
+        seq: u64,
+        key: u64,
+        value: Vec<u8>,
+        span: Option<Box<Span>>,
+    ) {
+        if self.crash_key == Some(key) {
+            // Crash-test knob: leave the in-flight op's partial stage
+            // vector in the flight ring, then die mid-put the way a
+            // corrupted worker would.
+            self.flight.record(
+                self.core,
+                FlightRecord {
+                    trace_id: span.as_ref().map_or(0, |s| s.ctx.trace_id),
+                    op_seq: seq,
+                    origin_ns: span.as_ref().map_or(0, |s| s.ctx.origin_tsc),
+                    core: self.core as u32,
+                    client: client as u64,
+                    kind: "put",
+                    ok: false,
+                    detail: "crash-test poisoned key".into(),
+                    stamps: span.as_ref().map_or_else(Vec::new, |s| s.stamps.clone()),
+                },
+            );
+            panic!("flatstore crash-test: put to poisoned key {key}");
+        }
         if key == u64::MAX {
-            self.respond(client, seq, OpResult::Put(Err(StoreError::ReservedKey)));
+            self.finish(
+                client,
+                seq,
+                "put",
+                false,
+                "reserved key".into(),
+                span,
+                OpResult::Put(Err(StoreError::ReservedKey)),
+            );
             return;
         }
         if value.is_empty() {
-            self.respond(client, seq, OpResult::Put(Err(StoreError::EmptyValue)));
+            self.finish(
+                client,
+                seq,
+                "put",
+                false,
+                "empty value".into(),
+                span,
+                OpResult::Put(Err(StoreError::EmptyValue)),
+            );
             return;
         }
         let version = match self.pending_puts.get(&key) {
@@ -335,7 +453,16 @@ impl Shard {
             let block = match self.alloc.alloc(record_size(value.len())) {
                 Ok(b) => b,
                 Err(e) => {
-                    self.respond(client, seq, OpResult::Put(Err(e.into())));
+                    let detail = e.to_string();
+                    self.finish(
+                        client,
+                        seq,
+                        "put",
+                        false,
+                        detail,
+                        span,
+                        OpResult::Put(Err(e.into())),
+                    );
                     return;
                 }
             };
@@ -351,19 +478,29 @@ impl Shard {
             Posted {
                 entry,
                 completion: Arc::clone(&completion),
+                traced: span.is_some(),
             },
             Inflight {
                 completion,
                 op: InflightOp::Put { key, version },
                 client,
                 seq,
+                span,
             },
         ));
     }
 
-    fn begin_delete(&mut self, client: ClientId, seq: u64, key: u64) {
+    fn begin_delete(&mut self, client: ClientId, seq: u64, key: u64, span: Option<Box<Span>>) {
         let Some(packed) = self.index.get(self.core, key) else {
-            self.respond(client, seq, OpResult::Delete(Ok(false)));
+            self.finish(
+                client,
+                seq,
+                "delete",
+                true,
+                String::new(),
+                span,
+                OpResult::Delete(Ok(false)),
+            );
             return;
         };
         let (ver, addr) = unpack(packed);
@@ -381,6 +518,7 @@ impl Shard {
             Posted {
                 entry: LogEntry::tombstone(key, version),
                 completion: Arc::clone(&completion),
+                traced: span.is_some(),
             },
             Inflight {
                 completion,
@@ -391,11 +529,12 @@ impl Shard {
                 },
                 client,
                 seq,
+                span,
             },
         ));
     }
 
-    fn serve_get(&mut self, client: ClientId, seq: u64, key: u64) {
+    fn serve_get(&mut self, client: ClientId, seq: u64, key: u64, mut span: Option<Box<Span>>) {
         let start = std::time::Instant::now();
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
         // Dispatch already deferred this Get if the key has an in-flight
@@ -406,11 +545,22 @@ impl Shard {
                 self.stats
                     .get_hit_latency
                     .record(start.elapsed().as_nanos() as u64);
-                self.respond(client, seq, OpResult::Get(Ok(Some(value))));
+                if let Some(s) = span.as_deref_mut() {
+                    s.stamp(Stage::Execute, clock::now_ns());
+                }
+                self.finish(
+                    client,
+                    seq,
+                    "get",
+                    true,
+                    String::new(),
+                    span,
+                    OpResult::Get(Ok(Some(value))),
+                );
                 return;
             }
         }
-        let result = match self.index.get(self.core, key) {
+        let result: Result<Option<Vec<u8>>, StoreError> = match self.index.get(self.core, key) {
             None => Ok(None),
             Some(packed) => {
                 let (_, addr) = unpack(packed);
@@ -428,7 +578,14 @@ impl Shard {
                 .get_miss_latency
                 .record(start.elapsed().as_nanos() as u64);
         }
-        self.respond(client, seq, OpResult::Get(result));
+        if let Some(s) = span.as_deref_mut() {
+            s.stamp(Stage::Execute, clock::now_ns());
+        }
+        let (ok, detail) = match &result {
+            Ok(_) => (true, String::new()),
+            Err(e) => (false, e.to_string()),
+        };
+        self.finish(client, seq, "get", ok, detail, span, OpResult::Get(result));
     }
 
     /// Consumes a decoded entry into its value bytes. Inline payloads are
@@ -447,7 +604,15 @@ impl Shard {
     /// core's cache shard must only be touched by its own worker (see
     /// `cache.rs`). Bypassing is always coherent — the log entry an index
     /// value points at *is* the current value.
-    fn serve_range(&mut self, client: ClientId, seq: u64, lo: u64, hi: u64, limit: usize) {
+    fn serve_range(
+        &mut self,
+        client: ClientId,
+        seq: u64,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+        mut span: Option<Box<Span>>,
+    ) {
         let mut out = Vec::new();
         let r = self.index.range(lo, hi, &mut |k, packed| {
             let (_, addr) = unpack(packed);
@@ -459,7 +624,22 @@ impl Shard {
             }
             out.len() < limit
         });
-        self.respond(client, seq, OpResult::Range(r.map(|()| out)));
+        if let Some(s) = span.as_deref_mut() {
+            s.stamp(Stage::Execute, clock::now_ns());
+        }
+        let (ok, detail) = match &r {
+            Ok(()) => (true, String::new()),
+            Err(e) => (false, e.to_string()),
+        };
+        self.finish(
+            client,
+            seq,
+            "range",
+            ok,
+            detail,
+            span,
+            OpResult::Range(r.map(|()| out)),
+        );
     }
 
     /// Phase-1 close: one fence covers every large record written in this
@@ -543,10 +723,21 @@ impl Shard {
         if posts.is_empty() {
             return;
         }
-        let (entries, completions): (Vec<LogEntry>, Vec<Arc<Completion>>) =
-            posts.into_iter().map(|p| (p.entry, p.completion)).unzip();
+        // Leader-side stage clock: read only when the batch carries at
+        // least one sampled op, so trace_sample = 0 stays clock-free.
+        let any_traced = posts.iter().any(|p| p.traced);
+        let collected_ns = if any_traced { clock::now_ns() } else { 0 };
+        let mut entries = Vec::with_capacity(posts.len());
+        let mut completions = Vec::with_capacity(posts.len());
+        let mut traced = Vec::with_capacity(posts.len());
+        for p in posts {
+            entries.push(p.entry);
+            completions.push(p.completion);
+            traced.push(p.traced);
+        }
         match self.log.append_batch(&entries) {
             Ok(addrs) => {
+                let persisted_ns = if any_traced { clock::now_ns() } else { 0 };
                 self.usage
                     .note_appended(OpLog::chunk_of(addrs[0]), addrs.len() as u32);
                 // Ship the whole batch as ONE replication message, piggy-
@@ -560,11 +751,40 @@ impl Shard {
                         .collect();
                     sink.ship(self.core, ops, self.log.tail())
                 });
-                for (c, a) in completions.iter().zip(&addrs) {
+                let shipped_ns = if any_traced && shipped.is_some() {
+                    clock::now_ns()
+                } else {
+                    0
+                };
+                for ((c, a), is_traced) in completions.iter().zip(&addrs).zip(&traced) {
                     if let Some(seq) = shipped {
                         c.set_repl(self.core, seq);
                     }
+                    if *is_traced {
+                        c.set_stage_stamps(collected_ns, persisted_ns, shipped_ns);
+                    }
                     c.fulfil(*a);
+                }
+                if any_traced {
+                    // Batch-amortization view (persist time ÷ batch size)
+                    // plus one flight-ring span linking the batch to its
+                    // member ops through the ship sequence.
+                    self.stats.breakdown.record_batch(
+                        persisted_ns.saturating_sub(collected_ns),
+                        addrs.len() as u64,
+                    );
+                    self.flight.event(
+                        self.core,
+                        Event::span(
+                            "batch_persist",
+                            "batch",
+                            self.core as u32,
+                            collected_ns,
+                            persisted_ns,
+                        )
+                        .arg("entries", addrs.len() as u64)
+                        .arg("ship_seq", shipped.unwrap_or(0)),
+                    );
                 }
                 self.stats.batches.fetch_add(1, Ordering::Relaxed);
                 self.stats
@@ -653,16 +873,50 @@ impl Shard {
 
     fn complete(&mut self, inf: Inflight, result: Result<PmAddr, ()>) {
         let Inflight {
-            op, client, seq, ..
+            op,
+            client,
+            seq,
+            completion,
+            mut span,
         } = inf;
+        if let Some(s) = span.as_deref_mut() {
+            // Leader-side stamps published through the completion (its
+            // fulfil is the Release the poll above synchronized with).
+            let (collected, persisted, shipped) = completion.stage_stamps();
+            if collected > 0 {
+                s.stamp(Stage::BatchJoin, collected);
+            }
+            if persisted > 0 {
+                s.stamp(Stage::LeaderPersist, persisted);
+            }
+            if shipped > 0 {
+                s.stamp(Stage::ReplShip, shipped);
+                // The ack gate in process_completions released this op
+                // just before calling here; the backup wait ends now.
+                s.stamp(Stage::ReplAckWait, clock::now_ns());
+            }
+        }
         match op {
             InflightOp::Put { key, version } => {
                 self.unpend(key);
                 // Invalidate even on failure or supersession: dropping a
                 // still-valid entry costs one extra miss, never coherence.
                 self.invalidate_cached(key);
+                if self.cache.is_some() {
+                    if let Some(s) = span.as_deref_mut() {
+                        s.stamp(Stage::CacheInvalidate, clock::now_ns());
+                    }
+                }
                 let Ok(addr) = result else {
-                    self.respond(client, seq, OpResult::Put(Err(StoreError::OutOfSpace)));
+                    self.finish(
+                        client,
+                        seq,
+                        "put",
+                        false,
+                        "out of space".into(),
+                        span,
+                        OpResult::Put(Err(StoreError::OutOfSpace)),
+                    );
                     return;
                 };
                 // Pipelined same-key Puts may complete out of order across
@@ -682,7 +936,15 @@ impl Shard {
                         }
                     }
                     self.stats.puts.fetch_add(1, Ordering::Relaxed);
-                    self.respond(client, seq, OpResult::Put(Ok(())));
+                    self.finish(
+                        client,
+                        seq,
+                        "put",
+                        true,
+                        String::new(),
+                        span,
+                        OpResult::Put(Ok(())),
+                    );
                     return;
                 }
                 let packed = pack(version, addr);
@@ -704,10 +966,27 @@ impl Shard {
                             self.usage.note_dead(tomb);
                         }
                         self.stats.puts.fetch_add(1, Ordering::Relaxed);
-                        self.respond(client, seq, OpResult::Put(Ok(())));
+                        self.finish(
+                            client,
+                            seq,
+                            "put",
+                            true,
+                            String::new(),
+                            span,
+                            OpResult::Put(Ok(())),
+                        );
                     }
                     Err(e) => {
-                        self.respond(client, seq, OpResult::Put(Err(e)));
+                        let detail = e.to_string();
+                        self.finish(
+                            client,
+                            seq,
+                            "put",
+                            false,
+                            detail,
+                            span,
+                            OpResult::Put(Err(e)),
+                        );
                     }
                 }
             }
@@ -717,9 +996,22 @@ impl Shard {
                 old_block,
             } => {
                 self.invalidate_cached(key);
+                if self.cache.is_some() {
+                    if let Some(s) = span.as_deref_mut() {
+                        s.stamp(Stage::CacheInvalidate, clock::now_ns());
+                    }
+                }
                 let Ok(addr) = result else {
                     self.conflicts.remove(&key);
-                    self.respond(client, seq, OpResult::Delete(Err(StoreError::OutOfSpace)));
+                    self.finish(
+                        client,
+                        seq,
+                        "delete",
+                        false,
+                        "out of space".into(),
+                        span,
+                        OpResult::Delete(Err(StoreError::OutOfSpace)),
+                    );
                     return;
                 };
                 if let Some(old) = self.index.remove(self.core, key) {
@@ -732,7 +1024,15 @@ impl Shard {
                 self.deleted.insert(self.core, key, version, addr);
                 self.stats.deletes.fetch_add(1, Ordering::Relaxed);
                 self.conflicts.remove(&key);
-                self.respond(client, seq, OpResult::Delete(Ok(true)));
+                self.finish(
+                    client,
+                    seq,
+                    "delete",
+                    true,
+                    String::new(),
+                    span,
+                    OpResult::Delete(Ok(true)),
+                );
             }
         }
     }

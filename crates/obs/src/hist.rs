@@ -56,10 +56,19 @@ impl LogHistogram {
     }
 
     /// Records one sample.
+    ///
+    /// The running sum **saturates** at `u64::MAX` instead of wrapping,
+    /// so a stream of near-`u64::MAX` samples degrades the mean to a
+    /// documented ceiling rather than a silently wrong small number.
     pub fn record(&self, v: u64) {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        let prev = self.sum.fetch_add(v, Ordering::Relaxed);
+        if prev.checked_add(v).is_none() {
+            // The cheap add wrapped; pin the sum at its saturation
+            // sentinel (racy repairs all land on the same value).
+            self.sum.store(u64::MAX, Ordering::Relaxed);
+        }
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -99,6 +108,9 @@ pub struct HistSnapshot {
 }
 
 impl HistSnapshot {
+    /// Arithmetic mean of the recorded samples; `0` when empty. If the
+    /// running sum saturated (see [`LogHistogram::record`]) the mean is
+    /// an underestimate pinned at `u64::MAX / count`.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -108,8 +120,18 @@ impl HistSnapshot {
     }
 
     /// The value at quantile `q` (percent, e.g. `99.9`), linearly
-    /// interpolated inside the owning bucket. Returns 0 for an empty
-    /// histogram; the true max caps the top bucket's interpolation.
+    /// interpolated inside the owning bucket.
+    ///
+    /// Documented sentinels (never panics, in debug builds included):
+    ///
+    /// * empty histogram → `0` for every `q`;
+    /// * single sample → the sample's bucket clamped by the true max,
+    ///   i.e. the exact value for any `q`;
+    /// * top-bucket saturation (samples ≥ 2^62, up to `u64::MAX`) → a
+    ///   value clamped into `[bucket lo, max]`. The interpolation offset
+    ///   is clamped to the bucket width before the add, because a 63-bit
+    ///   width rounds *up* through `f64` and the raw `lo + offset` would
+    ///   overflow `u64` for quantiles near 100.
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -126,8 +148,10 @@ impl HistSnapshot {
             if rank <= cum + n {
                 let (lo, mut hi) = bucket_bounds(idx);
                 hi = hi.min(self.max);
+                let width = hi.saturating_sub(lo);
                 let frac = (rank - cum) as f64 / n as f64;
-                return lo + (frac * (hi - lo) as f64) as u64;
+                let offset = ((frac * width as f64) as u64).min(width);
+                return lo + offset;
             }
             cum += n;
         }
@@ -240,8 +264,72 @@ mod tests {
     fn empty_histogram_reports_zero() {
         let h = LogHistogram::new();
         assert!(h.is_empty());
-        assert_eq!(h.percentile(99.0), 0);
+        // Sentinel: every quantile of an empty histogram is 0.
+        for q in [0.0, 1.0, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(q), 0, "p{q}");
+        }
         assert_eq!(h.snapshot().mean(), 0.0);
+        assert_eq!(h.snapshot().max, 0);
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_quantile() {
+        // Sentinel: with one sample, interpolation collapses to the
+        // sample itself (bucket lo..hi clamped by max == the sample).
+        for v in [0u64, 1, 7, 1 << 40, u64::MAX] {
+            let h = LogHistogram::new();
+            h.record(v);
+            let s = h.snapshot();
+            for q in [0.0, 50.0, 99.9, 100.0] {
+                let got = s.percentile(q);
+                let (lo, _) = bucket_bounds(bucket_index(v));
+                assert!(
+                    got >= lo && got <= v.max(lo),
+                    "single sample {v}, p{q} = {got}"
+                );
+            }
+            assert_eq!(s.percentile(100.0), v);
+        }
+    }
+
+    #[test]
+    fn top_bucket_saturation_never_panics() {
+        // Samples at and above 2^63 all land in the top bucket, whose
+        // 63-bit width rounds up through f64: the unclamped `lo + offset`
+        // would overflow u64 (a debug-build panic). The clamp keeps every
+        // quantile inside [bucket lo, max].
+        let h = LogHistogram::new();
+        for v in [
+            1u64 << 62,
+            1 << 63,
+            (1 << 63) + 12345,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let (lo, _) = bucket_bounds(NUM_BUCKETS - 1);
+        for q in [0.0, 50.0, 95.0, 99.0, 99.9, 100.0] {
+            let got = s.percentile(q);
+            assert!(got >= lo && got <= s.max, "p{q} = {got}");
+        }
+        assert_eq!(s.percentile(100.0), u64::MAX);
+        assert_eq!(s.max, u64::MAX);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(1);
+        let s = h.snapshot();
+        assert_eq!(s.sum, u64::MAX, "sum pins at its saturation sentinel");
+        assert_eq!(s.count, 3);
+        // The mean stays a large finite underestimate, not a tiny
+        // wrapped value.
+        assert!(s.mean() > (u64::MAX / 4) as f64);
     }
 
     #[test]

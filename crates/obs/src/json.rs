@@ -4,7 +4,6 @@
 //! streaming, no `\uXXXX` surrogate-pair pedantry beyond what the
 //! exporters themselves emit.
 
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Escapes `s` into `out` as the *contents* of a JSON string literal.
@@ -46,7 +45,11 @@ pub fn number(v: f64) -> String {
     }
 }
 
-/// A parsed JSON value.
+/// A parsed JSON value. Objects keep their **source key order** (a
+/// `Vec` of pairs, not a map), so a parse → [`Json::dump`] round trip
+/// reproduces a canonically emitted document byte for byte — the
+/// property the `stats_report` schema gate in `scripts/check.sh` rests
+/// on. [`Json::get`] is a linear scan; documents here are small.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
     Null,
@@ -54,7 +57,7 @@ pub enum Json {
     Num(f64),
     Str(String),
     Arr(Vec<Json>),
-    Obj(BTreeMap<String, Json>),
+    Obj(Vec<(String, Json)>),
 }
 
 impl Json {
@@ -76,8 +79,51 @@ impl Json {
 
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
-            Json::Obj(m) => m.get(key),
+            Json::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
+        }
+    }
+
+    /// Re-emits this value as compact canonical JSON: no whitespace,
+    /// object keys in stored order, strings via [`quote`], numbers via
+    /// [`number`]. Emitters in this repository produce exactly this
+    /// form, so `Json::parse(doc).dump() == doc` for any document they
+    /// wrote (integers above 2^53 excepted — `f64` cannot hold them).
+    pub fn dump(&self) -> String {
+        let mut out = String::with_capacity(256);
+        self.dump_into(&mut out);
+        out
+    }
+
+    fn dump_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => out.push_str(&number(*n)),
+            Json::Str(s) => out.push_str(&quote(s)),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.dump_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&quote(k));
+                    out.push(':');
+                    v.dump_into(out);
+                }
+                out.push('}');
+            }
         }
     }
 
@@ -161,11 +207,11 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
-        let mut map = BTreeMap::new();
+        let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Json::Obj(map));
+            return Ok(Json::Obj(pairs));
         }
         loop {
             self.skip_ws();
@@ -174,13 +220,18 @@ impl Parser<'_> {
             self.expect(b':')?;
             self.skip_ws();
             let val = self.value()?;
-            map.insert(key, val);
+            // Last duplicate wins, as in the map-based model.
+            if let Some(slot) = pairs.iter_mut().find(|(k, _)| *k == key) {
+                slot.1 = val;
+            } else {
+                pairs.push((key, val));
+            }
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(Json::Obj(map));
+                    return Ok(Json::Obj(pairs));
                 }
                 other => return Err(format!("expected ',' or '}}', found {other:?}")),
             }
@@ -304,6 +355,17 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("{} extra").is_err());
         assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn dump_round_trips_canonical_documents() {
+        // Key order is preserved (NOT sorted): "z" stays before "a".
+        let doc = r#"{"z":1,"a":{"nested":[true,null,"s\n"],"x":2.5},"m":-3}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.dump(), doc);
+        assert_eq!(Json::parse(&v.dump()).unwrap(), v);
+        assert_eq!(Json::parse("[]").unwrap().dump(), "[]");
+        assert_eq!(Json::parse("{}").unwrap().dump(), "{}");
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   prints statistics the same way.
 //! * [`json`] — a minimal JSON value model and parser, used by tests to
 //!   validate exporter output without external crates.
+//! * [`span`] — causal request tracing: per-op [`SpanCtx`] + stage
+//!   stamps, the 1-in-N [`Sampler`], per-stage breakdown histograms
+//!   ([`StageSet`]) and the per-core [`FlightRing`] flight recorder.
 //!
 //! Virtual time and host time both fit: everything takes plain `u64`
 //! nanoseconds and never reads a clock itself.
@@ -25,11 +28,13 @@ pub mod hist;
 pub mod json;
 pub mod report;
 pub mod ring;
+pub mod span;
 pub mod trace;
 
 pub use counter::Counter;
 pub use hist::{HistSnapshot, LogHistogram};
 pub use json::Json;
-pub use report::{Section, StatsReport, Value};
+pub use report::{Section, StatsReport, Value, STATS_SCHEMA_VERSION};
 pub use ring::{Event, EventKind, EventRing};
+pub use span::{FlightRecord, FlightRing, Sampler, Span, SpanCtx, Stage, StageSet};
 pub use trace::chrome_trace;

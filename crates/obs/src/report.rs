@@ -106,6 +106,15 @@ impl Section {
     }
 }
 
+/// Version of the JSON document [`StatsReport::to_json`] emits.
+///
+/// * **1** (implicit — documents without a `"schema"` key): `{"title",
+///   "sections"}` only.
+/// * **2**: adds the explicit top-level `"schema"` key and the
+///   `latency_breakdown` section vocabulary filled by
+///   [`StageSet::fill_section`](crate::span::StageSet::fill_section).
+pub const STATS_SCHEMA_VERSION: u32 = 2;
+
 /// A titled collection of [`Section`]s.
 #[derive(Debug, Clone)]
 pub struct StatsReport {
@@ -141,11 +150,17 @@ impl StatsReport {
             .map(|(_, v)| v)
     }
 
-    /// One JSON object: `{"title": ..., "sections": {sec: {row: val}}}`.
-    /// Row order within a section is preserved.
+    /// One JSON object: `{"schema": 2, "title": ..., "sections": {sec:
+    /// {row: val}}}` ([`STATS_SCHEMA_VERSION`]). Section and row order
+    /// is preserved, and the document is canonical compact JSON: a
+    /// [`Json::parse`](crate::Json::parse) →
+    /// [`Json::dump`](crate::Json::dump) round trip reproduces it byte
+    /// for byte (the schema gate in `scripts/check.sh`).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
-        out.push_str("{\"title\":");
+        out.push_str("{\"schema\":");
+        let _ = write!(out, "{STATS_SCHEMA_VERSION}");
+        out.push_str(",\"title\":");
         out.push_str(&quote(&self.title));
         out.push_str(",\"sections\":{");
         for (si, sec) in self.sections.iter().enumerate() {
@@ -250,10 +265,22 @@ mod tests {
     fn json_roundtrips_through_parser() {
         let r = sample_report();
         let v = Json::parse(&r.to_json()).unwrap();
+        assert_eq!(
+            v.get("schema").unwrap().as_f64(),
+            Some(f64::from(STATS_SCHEMA_VERSION))
+        );
         assert_eq!(v.get("title").unwrap().as_str(), Some("engine"));
         let ops = v.get("sections").unwrap().get("ops").unwrap();
         assert_eq!(ops.get("puts").unwrap().as_f64(), Some(10.0));
         assert_eq!(ops.get("mops").unwrap().as_f64(), Some(1.25));
+    }
+
+    #[test]
+    fn json_reemits_byte_identical() {
+        // The schema round-trip gate: emit → parse → dump must be a
+        // byte-level fixed point.
+        let json = sample_report().to_json();
+        assert_eq!(Json::parse(&json).unwrap().dump(), json);
     }
 
     #[test]

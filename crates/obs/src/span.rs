@@ -1,0 +1,614 @@
+//! Causal request spans: per-operation stage stamps and breakdowns.
+//!
+//! A sampled operation carries a [`SpanCtx`] from the moment a session
+//! submits it; every layer it crosses stamps the current clock against a
+//! [`Stage`], so a completed op yields an ordered stage vector whose
+//! consecutive deltas attribute the op's end-to-end latency to the exact
+//! place it was spent (batch formation, leader persist, replication ack,
+//! …). The module is pure bookkeeping: **it never reads a clock** —
+//! callers pass timestamps in, which is what lets the engine stamp host
+//! nanoseconds and the simulator stamp virtual nanoseconds through the
+//! same types (and keeps this file inside pmlint's no-wall-clock scope).
+//!
+//! * [`Span`] — one op's ordered `(Stage, t_ns)` stamps.
+//! * [`Sampler`] — the 1-in-N per-trace sampling rule (`0` = off).
+//! * [`StageSet`] — concurrent per-stage [`LogHistogram`]s plus the
+//!   end-to-end and batch-amortized persist distributions; renders the
+//!   `latency_breakdown` report section shared by engine and simulator.
+//! * [`FlightRing`] / [`FlightRecord`] — the fixed-size per-core flight
+//!   recorder ring of recent completed/errored ops and stage events,
+//!   dumpable as JSON for post-mortem triage.
+
+use crate::hist::{HistSnapshot, LogHistogram};
+use crate::json::{escape_into, quote};
+use crate::report::Section;
+use crate::ring::{Event, EventKind, EventRing};
+use std::fmt::Write as _;
+
+/// A causal stage of the request pipeline, in pipeline order.
+///
+/// Each stamp records when its stage *ended*; the stage's duration is
+/// the delta from the previous stamp (or from [`SpanCtx::origin_tsc`]
+/// for the first). The glossary:
+///
+/// | stage | ends when |
+/// |---|---|
+/// | `client_enqueue` | the request ring accepted the envelope (includes ring-full retries) |
+/// | `ring_transit` | the server core's poll popped it from the message buffer |
+/// | `shard_poll` | the shard's drain loop handed it to dispatch |
+/// | `key_gate` | the op passed the per-key conflict gate (includes deferred-FIFO wait) |
+/// | `execute` | inline execution finished (Get/Range; batched ops skip this) |
+/// | `batch_join` | a leader collected the op's posted entry under the group lock |
+/// | `leader_persist` | the leader's batched log append (l-persist) returned |
+/// | `repl_ship` | the replication sink accepted the batch for shipping |
+/// | `repl_ack_wait` | the backup acknowledgment watermark covered the op |
+/// | `cache_invalidate` | the read-cache invalidation + response post finished |
+/// | `delivery` | the session absorbed the response client-side |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Stage {
+    ClientEnqueue = 0,
+    RingTransit = 1,
+    ShardPoll = 2,
+    KeyGate = 3,
+    Execute = 4,
+    BatchJoin = 5,
+    LeaderPersist = 6,
+    ReplShip = 7,
+    ReplAckWait = 8,
+    CacheInvalidate = 9,
+    Delivery = 10,
+}
+
+impl Stage {
+    /// Number of distinct stages.
+    pub const COUNT: usize = 11;
+
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::ClientEnqueue,
+        Stage::RingTransit,
+        Stage::ShardPoll,
+        Stage::KeyGate,
+        Stage::Execute,
+        Stage::BatchJoin,
+        Stage::LeaderPersist,
+        Stage::ReplShip,
+        Stage::ReplAckWait,
+        Stage::CacheInvalidate,
+        Stage::Delivery,
+    ];
+
+    /// Stable snake_case name, used as report-row prefix and trace-event
+    /// name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::ClientEnqueue => "client_enqueue",
+            Stage::RingTransit => "ring_transit",
+            Stage::ShardPoll => "shard_poll",
+            Stage::KeyGate => "key_gate",
+            Stage::Execute => "execute",
+            Stage::BatchJoin => "batch_join",
+            Stage::LeaderPersist => "leader_persist",
+            Stage::ReplShip => "repl_ship",
+            Stage::ReplAckWait => "repl_ack_wait",
+            Stage::CacheInvalidate => "cache_invalidate",
+            Stage::Delivery => "delivery",
+        }
+    }
+}
+
+/// The sampled-trace context allocated at submission and carried in the
+/// request envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanCtx {
+    /// Globally unique trace id (session id ⊕ ticket, in the engine).
+    pub trace_id: u64,
+    /// The client-side operation sequence number (the envelope `seq`).
+    pub op_seq: u64,
+    /// Submission timestamp — the origin every stage delta is relative
+    /// to. Host or virtual nanoseconds; the producer picks the clock.
+    pub origin_tsc: u64,
+}
+
+/// One operation's ordered stage vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// The carried context.
+    pub ctx: SpanCtx,
+    /// Owning server core, stamped when the shard first sees the op
+    /// (`u32::MAX` until then).
+    pub core: u32,
+    /// `(stage, end_ns)` in stamp order.
+    pub stamps: Vec<(Stage, u64)>,
+}
+
+impl Span {
+    /// A fresh span with no stamps.
+    pub fn new(ctx: SpanCtx) -> Span {
+        Span {
+            ctx,
+            core: u32::MAX,
+            stamps: Vec::with_capacity(Stage::COUNT),
+        }
+    }
+
+    /// Records that `stage` ended at `at_ns`. Re-stamping the stage that
+    /// was stamped last *replaces* it (a retry loop keeps only its final
+    /// attempt); anything else appends.
+    pub fn stamp(&mut self, stage: Stage, at_ns: u64) {
+        if let Some(last) = self.stamps.last_mut() {
+            if last.0 == stage {
+                last.1 = at_ns;
+                return;
+            }
+        }
+        self.stamps.push((stage, at_ns));
+    }
+
+    /// The time `stage` ended, if stamped.
+    pub fn stamp_at(&self, stage: Stage) -> Option<u64> {
+        self.stamps
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map(|&(_, t)| t)
+    }
+
+    /// The last stamped time (the origin if nothing is stamped yet).
+    pub fn end_ns(&self) -> u64 {
+        self.stamps
+            .last()
+            .map(|&(_, t)| t)
+            .unwrap_or(self.ctx.origin_tsc)
+    }
+
+    /// End-to-end span so far: last stamp − origin.
+    pub fn total_ns(&self) -> u64 {
+        self.end_ns().saturating_sub(self.ctx.origin_tsc)
+    }
+
+    /// Per-stage durations: each stamp minus its predecessor (the first
+    /// minus the origin). The deltas sum exactly to [`Span::total_ns`].
+    pub fn deltas(&self) -> Vec<(Stage, u64)> {
+        let mut prev = self.ctx.origin_tsc;
+        self.stamps
+            .iter()
+            .map(|&(stage, at)| {
+                let d = at.saturating_sub(prev);
+                prev = prev.max(at);
+                (stage, d)
+            })
+            .collect()
+    }
+
+    /// Renders the span as one trace event per stage delta, all on lane
+    /// `tid`, tagged with the trace id so member ops can be correlated
+    /// with their batch span in a viewer.
+    pub fn chrome_events(&self, tid: u32) -> Vec<Event> {
+        let mut prev = self.ctx.origin_tsc;
+        self.stamps
+            .iter()
+            .map(|&(stage, at)| {
+                let start = prev.min(at);
+                prev = prev.max(at);
+                Event::span(stage.name(), "span", tid, start, at)
+                    .arg("trace", self.ctx.trace_id)
+                    .arg("op_seq", self.ctx.op_seq)
+            })
+            .collect()
+    }
+}
+
+/// The 1-in-N per-trace sampling rule: `every == 0` disables sampling,
+/// `every == 1` samples every operation, `every == n` samples one in
+/// `n`. Deciding costs one branch and one increment.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    every: u64,
+    tick: u64,
+}
+
+impl Sampler {
+    pub fn new(every: u64) -> Sampler {
+        Sampler { every, tick: 0 }
+    }
+
+    /// Whether sampling is enabled at all.
+    pub fn enabled(&self) -> bool {
+        self.every > 0
+    }
+
+    /// Decides the next operation; `true` means "trace it".
+    pub fn hit(&mut self) -> bool {
+        if self.every == 0 {
+            return false;
+        }
+        self.tick += 1;
+        self.tick.is_multiple_of(self.every)
+    }
+}
+
+/// Concurrent per-stage latency histograms — the accumulation side of
+/// the `latency_breakdown` report section. One [`LogHistogram`] per
+/// [`Stage`], plus the end-to-end distribution and the batch-amortized
+/// persist cost (leader persist time ÷ batch size), which is the
+/// paper's horizontal-batching arithmetic made observable.
+#[derive(Debug)]
+pub struct StageSet {
+    stages: [LogHistogram; Stage::COUNT],
+    end_to_end: LogHistogram,
+    persist_per_entry: LogHistogram,
+}
+
+impl Default for StageSet {
+    fn default() -> StageSet {
+        StageSet::new()
+    }
+}
+
+impl StageSet {
+    pub fn new() -> StageSet {
+        StageSet {
+            stages: std::array::from_fn(|_| LogHistogram::new()),
+            end_to_end: LogHistogram::new(),
+            persist_per_entry: LogHistogram::new(),
+        }
+    }
+
+    /// Records one stage duration.
+    pub fn record(&self, stage: Stage, ns: u64) {
+        self.stages[stage as usize].record(ns);
+    }
+
+    /// Records a whole completed span: every stage delta plus the
+    /// end-to-end total.
+    pub fn record_span(&self, span: &Span) {
+        for (stage, d) in span.deltas() {
+            self.record(stage, d);
+        }
+        self.end_to_end.record(span.total_ns());
+    }
+
+    /// Records one persisted batch: `persist_ns / entries` per entry —
+    /// the amortization view that shows batching paying for itself.
+    pub fn record_batch(&self, persist_ns: u64, entries: u64) {
+        self.persist_per_entry.record(persist_ns / entries.max(1));
+    }
+
+    /// Spans recorded so far (end-to-end sample count).
+    pub fn spans(&self) -> u64 {
+        self.end_to_end.count()
+    }
+
+    /// Snapshot of one stage's distribution.
+    pub fn stage_snapshot(&self, stage: Stage) -> HistSnapshot {
+        self.stages[stage as usize].snapshot()
+    }
+
+    /// Snapshot of the end-to-end distribution.
+    pub fn end_to_end_snapshot(&self) -> HistSnapshot {
+        self.end_to_end.snapshot()
+    }
+
+    /// Snapshot of the batch-amortized persist cost (`persist_ns ÷
+    /// entries`) distribution.
+    pub fn persist_per_entry_snapshot(&self) -> HistSnapshot {
+        self.persist_per_entry.snapshot()
+    }
+
+    /// Fills the shared `latency_breakdown` section schema: standard
+    /// latency rows per non-empty stage (prefixed by the stage name), the
+    /// end-to-end rows, and the `persist_per_entry` amortization rows.
+    /// The engine and the simulator both report through this method, so
+    /// hardware and virtual-time breakdowns stay field-compatible.
+    pub fn fill_section(&self, sec: &mut Section) {
+        sec.row("spans", self.spans());
+        for stage in Stage::ALL {
+            sec.latency_rows(stage.name(), &self.stage_snapshot(stage));
+        }
+        sec.latency_rows("end_to_end", &self.end_to_end.snapshot());
+        sec.latency_rows("persist_per_entry", &self.persist_per_entry.snapshot());
+    }
+}
+
+/// One completed (or errored, or in-flight-at-crash) operation in the
+/// flight recorder.
+#[derive(Debug, Clone)]
+pub struct FlightRecord {
+    /// Trace id (0 when the op was unsampled — errored unsampled ops
+    /// still leave a record).
+    pub trace_id: u64,
+    /// The envelope sequence number.
+    pub op_seq: u64,
+    /// Submission origin (ns), 0 when unsampled.
+    pub origin_ns: u64,
+    /// Owning server core.
+    pub core: u32,
+    /// Fabric client id.
+    pub client: u64,
+    /// Operation kind (`"put"`, `"get"`, …).
+    pub kind: &'static str,
+    /// Whether the op completed successfully.
+    pub ok: bool,
+    /// Error detail for failed ops, empty otherwise.
+    pub detail: String,
+    /// The stage vector captured so far (partial for in-flight ops).
+    pub stamps: Vec<(Stage, u64)>,
+}
+
+/// The per-core flight recorder: a bounded ring of the last N op
+/// records plus a bounded ring of recent stage/batch [`Event`]s.
+/// Single-writer (the owning core); wrap in a lock to read from a
+/// panic hook.
+#[derive(Debug)]
+pub struct FlightRing {
+    records: std::collections::VecDeque<FlightRecord>,
+    cap: usize,
+    records_dropped: u64,
+    events: EventRing,
+}
+
+impl FlightRing {
+    /// `cap` bounds the op-record ring; the event ring gets `4 × cap`
+    /// slots (several stage events per op).
+    pub fn new(cap: usize) -> FlightRing {
+        let cap = cap.max(1);
+        FlightRing {
+            records: std::collections::VecDeque::with_capacity(cap),
+            cap,
+            records_dropped: 0,
+            events: EventRing::new(cap * 4),
+        }
+    }
+
+    /// Appends an op record, evicting the oldest at capacity.
+    pub fn push_record(&mut self, r: FlightRecord) {
+        if self.records.len() == self.cap {
+            self.records.pop_front();
+            self.records_dropped += 1;
+        }
+        self.records.push_back(r);
+    }
+
+    /// Appends a stage/batch event.
+    pub fn push_event(&mut self, ev: Event) {
+        self.events.push(ev);
+    }
+
+    pub fn records(&self) -> impl Iterator<Item = &FlightRecord> {
+        self.records.iter()
+    }
+
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty() && self.events.is_empty()
+    }
+
+    /// Serialises this ring as one JSON object:
+    /// `{"core":c,"records_dropped":d,"records":[…],"events":[…]}`.
+    pub fn dump_json(&self, core: usize) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\"core\":{core},\"records_dropped\":{},\"records\":[",
+            self.records_dropped
+        );
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"trace_id\":{},\"op_seq\":{},\"origin_ns\":{},\"core\":{},\
+                 \"client\":{},\"kind\":{},\"ok\":{},\"detail\":",
+                r.trace_id,
+                r.op_seq,
+                r.origin_ns,
+                r.core,
+                r.client,
+                quote(r.kind),
+                r.ok
+            );
+            out.push('"');
+            escape_into(&mut out, &r.detail);
+            out.push_str("\",\"stamps\":[");
+            for (j, (stage, at)) in r.stamps.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{},{at}]", quote(stage.name()));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"events\":[");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let dur = match ev.kind {
+                EventKind::Span { dur_ns } => dur_ns,
+                EventKind::Instant => 0,
+            };
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"cat\":{},\"tid\":{},\"ts_ns\":{},\"dur_ns\":{dur}",
+                quote(ev.name),
+                quote(ev.cat),
+                ev.tid,
+                ev.ts_ns
+            );
+            if !ev.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in ev.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{}:{v}", quote(k));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn ctx(origin: u64) -> SpanCtx {
+        SpanCtx {
+            trace_id: 42,
+            op_seq: 7,
+            origin_tsc: origin,
+        }
+    }
+
+    #[test]
+    fn deltas_sum_to_total() {
+        let mut s = Span::new(ctx(100));
+        s.stamp(Stage::ClientEnqueue, 110);
+        s.stamp(Stage::RingTransit, 150);
+        s.stamp(Stage::ShardPoll, 151);
+        s.stamp(Stage::KeyGate, 180);
+        s.stamp(Stage::Delivery, 400);
+        let d = s.deltas();
+        assert_eq!(d.len(), 5);
+        let sum: u64 = d.iter().map(|&(_, ns)| ns).sum();
+        assert_eq!(sum, s.total_ns());
+        assert_eq!(s.total_ns(), 300);
+        assert_eq!(d[1], (Stage::RingTransit, 40));
+    }
+
+    #[test]
+    fn restamping_last_stage_replaces() {
+        // A send-retry loop stamps ClientEnqueue once per attempt; only
+        // the final (successful) attempt must survive.
+        let mut s = Span::new(ctx(0));
+        s.stamp(Stage::ClientEnqueue, 10);
+        s.stamp(Stage::ClientEnqueue, 25);
+        assert_eq!(s.stamps, vec![(Stage::ClientEnqueue, 25)]);
+        s.stamp(Stage::RingTransit, 30);
+        s.stamp(Stage::ClientEnqueue, 40);
+        assert_eq!(s.stamps.len(), 3, "non-adjacent re-stamp appends");
+    }
+
+    #[test]
+    fn sampler_rates() {
+        assert!(!Sampler::new(0).hit());
+        let mut every = Sampler::new(1);
+        assert!((0..10).all(|_| every.hit()));
+        let mut one_in_4 = Sampler::new(4);
+        let hits = (0..100).filter(|_| one_in_4.hit()).count();
+        assert_eq!(hits, 25);
+    }
+
+    #[test]
+    fn stage_set_records_and_reports() {
+        let set = StageSet::new();
+        let mut s = Span::new(ctx(0));
+        s.stamp(Stage::ClientEnqueue, 10);
+        s.stamp(Stage::RingTransit, 30);
+        s.stamp(Stage::Delivery, 100);
+        set.record_span(&s);
+        set.record_batch(800, 8);
+        assert_eq!(set.spans(), 1);
+        assert_eq!(set.stage_snapshot(Stage::RingTransit).max, 20);
+        assert_eq!(set.end_to_end_snapshot().max, 100);
+
+        let mut report = crate::StatsReport::new("t");
+        set.fill_section(report.section("latency_breakdown"));
+        assert_eq!(
+            report.get("latency_breakdown", "spans"),
+            Some(&crate::Value::U64(1))
+        );
+        assert!(report
+            .get("latency_breakdown", "ring_transit_max_ns")
+            .is_some());
+        assert!(report
+            .get("latency_breakdown", "end_to_end_count")
+            .is_some());
+        assert_eq!(
+            report.get("latency_breakdown", "persist_per_entry_max_ns"),
+            Some(&crate::Value::U64(100))
+        );
+        // Stages with no samples contribute no rows.
+        assert!(report.get("latency_breakdown", "repl_ship_count").is_none());
+    }
+
+    #[test]
+    fn flight_ring_bounds_and_dumps_json() {
+        let mut ring = FlightRing::new(2);
+        for i in 0..3u64 {
+            ring.push_record(FlightRecord {
+                trace_id: i,
+                op_seq: i,
+                origin_ns: 100 * i,
+                core: 1,
+                client: 0,
+                kind: "put",
+                ok: i != 2,
+                detail: if i == 2 {
+                    "boom \"quoted\"".into()
+                } else {
+                    String::new()
+                },
+                stamps: vec![(Stage::ClientEnqueue, 100 * i + 5)],
+            });
+        }
+        ring.push_event(
+            Event::span("batch_persist", "batch", 1, 10, 40)
+                .arg("entries", 4)
+                .arg("batch", 9),
+        );
+        let doc = ring.dump_json(1);
+        let v = Json::parse(&doc).expect("flight dump must be valid JSON");
+        assert_eq!(v.get("core").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("records_dropped").unwrap().as_f64(), Some(1.0));
+        let recs = v.get("records").unwrap().as_arr().unwrap();
+        assert_eq!(recs.len(), 2, "oldest record evicted");
+        let last = &recs[1];
+        assert_eq!(last.get("kind").unwrap().as_str(), Some("put"));
+        assert_eq!(
+            last.get("detail").unwrap().as_str(),
+            Some("boom \"quoted\"")
+        );
+        let stamps = last.get("stamps").unwrap().as_arr().unwrap();
+        assert_eq!(
+            stamps[0].as_arr().unwrap()[0].as_str(),
+            Some("client_enqueue")
+        );
+        let evs = v.get("events").unwrap().as_arr().unwrap();
+        assert_eq!(evs[0].get("dur_ns").unwrap().as_f64(), Some(30.0));
+        assert_eq!(
+            evs[0].get("args").unwrap().get("entries").unwrap().as_f64(),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn chrome_events_cover_the_span() {
+        let mut s = Span::new(ctx(1_000));
+        s.stamp(Stage::ClientEnqueue, 1_010);
+        s.stamp(Stage::RingTransit, 1_050);
+        s.stamp(Stage::Delivery, 1_200);
+        let evs = s.chrome_events(3);
+        assert_eq!(evs.len(), 3);
+        let total: u64 = evs
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Span { dur_ns } => dur_ns,
+                EventKind::Instant => 0,
+            })
+            .sum();
+        assert_eq!(total, s.total_ns());
+        assert!(evs.iter().all(|e| e.tid == 3));
+        assert!(evs.iter().all(|e| e.args.contains(&("trace", 42))));
+    }
+}

@@ -6,7 +6,7 @@
 //! |------|-------|-------------|
 //! | `safety-comment` | every file | each line containing `unsafe` carries a `// SAFETY:` comment on it or directly above |
 //! | `write-without-persist` | oplog, pmalloc, indexes, flatstore, flatrepl `src/` | a function that stores to PM (`write*`/`fill`) must also flush/fence/persist, or explain why its caller does |
-//! | `sim-wall-clock` | simkv `src/` | no `Instant::now`/`SystemTime` inside the discrete-event simulator (virtual time only) |
+//! | `sim-wall-clock` | simkv, obs `src/` | no `Instant::now`/`SystemTime` in clock-agnostic code: the simulator runs on virtual time only, and the obs span/histogram layer must take every timestamp from its caller so the same code serves both wall-clock and virtual-time producers |
 //! | `no-unwrap` | pmem, pmalloc, oplog, indexes, flatstore `src/` | no `.unwrap()`/`.expect(` in non-test library code |
 //! | `volatile-only` | flatstore `src/cache.rs` | the DRAM read cache must never touch PM (`PmRegion`/`PmAddr`/flush/fence/persist) — its whole coherence argument rests on being reconstructible-from-nothing volatile state |
 //!
@@ -311,7 +311,10 @@ fn scope_of(rel: &Path) -> Scope {
     Scope {
         no_unwrap: lib_src && NO_UNWRAP_CRATES.contains(&krate),
         write_persist: lib_src && WRITE_PERSIST_CRATES.contains(&krate),
-        sim_wall_clock: lib_src && krate == "simkv",
+        // obs rides along: span/histogram code must never read the wall
+        // clock itself — callers pass timestamps in, which is exactly what
+        // lets the simulator reuse it unchanged under virtual time.
+        sim_wall_clock: lib_src && (krate == "simkv" || krate == "obs"),
         volatile_only: lib_src && krate == "flatstore" && parts[3..] == ["cache.rs"],
     }
 }
@@ -433,7 +436,9 @@ fn check_file(rel: &Path, src: &str) -> Vec<Finding> {
                     report(
                         i,
                         "sim-wall-clock",
-                        format!("`{tok}` in simulator code — use the virtual clock"),
+                        format!(
+                            "`{tok}` in clock-agnostic code — take the timestamp from the caller"
+                        ),
                     );
                 }
             }
@@ -684,12 +689,19 @@ mod tests {
     }
 
     #[test]
-    fn sim_wall_clock_scoped_to_simkv() {
+    fn sim_wall_clock_scoped_to_simkv_and_obs() {
         let src = "fn f() { let t = Instant::now(); }\n";
         assert_eq!(
             rules(&check("crates/simkv/src/a.rs", src)),
             ["sim-wall-clock"]
         );
+        // The obs span layer is clock-agnostic by contract: timestamps
+        // always arrive from the caller.
+        assert_eq!(
+            rules(&check("crates/obs/src/span.rs", src)),
+            ["sim-wall-clock"]
+        );
+        assert!(check("crates/obs/tests/a.rs", src).is_empty());
         assert!(check("crates/flatstore/src/a.rs", src).is_empty());
     }
 

@@ -216,6 +216,10 @@ pub(crate) struct SimReq {
     pub client: u32,
     pub send: f64,
     pub op: Op,
+    /// Causal-trace id assigned when a sampled request is first polled;
+    /// 0 = unsampled. Rides every copy of the request (deferred queue,
+    /// post slots, retries) so stage stamps land on one span.
+    pub trace: u64,
 }
 
 struct Client {
@@ -281,6 +285,7 @@ impl ClientPool {
                 client,
                 send: now,
                 op,
+                trace: 0,
             };
             push(core, now + self.net.one_way_ns, req);
         }

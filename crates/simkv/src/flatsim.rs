@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use indexes::{Cceh, FastFair, Index, Mode};
 use masstree::Masstree;
-use obs::{Event, EventRing};
+use obs::{Event, EventRing, Sampler, Span, SpanCtx, Stage, StageSet};
 use oplog::{LogEntry, LogOp, OpLog, Payload, INLINE_MAX};
 use pmalloc::{ChunkManager, CoreAllocator, CHUNK_SIZE};
 use pmem::cost::Device;
@@ -273,6 +273,16 @@ pub(crate) struct FlatSim {
     /// simulated core id doubles as the trace `tid`; cleaners render on
     /// tracks `ncores + group`.
     events: Option<EventRing>,
+    /// 1-in-N causal-trace sampling (`cfg.trace_sample`); decided when a
+    /// request is first polled from its core's mailbox.
+    sampler: Sampler,
+    /// In-flight sampled spans, keyed by `SimReq::trace`. Stamps are
+    /// virtual nanoseconds; observation only, never charged to a clock.
+    spans: HashMap<u64, Span>,
+    /// Trace-id allocator (deterministic: DES poll order).
+    next_trace: u64,
+    /// Virtual-time stage breakdown, same schema as the engine's.
+    breakdown: StageSet,
 }
 
 impl FlatSim {
@@ -358,6 +368,10 @@ impl FlatSim {
             cache_hits: 0,
             cache_misses: 0,
             events: (cfg.trace_events > 0).then(|| EventRing::new(cfg.trace_events)),
+            sampler: Sampler::new(cfg.trace_sample),
+            spans: HashMap::new(),
+            next_trace: 0,
+            breakdown: StageSet::new(),
             cfg,
         }
     }
@@ -482,6 +496,9 @@ impl FlatSim {
             summary.events_dropped = ring.dropped();
             summary.events = ring.into_events();
         }
+        if self.cfg.trace_sample > 0 {
+            summary.breakdown = Some(Arc::new(self.breakdown));
+        }
         summary
     }
 
@@ -525,11 +542,29 @@ impl FlatSim {
                 t = self.admit(i, t, req, &mut staged, &mut pending_fence);
             }
             while taken < budget {
-                let Some((_, req)) = self.cores[i].mailbox.pop_arrived(t) else {
+                let Some((_, mut req)) = self.cores[i].mailbox.pop_arrived(t) else {
                     break;
                 };
                 taken += 1;
+                let polled_at = t;
                 t += self.cfg.cpu.per_msg_ns;
+                // Causal tracing (mirrors the engine's Envelope spans):
+                // sampled on first poll; retries keep their span. Stamps
+                // are pure observations of the virtual clock.
+                if req.trace == 0 && self.sampler.hit() {
+                    self.next_trace += 1;
+                    req.trace = self.next_trace;
+                    let mut span = Span::new(SpanCtx {
+                        trace_id: req.trace,
+                        op_seq: req.trace,
+                        origin_tsc: req.send as u64,
+                    });
+                    span.core = i as u32;
+                    span.stamp(Stage::ClientEnqueue, req.send as u64);
+                    span.stamp(Stage::RingTransit, polled_at as u64);
+                    span.stamp(Stage::ShardPoll, t as u64);
+                    self.spans.insert(req.trace, span);
+                }
                 // Only reads must wait for in-flight writes of their key;
                 // writes pipeline through versioning.
                 if !matches!(req.op, Op::Put { .. })
@@ -605,6 +640,9 @@ impl FlatSim {
         staged: &mut Vec<usize>,
         pending_fence: &mut bool,
     ) -> f64 {
+        // KeyGate closes at admission: for a request that sat in the
+        // deferred FIFO the delta is the whole per-key conflict wait.
+        self.stamp(req.trace, Stage::KeyGate, t);
         match req.op {
             Op::Get { key } => {
                 t += self.index.op_ns(&self.cfg.cpu);
@@ -635,6 +673,7 @@ impl FlatSim {
                         self.cores[i].cache.insert(key);
                     }
                 }
+                self.stamp(req.trace, Stage::Execute, t);
                 self.respond(&req, t);
                 t
             }
@@ -683,6 +722,7 @@ impl FlatSim {
                     LogEntry::put_ptr(key, version, block)
                 };
                 t += self.cfg.cpu.entry_build_ns;
+                self.stamp(req.trace, Stage::Execute, t);
                 let slot = self.cores[i].pending.entry(key).or_insert((0, 0));
                 slot.0 = version;
                 slot.1 += 1;
@@ -702,6 +742,7 @@ impl FlatSim {
                 // The paper's evaluation workloads have no deletes; treat
                 // as a Get miss (kept for API completeness).
                 let _ = key;
+                self.stamp(req.trace, Stage::Execute, t);
                 self.respond(&req, t);
                 t
             }
@@ -748,6 +789,21 @@ impl FlatSim {
                     if self.cores[owner].clock.is_infinite() {
                         self.cores[owner].clock = t;
                     }
+                    let trace = self.posts[id].req.trace;
+                    if trace != 0 {
+                        // Leader-side stamps, exactly the engine's hand-off:
+                        // collect → persist → ship → (later) ack gate.
+                        self.stamp(trace, Stage::BatchJoin, flush_start);
+                        self.stamp(trace, Stage::LeaderPersist, t);
+                        if self.cfg.replicas > 0 {
+                            self.stamp(trace, Stage::ReplShip, t);
+                            self.stamp(trace, Stage::ReplAckWait, acked_t);
+                        }
+                    }
+                }
+                if ids.iter().any(|&id| self.posts[id].req.trace != 0) {
+                    self.breakdown
+                        .record_batch((t - flush_start).max(0.0) as u64, ids.len() as u64);
                 }
                 self.batches += 1;
                 self.batched_entries += ids.len() as u64;
@@ -914,14 +970,33 @@ impl FlatSim {
                 }
             }
             let req = self.posts[id].req;
+            if self.cfg.read_cache_entries > 0 {
+                self.stamp(req.trace, Stage::CacheInvalidate, t);
+            }
             self.respond(&req, t);
         }
         t
     }
 
+    /// Stamps `stage` on the span of trace `trace` (no-op for trace 0 —
+    /// one map probe per stage on sampled ops, one branch otherwise).
+    fn stamp(&mut self, trace: u64, stage: Stage, at: f64) {
+        if trace != 0 {
+            if let Some(s) = self.spans.get_mut(&trace) {
+                s.stamp(stage, at as u64);
+            }
+        }
+    }
+
     fn respond(&mut self, req: &SimReq, t: f64) {
         let nic = self.nic.delay(t, 2.0); // request + response messages
         let resp = t + self.cfg.cpu.respond_ns + nic + self.cfg.net.one_way_ns;
+        if req.trace != 0 {
+            if let Some(mut span) = self.spans.remove(&req.trace) {
+                span.stamp(Stage::Delivery, resp as u64);
+                self.breakdown.record_span(&span);
+            }
+        }
         let (clients, cores) = (&mut self.clients, &mut self.cores);
         clients.deliver(req, resp, &mut |c, at, r| {
             if cores[c].clock.is_infinite() {

@@ -246,6 +246,49 @@ mod tests {
     }
 
     #[test]
+    fn trace_sample_mirrors_breakdown_without_perturbing_time() {
+        let mut cfg = quick(Engine::FlatStore {
+            model: ExecModel::PipelinedHb,
+            index: SimIndex::Hash,
+        });
+        cfg.replicas = 1;
+        cfg.read_cache_entries = 64;
+        let off = run(&cfg);
+        let mut traced = cfg.clone();
+        traced.trace_sample = 4;
+        let on = run(&traced);
+        // Tracing only observes the virtual clock: every performance
+        // number must be bit-identical with sampling on or off.
+        assert_eq!(off.mops, on.mops);
+        assert_eq!(off.p99_ns, on.p99_ns);
+        assert_eq!(off.device.media_writes, on.device.media_writes);
+        assert!(off.breakdown.is_none());
+        let b = on.breakdown.as_ref().expect("sampled run has a breakdown");
+        assert!(b.spans() > 0, "no spans recorded");
+        // Same report schema as the engine's latency_breakdown section,
+        // including the replication and cache stages this config exercises.
+        let r = on.report("sim");
+        assert_eq!(
+            r.get("latency_breakdown", "spans"),
+            Some(&obs::Value::U64(b.spans()))
+        );
+        for row in [
+            "ring_transit_p50_ns",
+            "leader_persist_p50_ns",
+            "repl_ship_p50_ns",
+            "repl_ack_wait_p50_ns",
+            "cache_invalidate_p50_ns",
+            "end_to_end_p50_ns",
+            "persist_per_entry_p50_ns",
+        ] {
+            assert!(
+                r.get("latency_breakdown", row).is_some(),
+                "missing breakdown row {row}"
+            );
+        }
+    }
+
+    #[test]
     fn gc_timeline_records_cleaning() {
         let mut cfg = quick(Engine::FlatStore {
             model: ExecModel::PipelinedHb,

@@ -122,6 +122,7 @@ impl Metrics {
             pm_value_reads: 0,
             cache_hits: 0,
             cache_misses: 0,
+            breakdown: None,
         }
     }
 }
@@ -184,6 +185,13 @@ pub struct Summary {
     pub cache_hits: u64,
     /// Gets that probed the enabled cache and fell through to PM.
     pub cache_misses: u64,
+    /// Per-stage virtual-time latency breakdown of the sampled requests
+    /// ([`SimConfig::trace_sample`] > 0) — the DES mirror of the engine's
+    /// causal tracing, reported under the same `latency_breakdown`
+    /// schema. Stage deltas are in *virtual* nanoseconds.
+    ///
+    /// [`SimConfig::trace_sample`]: crate::SimConfig::trace_sample
+    pub breakdown: Option<std::sync::Arc<obs::StageSet>>,
 }
 
 impl Summary {
@@ -222,6 +230,11 @@ impl Summary {
                 .row("ship_batches", self.ship_batches)
                 .row("ship_msgs", self.ship_msgs)
                 .row("ship_msgs_per_op", self.ship_msgs as f64 / self.ops as f64);
+        }
+        if let Some(b) = &self.breakdown {
+            if b.spans() > 0 {
+                b.fill_section(r.section("latency_breakdown"));
+            }
         }
         if !self.events.is_empty() || self.events_dropped > 0 {
             r.section("trace")

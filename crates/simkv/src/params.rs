@@ -242,6 +242,14 @@ pub struct SimConfig {
     /// ring overflows the oldest events are dropped, so a long run keeps
     /// its most recent window.
     pub trace_events: usize,
+    /// Causal-tracing sample rate, mirroring the engine's
+    /// `Config::trace_sample`: every Nth polled request gets a
+    /// virtual-time stage vector recorded into the summary's
+    /// `latency_breakdown` section (same schema as the engine's). 1
+    /// traces every request, 0 disables tracing. Sampling only
+    /// *observes* the simulation — virtual timing is bit-identical with
+    /// tracing on or off.
+    pub trace_sample: u64,
 }
 
 impl Default for SimConfig {
@@ -277,6 +285,7 @@ impl Default for SimConfig {
             seed: 42,
             window_ns: 0.0,
             trace_events: 0,
+            trace_sample: 0,
         }
     }
 }

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# BENCH trajectory runner — regenerates BENCH_5.json at the pinned
+# BENCH trajectory runner — regenerates BENCH_6.json at the pinned
 # full scale (200k keys / 120k ops / 36 cores / 288 clients, the same
 # defaults every figure harness uses). The DES is deterministic, so the
 # committed file reproduces bit-for-bit on any machine.
 #
-#   scripts/bench.sh              # full scale, writes BENCH_5.json
+#   scripts/bench.sh              # full scale, writes BENCH_6.json
 #   FLATBENCH_QUICK=1 scripts/bench.sh   # CI smoke: small scale, tmp output
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,9 +13,9 @@ quick="${FLATBENCH_QUICK:-0}"
 if [ "$quick" != "0" ]; then
     # Smoke mode: exercise the harness end-to-end but do not clobber the
     # committed full-scale trajectory.
-    out="${FLATBENCH_OUT:-$(mktemp -d)/BENCH_5.json}"
+    out="${FLATBENCH_OUT:-$(mktemp -d)/BENCH_6.json}"
 else
-    out="${FLATBENCH_OUT:-$PWD/BENCH_5.json}"
+    out="${FLATBENCH_OUT:-$PWD/BENCH_6.json}"
 fi
 
 FLATBENCH_OUT="$out" cargo bench -p flatstore-bench --bench trajectory --offline

@@ -23,6 +23,9 @@ cargo test -p pmcheck -q --offline
 echo "== tests (unit + integration + property) =="
 cargo test --workspace -q --offline
 
+echo "== stats_report schema gate (emit -> parse -> re-emit byte-identical) =="
+cargo test -p flatstore --test schema_roundtrip -q --offline
+
 echo "== docs (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
@@ -43,7 +46,7 @@ test -s "$tmpdir/trace.json"
 echo "== smoke-scale figures =="
 FLATBENCH_QUICK=1 cargo bench --workspace --offline
 
-echo "== BENCH trajectory smoke (read-cache harness) =="
+echo "== BENCH trajectory smoke (tracing-overhead harness) =="
 FLATBENCH_QUICK=1 scripts/bench.sh
 
 echo "All checks passed."
