@@ -6,7 +6,7 @@
 use std::collections::HashMap;
 
 use flatrepl::{catch_up, ReplStats, ReplicatedStore};
-use flatstore::{BackupImage, Config, FlatStore, GcConfig};
+use flatstore::{BackupImage, Config, FlatStore, GcConfig, Op};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -49,14 +49,18 @@ fn acked_ops_survive_primary_loss_and_backup_crash() {
         for i in 0..400u64 {
             let key = rng.gen_range(0..120u64);
             if rng.gen_bool(0.15) && submitted.contains_key(&key) {
-                tickets.push((key, None, session.submit_delete(key).expect("submit")));
+                tickets.push((
+                    key,
+                    None,
+                    session.submit(Op::Delete { key }).expect("submit"),
+                ));
                 submitted.insert(key, None);
             } else {
                 let v = val(key, i);
                 tickets.push((
                     key,
                     Some(v.clone()),
-                    session.submit_put(key, v).expect("submit"),
+                    session.submit(Op::put(key, v)).expect("submit"),
                 ));
                 submitted.insert(key, Some(val(key, i)));
             }

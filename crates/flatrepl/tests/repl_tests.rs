@@ -3,7 +3,7 @@
 //! and a pmcheck pass over the backup's apply path.
 
 use flatrepl::{catch_up, ReplStats, ReplicatedStore};
-use flatstore::{BackupImage, Config, FlatStore, ReplOp};
+use flatstore::{BackupImage, Config, FlatStore, Op, ReplOp};
 use pmcheck::Checker;
 use pmem::PmAddr;
 
@@ -79,7 +79,7 @@ fn pipelined_sessions_replicate_under_load() {
     .expect("create pair");
     let mut session = store.handle().session().expect("session");
     let tickets: Vec<_> = (0..500u64)
-        .map(|k| session.submit_put(k, val(k, 24)))
+        .map(|k| session.submit(Op::put(k, val(k, 24))))
         .collect::<Result<_, _>>()
         .expect("submit");
     for t in tickets {

@@ -147,7 +147,12 @@ pub struct FabricStats {
     pub direct_responses: AtomicU64,
     /// Responses delegated from another core to the agent.
     pub delegated_responses: AtomicU64,
-    /// Clients attached after construction via [`Fabric::attach_client`].
+    /// Client ports currently live (gauge): incremented when a port is
+    /// taken ([`Fabric::client_port`]) or attached
+    /// ([`Fabric::attach_client`], fresh or reused), decremented when a
+    /// port drops. A dropped port whose rings are fully drained is parked
+    /// for reuse, so connection churn returns this gauge to its baseline
+    /// instead of growing the ring matrix forever.
     pub clients_attached: AtomicU64,
     /// Sends rejected because the request ring was out of credits (the
     /// caller retries); a rising rate means a server core is falling
@@ -189,6 +194,16 @@ struct PendingClient<Req, Resp> {
     resp_prod: Option<Producer<Resp>>,
 }
 
+/// The client half of a detached port, parked for reuse: the server side
+/// (request-ring consumers, the agent's response producer) stays wired,
+/// so a later [`Fabric::attach_client`] can hand these ends back out
+/// under the same client id without growing the ring matrix.
+struct ParkedPort<Req, Resp> {
+    id: ClientId,
+    to_core: Vec<Producer<(ClientId, Req)>>,
+    rx: Consumer<Resp>,
+}
+
 /// State shared between the fabric handle and every endpoint; carries the
 /// growth list server cores sync against.
 struct Shared<Req, Resp> {
@@ -200,6 +215,8 @@ struct Shared<Req, Resp> {
     /// their claimed count to skip the lock on the fast path.
     grown: AtomicUsize,
     growth: Mutex<Vec<PendingClient<Req, Resp>>>,
+    /// Detached-but-drained client ports awaiting reuse.
+    parked: Mutex<Vec<ParkedPort<Req, Resp>>>,
     stats: Arc<FabricStats>,
 }
 
@@ -269,6 +286,7 @@ impl<Req: Send, Resp: Send> Fabric<Req, Resp> {
                 capacity,
                 grown: AtomicUsize::new(0),
                 growth: Mutex::new(Vec::new()),
+                parked: Mutex::new(Vec::new()),
                 stats,
             }),
         }
@@ -323,6 +341,10 @@ impl<Req: Send, Resp: Send> Fabric<Req, Resp> {
     pub fn client_port(&self, id: ClientId) -> ClientPort<Req, Resp> {
         let mut w = self.wiring.lock().expect("fabric lock");
         assert!(id < w.nclients, "client id out of range");
+        self.shared
+            .stats
+            .clients_attached
+            .fetch_add(1, Ordering::Relaxed);
         ClientPort {
             id,
             to_core: (0..self.shared.ncores)
@@ -332,19 +354,34 @@ impl<Req: Send, Resp: Send> Fabric<Req, Resp> {
                         .expect("client port already taken")
                 })
                 .collect(),
-            rx: w.resp_cons[id].take().expect("client port already taken"),
-            stats: Arc::clone(&self.shared.stats),
+            rx: Some(w.resp_cons[id].take().expect("client port already taken")),
+            shared: Arc::clone(&self.shared),
         }
     }
 
     /// Attaches a new client to a live fabric and returns its port.
     ///
-    /// The new rings are published to a growth list; each server core (and
-    /// the agent) claims its ends lazily on its next [`ServerCore::poll`] /
-    /// [`ServerCore::respond`], so attachment never blocks the data path.
-    /// Requests sent before every core has synced simply wait in the ring.
+    /// A previously dropped port whose rings were fully drained is reused
+    /// (same client id, same rings — the server side never noticed it was
+    /// gone); otherwise the new rings are published to a growth list and
+    /// each server core (and the agent) claims its ends lazily on its next
+    /// [`ServerCore::poll`] / [`ServerCore::respond`], so attachment never
+    /// blocks the data path. Requests sent before every core has synced
+    /// simply wait in the ring.
     pub fn attach_client(&self) -> ClientPort<Req, Resp> {
         let shared = &self.shared;
+        if let Some(parked) = shared.parked.lock().expect("fabric parked lock").pop() {
+            shared
+                .stats
+                .clients_attached
+                .fetch_add(1, Ordering::Relaxed);
+            return ClientPort {
+                id: parked.id,
+                to_core: parked.to_core,
+                rx: Some(parked.rx),
+                shared: Arc::clone(shared),
+            };
+        }
         let mut to_core = Vec::with_capacity(shared.ncores);
         let mut req_cons = Vec::with_capacity(shared.ncores);
         for _ in 0..shared.ncores {
@@ -370,8 +407,8 @@ impl<Req: Send, Resp: Send> Fabric<Req, Resp> {
         ClientPort {
             id,
             to_core,
-            rx: resp_c,
-            stats: Arc::clone(&shared.stats),
+            rx: Some(resp_c),
+            shared: Arc::clone(shared),
         }
     }
 
@@ -386,14 +423,21 @@ impl<Req: Send, Resp: Send> Fabric<Req, Resp> {
 pub struct ClientPort<Req, Resp> {
     id: ClientId,
     to_core: Vec<Producer<(ClientId, Req)>>,
-    rx: Consumer<Resp>,
-    stats: Arc<FabricStats>,
+    /// `Some` for the port's whole life; taken only inside `Drop`.
+    rx: Option<Consumer<Resp>>,
+    shared: Arc<Shared<Req, Resp>>,
 }
 
 impl<Req, Resp> ClientPort<Req, Resp> {
     /// This port's client id.
     pub fn id(&self) -> ClientId {
         self.id
+    }
+
+    fn rx(&self) -> &Consumer<Resp> {
+        // SAFETY-INVARIANT: `rx` is only `None` after `Drop` has taken it,
+        // at which point no method can run.
+        self.rx.as_ref().expect("client port rx taken")
     }
 
     /// Writes `req` into `core`'s message buffer (non-blocking; an `Err`
@@ -403,14 +447,15 @@ impl<Req, Resp> ClientPort<Req, Resp> {
     ///
     /// Returns the request back when the ring is full.
     pub fn send(&self, core: usize, req: Req) -> Result<(), Req> {
+        let stats = &self.shared.stats;
         match self.to_core[core].push((self.id, req)) {
             Ok(()) => {
-                self.stats.requests.fetch_add(1, Ordering::Relaxed);
-                self.stats.note_occupancy(self.to_core[core].len() as u64);
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                stats.note_occupancy(self.to_core[core].len() as u64);
                 Ok(())
             }
             Err((_, r)) => {
-                self.stats.send_backpressure.fetch_add(1, Ordering::Relaxed);
+                stats.send_backpressure.fetch_add(1, Ordering::Relaxed);
                 Err(r)
             }
         }
@@ -424,14 +469,14 @@ impl<Req, Resp> ClientPort<Req, Resp> {
 
     /// Polls for one response.
     pub fn try_recv(&self) -> Option<Resp> {
-        self.rx.pop()
+        self.rx().pop()
     }
 
     /// Blocks (polling) for one response.
     pub fn recv(&self) -> Resp {
         let mut spins = 0u32;
         loop {
-            if let Some(r) = self.rx.pop() {
+            if let Some(r) = self.rx().pop() {
                 return r;
             }
             spins += 1;
@@ -440,6 +485,31 @@ impl<Req, Resp> ClientPort<Req, Resp> {
             } else {
                 std::hint::spin_loop();
             }
+        }
+    }
+}
+
+impl<Req, Resp> Drop for ClientPort<Req, Resp> {
+    fn drop(&mut self) {
+        self.shared
+            .stats
+            .clients_attached
+            .fetch_sub(1, Ordering::Relaxed);
+        let Some(rx) = self.rx.take() else { return };
+        // Park only a fully drained port: a request still in flight would
+        // surface to the next owner as a stale response. A non-drained
+        // port's rings are intentionally leaked to the fabric (the server
+        // side keeps polling them; they just never see traffic again).
+        if self.to_core.iter().all(|p| p.is_empty()) && rx.is_empty() {
+            self.shared
+                .parked
+                .lock()
+                .expect("fabric parked lock")
+                .push(ParkedPort {
+                    id: self.id,
+                    to_core: std::mem::take(&mut self.to_core),
+                    rx,
+                });
         }
     }
 }
@@ -735,7 +805,57 @@ mod tests {
         };
         cores[0].respond(from, req * 10);
         assert_eq!(later.recv(), 70);
-        assert_eq!(fabric.stats().clients_attached.load(Ordering::Relaxed), 2);
+        // Gauge: the base port and both attached ports are live.
+        assert_eq!(fabric.stats().clients_attached.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn dropped_port_is_parked_and_reused() {
+        let fabric = Fabric::<u64, u64>::new(1, 1, 8);
+        let mut cores = fabric.server_cores();
+        let gauge = || fabric.stats().clients_attached.load(Ordering::Relaxed);
+
+        let first = fabric.attach_client();
+        let first_id = first.id();
+        assert_eq!(gauge(), 1);
+
+        // Round-trip a request so the port is provably wired, then drain
+        // fully before dropping.
+        first.send(0, 9).unwrap();
+        let (from, req) = loop {
+            if let Some(m) = cores[0].poll() {
+                break m;
+            }
+        };
+        cores[0].respond(from, req + 1);
+        assert_eq!(first.recv(), 10);
+        drop(first);
+        assert_eq!(gauge(), 0, "drop returns the gauge to baseline");
+
+        // Reattach: same id, no ring-matrix growth, and the rings still
+        // carry traffic.
+        let second = fabric.attach_client();
+        assert_eq!(second.id(), first_id, "drained port is reused");
+        assert_eq!(gauge(), 1);
+        second.send(0, 20).unwrap();
+        let (from, req) = loop {
+            if let Some(m) = cores[0].poll() {
+                break m;
+            }
+        };
+        cores[0].respond(from, req + 1);
+        assert_eq!(second.recv(), 21);
+
+        // Churn: many attach/drop cycles neither grow the fabric nor move
+        // the gauge off baseline.
+        let grown_before = fabric.shared.grown.load(Ordering::Acquire);
+        drop(second);
+        for _ in 0..100 {
+            let port = fabric.attach_client();
+            assert_eq!(port.id(), first_id);
+        }
+        assert_eq!(gauge(), 0);
+        assert_eq!(fabric.shared.grown.load(Ordering::Acquire), grown_before);
     }
 
     #[test]

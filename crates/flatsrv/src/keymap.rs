@@ -1,0 +1,106 @@
+//! Byte keys on a `u64` engine keyspace.
+//!
+//! The engine indexes fixed 8-byte keys; the wire speaks arbitrary byte
+//! strings. The front end hashes each raw key onto `u64` ([`hash_key`])
+//! and stores the raw key *inside* the value frame ([`encode_frame`]),
+//! so a `GET` can verify it found the caller's key and not a hash
+//! collision — a colliding key reads as a miss instead of returning a
+//! stranger's value, and `SET` on a colliding key overwrites (last
+//! writer wins within a hash slot, the same trade every fixed-width-key
+//! cache front end makes).
+
+/// Longest raw key accepted over the wire (frame stores a `u16` length).
+pub const MAX_KEY_LEN: usize = 4096;
+
+/// FNV-1a over the raw key, finished with a 64-bit avalanche so short
+/// keys spread across the whole keyspace (the engine shards cores by
+/// key hash). The engine reserves `u64::MAX`; it is remapped.
+pub fn hash_key(raw: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in raw {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    // splitmix64 finalizer.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d049bb133111eb);
+    h ^= h >> 31;
+    if h == u64::MAX {
+        0x9e3779b97f4a7c15 // arbitrary fixed stand-in, still well spread
+    } else {
+        h
+    }
+}
+
+/// Builds the stored value frame: `[klen: u16 LE][raw key][value]`.
+///
+/// The frame is never empty (it always carries the 2-byte length), so
+/// empty wire values never trip the engine's `EmptyValue` rule.
+///
+/// # Panics
+///
+/// `raw.len()` must be ≤ [`MAX_KEY_LEN`] (the command layer rejects
+/// longer keys before calling this).
+pub fn encode_frame(raw: &[u8], value: &[u8]) -> Vec<u8> {
+    assert!(
+        raw.len() <= MAX_KEY_LEN,
+        "key length checked at the command layer"
+    );
+    let mut frame = Vec::with_capacity(2 + raw.len() + value.len());
+    frame.extend_from_slice(&(raw.len() as u16).to_le_bytes());
+    frame.extend_from_slice(raw);
+    frame.extend_from_slice(value);
+    frame
+}
+
+/// Splits a stored frame back into `(raw key, value)`; `None` if the
+/// frame is too short for its declared key (not written by this front
+/// end).
+pub fn decode_frame(frame: &[u8]) -> Option<(&[u8], &[u8])> {
+    let (len_bytes, rest) = frame.split_first_chunk::<2>()?;
+    let klen = u16::from_le_bytes(*len_bytes) as usize;
+    if rest.len() < klen {
+        return None;
+    }
+    Some(rest.split_at(klen))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        for (k, v) in [
+            (&b"key"[..], &b"value"[..]),
+            (b"", b""),
+            (b"k", b""),
+            (b"", b"v"),
+        ] {
+            let frame = encode_frame(k, v);
+            assert!(!frame.is_empty());
+            assert_eq!(decode_frame(&frame), Some((k, v)));
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        assert_eq!(decode_frame(b""), None);
+        assert_eq!(decode_frame(&[9]), None);
+        assert_eq!(decode_frame(&[9, 0, b'a']), None); // claims 9, has 1
+    }
+
+    #[test]
+    fn hash_spreads_and_avoids_reserved() {
+        assert_ne!(hash_key(b"a"), hash_key(b"b"));
+        assert_eq!(hash_key(b"stable"), hash_key(b"stable"));
+        // Short sequential keys land on distinct cores (avalanche works).
+        let cores: std::collections::HashSet<u64> = (0..64u8).map(|i| hash_key(&[i]) % 4).collect();
+        assert_eq!(cores.len(), 4);
+        for i in 0..10_000u64 {
+            assert_ne!(hash_key(&i.to_le_bytes()), u64::MAX);
+        }
+    }
+}

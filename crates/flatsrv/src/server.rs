@@ -1,0 +1,728 @@
+//! The wire server: acceptor threads multiplexing RESP connections onto
+//! pipelined engine [`Session`]s.
+//!
+//! One thread per listener runs a small poll-style event loop: a
+//! non-blocking accept, then a sweep over every connection — read,
+//! parse, submit, harvest completions, write. Each connection owns one
+//! engine `Session`, so its commands pipeline up to
+//! `Config::pipeline_depth` deep while replies still go out strictly in
+//! command order (a per-connection FIFO pairs each submitted ticket with
+//! its reply slot; out-of-order engine completions park in a map until
+//! their slot reaches the head). Many live connections therefore look to
+//! the engine exactly like the paper's client fleet — horizontal
+//! batching fills from real sockets.
+//!
+//! Robustness: per-connection write buffers are bounded
+//! ([`ServerOpts::write_buf_limit`]) and a consumer that stops reading
+//! long enough to exceed the bound is disconnected; `QUIT` and EOF drain
+//! in-flight operations and flush before closing; dropped connections
+//! drop their session, which drains in flight and parks the fabric port
+//! for reuse, so connection churn leaks nothing.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use flatstore::prelude::*;
+use flatstore::{Session, StoreHandle};
+
+use crate::keymap::{decode_frame, encode_frame, hash_key, MAX_KEY_LEN};
+use crate::resp;
+use crate::resp::Argv;
+
+/// Produces the engine's `stats_report` JSON for `INFO`.
+pub type StatsSource = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerOpts {
+    /// Disconnect a connection whose pending reply bytes exceed this
+    /// (slow-consumer policy).
+    pub write_buf_limit: usize,
+    /// Most simultaneous connections per listener; extras are refused.
+    pub max_conns: usize,
+}
+
+impl Default for ServerOpts {
+    fn default() -> ServerOpts {
+        ServerOpts {
+            write_buf_limit: 1 << 20,
+            max_conns: 1024,
+        }
+    }
+}
+
+/// A pre-bound listening socket (bind at the call site so `:0` ports can
+/// be reported back).
+pub enum Listener {
+    /// TCP listener (e.g. `127.0.0.1:6379`).
+    Tcp(TcpListener),
+    /// Unix-domain socket listener.
+    Unix(UnixListener),
+}
+
+/// Counters the server aggregates across all its acceptor threads.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: AtomicU64,
+    /// Connections dropped for exceeding the write-buffer bound.
+    pub slow_consumer_drops: AtomicU64,
+    /// Commands executed (including immediate ones like `PING`).
+    pub commands: AtomicU64,
+    /// `GET`s whose stored frame carried a different raw key (hash
+    /// collision surfaced as a miss).
+    pub collision_misses: AtomicU64,
+}
+
+/// A running wire front end; dropping it stops the acceptor threads.
+pub struct Server {
+    stop: Arc<AtomicBool>,
+    shutdown_requested: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    threads: Vec<JoinHandle<()>>,
+    tcp_addrs: Vec<SocketAddr>,
+}
+
+impl Server {
+    /// Starts one acceptor thread per listener, each serving connections
+    /// with sessions opened on `handle`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures
+    /// (`set_nonblocking`); accept-time errors are handled per
+    /// connection.
+    pub fn start(
+        handle: StoreHandle,
+        stats_source: StatsSource,
+        listeners: Vec<Listener>,
+        opts: ServerOpts,
+    ) -> std::io::Result<Server> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let shutdown_requested = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let mut tcp_addrs = Vec::new();
+        let mut threads = Vec::new();
+        for (i, listener) in listeners.into_iter().enumerate() {
+            if let Listener::Tcp(l) = &listener {
+                tcp_addrs.push(l.local_addr()?);
+            }
+            match &listener {
+                Listener::Tcp(l) => l.set_nonblocking(true)?,
+                Listener::Unix(l) => l.set_nonblocking(true)?,
+            }
+            let worker = AcceptLoop {
+                listener,
+                handle: handle.clone(),
+                stats_source: Arc::clone(&stats_source),
+                stop: Arc::clone(&stop),
+                shutdown_requested: Arc::clone(&shutdown_requested),
+                stats: Arc::clone(&stats),
+                opts: opts.clone(),
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("flatsrv-accept-{i}"))
+                    .spawn(move || worker.run())?,
+            );
+        }
+        Ok(Server {
+            stop,
+            shutdown_requested,
+            stats,
+            threads,
+            tcp_addrs,
+        })
+    }
+
+    /// Actual addresses of the TCP listeners (useful after binding `:0`).
+    pub fn tcp_addrs(&self) -> &[SocketAddr] {
+        &self.tcp_addrs
+    }
+
+    /// Server-side counters.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Whether a client issued `SHUTDOWN`.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the acceptor threads exit (a client's `SHUTDOWN` or
+    /// [`stop`](Self::stop) from another thread); returns whether
+    /// shutdown was client-requested.
+    pub fn wait(mut self) -> bool {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.shutdown_requested()
+    }
+
+    /// Asks the acceptor threads to exit and joins them.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Either stream type behind one non-blocking interface.
+enum WireStream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl WireStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            WireStream::Tcp(s) => s.read(buf),
+            WireStream::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            WireStream::Tcp(s) => s.write(buf),
+            WireStream::Unix(s) => s.write(buf),
+        }
+    }
+}
+
+/// What a completed engine reply should render as, FIFO-ordered per
+/// connection.
+enum Pend {
+    /// Bytes already rendered (immediate commands: `PING`, `INFO`, …).
+    Ready(Vec<u8>),
+    /// One engine operation.
+    One { ticket: Ticket, kind: PendKind },
+    /// A multi-key `DEL`: resolves once every ticket has completed.
+    Del { tickets: Vec<Ticket> },
+}
+
+enum PendKind {
+    Set,
+    Get { raw: Vec<u8> },
+    Scan { limit: usize },
+}
+
+/// One live connection.
+struct Conn {
+    stream: WireStream,
+    session: Session,
+    /// Unparsed input bytes.
+    rdbuf: Vec<u8>,
+    /// Rendered reply bytes not yet written; `out_pos` marks the flushed
+    /// prefix.
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    /// Reply slots in command order.
+    fifo: VecDeque<Pend>,
+    /// Engine completions waiting for their slot to reach the FIFO head.
+    results: HashMap<Ticket, Reply>,
+    /// No more reads (QUIT or EOF); close once fully flushed.
+    draining: bool,
+    /// Connection is finished; remove it from the sweep.
+    dead: bool,
+}
+
+impl Conn {
+    fn pending_out(&self) -> usize {
+        self.outbuf.len() - self.out_pos
+    }
+}
+
+struct AcceptLoop {
+    listener: Listener,
+    handle: StoreHandle,
+    stats_source: StatsSource,
+    stop: Arc<AtomicBool>,
+    shutdown_requested: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    opts: ServerOpts,
+}
+
+impl AcceptLoop {
+    fn run(self) {
+        let mut conns: Vec<Conn> = Vec::new();
+        // Idle ladder: spin a few sweeps, then sleep briefly so an idle
+        // server does not burn a core.
+        let mut idle: u32 = 0;
+        while !self.stop.load(Ordering::Acquire) {
+            let mut progressed = self.accept_new(&mut conns);
+            for conn in conns.iter_mut() {
+                progressed |= self.sweep(conn);
+            }
+            conns.retain(|c| !c.dead);
+            if progressed {
+                idle = 0;
+            } else {
+                idle = idle.saturating_add(1);
+                if idle < 64 {
+                    std::hint::spin_loop();
+                } else if idle < 256 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+        // Final flush so a SHUTDOWN's +OK (and anything else rendered)
+        // reaches clients before the sockets close.
+        let deadline = Instant::now() + Duration::from_millis(250);
+        for conn in conns.iter_mut() {
+            while conn.pending_out() > 0 && Instant::now() < deadline {
+                if !flush(conn, &self.stats, self.opts.write_buf_limit) {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                if conn.dead {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn accept_new(&self, conns: &mut Vec<Conn>) -> bool {
+        let mut progressed = false;
+        loop {
+            let accepted = match &self.listener {
+                Listener::Tcp(l) => match l.accept() {
+                    Ok((s, _)) => {
+                        let _ = s.set_nodelay(true);
+                        s.set_nonblocking(true).map(|()| WireStream::Tcp(s))
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) => Err(e),
+                },
+                Listener::Unix(l) => match l.accept() {
+                    Ok((s, _)) => s.set_nonblocking(true).map(|()| WireStream::Unix(s)),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) => Err(e),
+                },
+            };
+            let stream = match accepted {
+                Ok(s) => s,
+                Err(_) => continue, // refused/failed handshake: next accept
+            };
+            if conns.len() >= self.opts.max_conns {
+                continue; // drop: over the connection cap
+            }
+            let Ok(session) = self.handle.session() else {
+                continue; // engine is shutting down
+            };
+            self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            conns.push(Conn {
+                stream,
+                session,
+                rdbuf: Vec::new(),
+                outbuf: Vec::new(),
+                out_pos: 0,
+                fifo: VecDeque::new(),
+                results: HashMap::new(),
+                draining: false,
+                dead: false,
+            });
+            progressed = true;
+        }
+        progressed
+    }
+
+    /// One pass over a connection: read → parse/execute → harvest →
+    /// render in order → write. Returns whether anything progressed.
+    fn sweep(&self, conn: &mut Conn) -> bool {
+        let mut progressed = false;
+
+        // Read — unless draining, or backpressured (a client that keeps
+        // pipelining while not reading replies must not grow our buffers
+        // unboundedly; pausing reads is the flow control).
+        let paused = conn.fifo.len() >= 4 * conn.session.pipeline_depth().max(1)
+            || conn.pending_out() >= self.opts.write_buf_limit / 2;
+        if !conn.draining && !paused {
+            let mut chunk = [0u8; 16 * 1024];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.draining = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.rdbuf.extend_from_slice(&chunk[..n]);
+                        progressed = true;
+                        if conn.rdbuf.len() >= resp::MAX_BULK {
+                            break; // parse before buffering more
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conn.dead = true;
+                        return true;
+                    }
+                }
+            }
+        }
+
+        // Parse and execute as long as the session has pipeline credit.
+        let mut consumed = 0;
+        while conn.session.in_flight() < conn.session.pipeline_depth() {
+            match resp::parse_command(&conn.rdbuf[consumed..]) {
+                Ok(Some((argv, used))) => {
+                    consumed += used;
+                    progressed = true;
+                    if argv.is_empty() {
+                        continue; // blank inline line
+                    }
+                    self.stats.commands.fetch_add(1, Ordering::Relaxed);
+                    if !self.execute(conn, argv) {
+                        break; // QUIT/SHUTDOWN: stop parsing this buffer
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing is lost: answer once, then drain and close.
+                    let mut out = Vec::new();
+                    resp::error(&mut out, &format!("protocol error: {e}"));
+                    conn.fifo.push_back(Pend::Ready(out));
+                    conn.rdbuf.clear();
+                    consumed = 0;
+                    conn.draining = true;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        if consumed > 0 {
+            conn.rdbuf.drain(..consumed);
+        }
+
+        // Harvest engine completions (out of order).
+        for (t, r) in conn.session.poll_completions() {
+            conn.results.insert(t, r);
+            progressed = true;
+        }
+
+        // Render resolved FIFO heads in command order.
+        progressed |= render_ready(conn, &self.stats);
+
+        // Write.
+        progressed |= flush(conn, &self.stats, self.opts.write_buf_limit);
+
+        // A drained connection with nothing left to say is done.
+        if conn.draining
+            && conn.fifo.is_empty()
+            && conn.pending_out() == 0
+            && conn.session.in_flight() == 0
+        {
+            conn.dead = true;
+        }
+        progressed
+    }
+
+    /// Executes one command; returns `false` when the connection should
+    /// stop consuming input (QUIT/SHUTDOWN).
+    fn execute(&self, conn: &mut Conn, argv: Argv) -> bool {
+        let verb = argv[0].to_ascii_uppercase();
+        let mut out = Vec::new();
+        match verb.as_slice() {
+            b"PING" => {
+                if argv.len() > 1 {
+                    resp::bulk(&mut out, &argv[1]);
+                } else {
+                    resp::simple(&mut out, "PONG");
+                }
+                conn.fifo.push_back(Pend::Ready(out));
+            }
+            b"SET" => {
+                if argv.len() != 3 {
+                    return arity_err(conn, "set");
+                }
+                if argv[1].len() > MAX_KEY_LEN {
+                    resp::error(&mut out, "key too long");
+                    conn.fifo.push_back(Pend::Ready(out));
+                    return true;
+                }
+                let key = hash_key(&argv[1]);
+                let frame = encode_frame(&argv[1], &argv[2]);
+                match conn.session.submit(Op::Put { key, value: frame }) {
+                    Ok(ticket) => conn.fifo.push_back(Pend::One {
+                        ticket,
+                        kind: PendKind::Set,
+                    }),
+                    Err(e) => {
+                        resp::error(&mut out, &e.to_string());
+                        conn.fifo.push_back(Pend::Ready(out));
+                    }
+                }
+            }
+            b"GET" => {
+                if argv.len() != 2 {
+                    return arity_err(conn, "get");
+                }
+                let key = hash_key(&argv[1]);
+                match conn.session.submit(Op::Get { key }) {
+                    Ok(ticket) => conn.fifo.push_back(Pend::One {
+                        ticket,
+                        kind: PendKind::Get {
+                            raw: argv[1].clone(),
+                        },
+                    }),
+                    Err(e) => {
+                        resp::error(&mut out, &e.to_string());
+                        conn.fifo.push_back(Pend::Ready(out));
+                    }
+                }
+            }
+            b"DEL" => {
+                if argv.len() < 2 {
+                    return arity_err(conn, "del");
+                }
+                let mut tickets = Vec::with_capacity(argv.len() - 1);
+                for raw in &argv[1..] {
+                    let key = hash_key(raw);
+                    // May block briefly past the pipeline depth on huge
+                    // multi-key DELs; submit absorbs completions while it
+                    // waits, so the engine keeps making progress.
+                    match conn.session.submit(Op::Delete { key }) {
+                        Ok(t) => tickets.push(t),
+                        Err(e) => {
+                            // Render what we have; report the failure.
+                            conn.fifo.push_back(Pend::Del { tickets });
+                            resp::error(&mut out, &e.to_string());
+                            conn.fifo.push_back(Pend::Ready(out));
+                            return true;
+                        }
+                    }
+                }
+                conn.fifo.push_back(Pend::Del { tickets });
+            }
+            b"SCAN" => {
+                if argv.len() != 2 && argv.len() != 4 {
+                    return arity_err(conn, "scan");
+                }
+                let Some(cursor) = parse_u64(&argv[1]) else {
+                    resp::error(&mut out, "invalid cursor");
+                    conn.fifo.push_back(Pend::Ready(out));
+                    return true;
+                };
+                let mut limit = 10usize;
+                if argv.len() == 4 {
+                    if !argv[2].eq_ignore_ascii_case(b"COUNT") {
+                        resp::error(&mut out, "syntax error");
+                        conn.fifo.push_back(Pend::Ready(out));
+                        return true;
+                    }
+                    let Some(n) = parse_u64(&argv[3]).filter(|&n| n > 0 && n <= 10_000) else {
+                        resp::error(&mut out, "invalid COUNT");
+                        conn.fifo.push_back(Pend::Ready(out));
+                        return true;
+                    };
+                    limit = n as usize;
+                }
+                match conn.session.submit(Op::Range {
+                    lo: cursor,
+                    hi: u64::MAX,
+                    limit,
+                }) {
+                    Ok(ticket) => conn.fifo.push_back(Pend::One {
+                        ticket,
+                        kind: PendKind::Scan { limit },
+                    }),
+                    Err(e) => {
+                        resp::error(&mut out, &e.to_string());
+                        conn.fifo.push_back(Pend::Ready(out));
+                    }
+                }
+            }
+            b"INFO" => {
+                resp::bulk(&mut out, (self.stats_source)().as_bytes());
+                conn.fifo.push_back(Pend::Ready(out));
+            }
+            b"QUIT" => {
+                resp::simple(&mut out, "OK");
+                conn.fifo.push_back(Pend::Ready(out));
+                conn.draining = true;
+                return false;
+            }
+            b"SHUTDOWN" => {
+                resp::simple(&mut out, "OK");
+                conn.fifo.push_back(Pend::Ready(out));
+                conn.draining = true;
+                self.shutdown_requested.store(true, Ordering::Release);
+                self.stop.store(true, Ordering::Release);
+                return false;
+            }
+            other => {
+                let name = String::from_utf8_lossy(other);
+                resp::error(&mut out, &format!("unknown command '{name}'"));
+                conn.fifo.push_back(Pend::Ready(out));
+            }
+        }
+        true
+    }
+}
+
+fn arity_err(conn: &mut Conn, cmd: &str) -> bool {
+    let mut out = Vec::new();
+    resp::error(
+        &mut out,
+        &format!("wrong number of arguments for '{cmd}' command"),
+    );
+    conn.fifo.push_back(Pend::Ready(out));
+    true
+}
+
+fn parse_u64(b: &[u8]) -> Option<u64> {
+    std::str::from_utf8(b).ok()?.parse().ok()
+}
+
+/// Renders every resolved slot at the FIFO head into the write buffer.
+fn render_ready(conn: &mut Conn, stats: &ServerStats) -> bool {
+    let mut progressed = false;
+    loop {
+        let rendered = match conn.fifo.front() {
+            None => break,
+            Some(Pend::Ready(_)) => {
+                let Some(Pend::Ready(bytes)) = conn.fifo.pop_front() else {
+                    unreachable!("front() just matched Ready");
+                };
+                bytes
+            }
+            Some(Pend::One { ticket, .. }) => {
+                if !conn.results.contains_key(ticket) {
+                    break;
+                }
+                let Some(Pend::One { ticket, kind }) = conn.fifo.pop_front() else {
+                    unreachable!("front() just matched One");
+                };
+                let Some(reply) = conn.results.remove(&ticket) else {
+                    unreachable!("contains_key checked above");
+                };
+                render_one(kind, reply, stats)
+            }
+            Some(Pend::Del { tickets }) => {
+                if !tickets.iter().all(|t| conn.results.contains_key(t)) {
+                    break;
+                }
+                let Some(Pend::Del { tickets }) = conn.fifo.pop_front() else {
+                    unreachable!("front() just matched Del");
+                };
+                let mut existed = 0i64;
+                let mut first_err: Option<StoreError> = None;
+                for t in tickets {
+                    match conn.results.remove(&t) {
+                        Some(Reply::Delete(Ok(true))) => existed += 1,
+                        Some(Reply::Delete(Ok(false))) | None => {}
+                        Some(Reply::Delete(Err(e))) => {
+                            first_err.get_or_insert(e);
+                        }
+                        Some(_) => {}
+                    }
+                }
+                let mut out = Vec::new();
+                match first_err {
+                    Some(e) => resp::error(&mut out, &e.to_string()),
+                    None => resp::integer(&mut out, existed),
+                }
+                out
+            }
+        };
+        conn.outbuf.extend_from_slice(&rendered);
+        progressed = true;
+    }
+    progressed
+}
+
+/// Renders one completed single-op command.
+fn render_one(kind: PendKind, reply: Reply, stats: &ServerStats) -> Vec<u8> {
+    let mut out = Vec::new();
+    match (kind, reply) {
+        (PendKind::Set, Reply::Put(Ok(()))) => resp::simple(&mut out, "OK"),
+        (PendKind::Set, Reply::Put(Err(e))) => resp::error(&mut out, &e.to_string()),
+        (PendKind::Get { raw }, Reply::Get(Ok(Some(frame)))) => match decode_frame(&frame) {
+            Some((stored_key, value)) if stored_key == raw => resp::bulk(&mut out, value),
+            Some(_) => {
+                // A different raw key hashed onto the same u64: for this
+                // caller the key does not exist.
+                stats.collision_misses.fetch_add(1, Ordering::Relaxed);
+                resp::nil(&mut out);
+            }
+            None => resp::error(&mut out, "stored value frame corrupt"),
+        },
+        (PendKind::Get { .. }, Reply::Get(Ok(None))) => resp::nil(&mut out),
+        (PendKind::Get { .. }, Reply::Get(Err(e))) => resp::error(&mut out, &e.to_string()),
+        (PendKind::Scan { limit }, Reply::Range(Ok(items))) => {
+            let exhausted = items.len() < limit;
+            let next = match items.last() {
+                Some(&(last, _)) if !exhausted => last.wrapping_add(1).max(1),
+                _ => 0,
+            };
+            let keys: Vec<Vec<u8>> = items
+                .iter()
+                .filter_map(|(_, frame)| decode_frame(frame).map(|(k, _)| k.to_vec()))
+                .collect();
+            resp::array_header(&mut out, 2);
+            resp::bulk(&mut out, next.to_string().as_bytes());
+            resp::array_header(&mut out, keys.len());
+            for k in keys {
+                resp::bulk(&mut out, &k);
+            }
+        }
+        (PendKind::Scan { .. }, Reply::Range(Err(e))) => resp::error(&mut out, &e.to_string()),
+        (_, other) => resp::error(&mut out, &format!("mismatched completion: {other:?}")),
+    }
+    out
+}
+
+/// Writes pending bytes; enforces the slow-consumer bound. Returns
+/// whether bytes moved.
+fn flush(conn: &mut Conn, stats: &ServerStats, write_buf_limit: usize) -> bool {
+    if conn.pending_out() > write_buf_limit {
+        stats.slow_consumer_drops.fetch_add(1, Ordering::Relaxed);
+        conn.dead = true;
+        return true;
+    }
+    let mut progressed = false;
+    while conn.out_pos < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.out_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.out_pos += n;
+                progressed = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return true;
+            }
+        }
+    }
+    if conn.out_pos == conn.outbuf.len() {
+        conn.outbuf.clear();
+        conn.out_pos = 0;
+    } else if conn.out_pos > 64 * 1024 {
+        conn.outbuf.drain(..conn.out_pos);
+        conn.out_pos = 0;
+    }
+    progressed
+}

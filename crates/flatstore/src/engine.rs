@@ -16,7 +16,7 @@ use crate::config::Config;
 use crate::error::StoreError;
 use crate::flight::FlightRegistry;
 use crate::repl::ReplicationSink;
-use crate::request::{OpResult, StoreFabric};
+use crate::request::{Op, OpResult, StoreFabric};
 use crate::session::{EngineShared, Session};
 use crate::shard::{core_of, Shard};
 use crate::superblock::{Superblock, POOL_BASE};
@@ -31,7 +31,7 @@ fn elapsed_ns(start: std::time::Instant) -> u64 {
 
 /// A completion of the wrong kind arrived for a blocking call — the
 /// session matched the ticket, so this indicates engine corruption.
-fn mismatched(other: OpResult) -> StoreError {
+pub(crate) fn mismatched(other: OpResult) -> StoreError {
     StoreError::corrupt(format!("mismatched completion kind: {other:?}"))
 }
 
@@ -109,7 +109,7 @@ impl StoreHandle {
     pub fn put(&self, key: u64, value: impl AsRef<[u8]>) -> Result<(), StoreError> {
         let start = std::time::Instant::now();
         self.with_session(|s| {
-            let t = s.submit_put(key, value.as_ref())?;
+            let t = s.submit(Op::put(key, value.as_ref()))?;
             let r = s.wait(t)?;
             self.shared.stats.put_latency.record(elapsed_ns(start));
             match r {
@@ -127,7 +127,7 @@ impl StoreHandle {
     pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
         let start = std::time::Instant::now();
         self.with_session(|s| {
-            let t = s.submit_get(key)?;
+            let t = s.submit(Op::Get { key })?;
             let r = s.wait(t)?;
             self.shared.stats.get_latency.record(elapsed_ns(start));
             match r {
@@ -145,7 +145,7 @@ impl StoreHandle {
     pub fn delete(&self, key: u64) -> Result<bool, StoreError> {
         let start = std::time::Instant::now();
         self.with_session(|s| {
-            let t = s.submit_delete(key)?;
+            let t = s.submit(Op::Delete { key })?;
             let r = s.wait(t)?;
             self.shared.stats.delete_latency.record(elapsed_ns(start));
             match r {
@@ -165,7 +165,7 @@ impl StoreHandle {
     pub fn range(&self, lo: u64, hi: u64, limit: usize) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
         let start = std::time::Instant::now();
         self.with_session(|s| {
-            let t = s.submit_range(lo, hi, limit)?;
+            let t = s.submit(Op::Range { lo, hi, limit })?;
             let r = s.wait(t)?;
             self.shared.stats.range_latency.record(elapsed_ns(start));
             match r {

@@ -52,10 +52,13 @@
 //! Blocking calls complete one operation per round trip. A [`Session`]
 //! keeps up to [`Config::pipeline_depth`] operations in flight, which is
 //! what lets horizontal batching fill a group's batch from a single
-//! client:
+//! client. Every verb goes through one entry point,
+//! [`Session::submit`], taking a typed [`Op`] and completing as the
+//! mirrored [`Reply`] variant:
 //!
 //! ```
-//! use flatstore::{Config, FlatStore, OpResult};
+//! use flatstore::prelude::*;
+//! use flatstore::FlatStore;
 //!
 //! let cfg = Config::builder()
 //!     .pm_bytes(64 << 20)
@@ -67,16 +70,23 @@
 //!
 //! let mut session = store.session()?;
 //! let tickets: Vec<_> = (0..32)
-//!     .map(|k| session.submit_put(k, b"v"))
+//!     .map(|k| session.submit(Op::put(k, b"v")))
 //!     .collect::<Result<_, _>>()?;
 //! for t in tickets {
-//!     assert_eq!(session.wait(t)?, OpResult::Put(Ok(())));
+//!     assert_eq!(session.wait(t)?, Reply::Put(Ok(())));
 //! }
 //! drop(session);
 //! store.shutdown()?;
 //! # Ok::<(), flatstore::StoreError>(())
 //! ```
+//!
+//! For blocking callers, the [`KvApi`] trait is the one surface every
+//! client type implements: [`StoreHandle`] (clonable, internally
+//! synchronized) and [`Client`] (a blocking adapter over an owned
+//! [`Session`]). Code taking `&mut impl KvApi` runs unchanged over
+//! either.
 
+mod api;
 mod batch;
 mod cache;
 mod config;
@@ -91,13 +101,27 @@ mod superblock;
 mod value;
 mod vindex;
 
+pub use api::{Client, KvApi};
 pub use batch::EngineStats;
 pub use config::{Config, ConfigBuilder, ExecutionModel, GcConfig, IndexKind};
 pub use engine::{FlatStore, StoreHandle};
 pub use error::StoreError;
 pub use repl::{BackupImage, ReplOp, ReplicationSink};
-pub use request::OpResult;
+pub use request::{Op, OpResult, Reply};
 pub use session::{Session, Ticket};
+
+/// The one-line import for client code: the types every caller touches.
+///
+/// ```
+/// use flatstore::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::api::{Client, KvApi};
+    pub use crate::config::Config;
+    pub use crate::error::StoreError;
+    pub use crate::request::{Op, Reply};
+    pub use crate::session::Ticket;
+}
 
 /// Routes `key` to its owning server core (exposed for benchmark
 /// harnesses that model client-side routing).

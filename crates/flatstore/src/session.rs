@@ -20,8 +20,7 @@ use obs::{Sampler, Span, SpanCtx, Stage};
 use crate::batch::EngineStats;
 use crate::error::StoreError;
 use crate::flight::FlightRegistry;
-use crate::request::{OpReq, OpResult, StoreClientPort, StoreFabric};
-use crate::shard::core_of;
+use crate::request::{Op, OpReq, Reply, StoreClientPort, StoreFabric};
 
 /// Engine state every session (and the blocking handle) hangs off.
 pub(crate) struct EngineShared {
@@ -131,17 +130,18 @@ pub struct Ticket(u64);
 /// # Example
 ///
 /// ```
-/// use flatstore::{Config, FlatStore, OpResult};
+/// use flatstore::prelude::*;
+/// use flatstore::FlatStore;
 ///
 /// let store = FlatStore::create(
 ///     Config::builder().pm_bytes(64 << 20).ncores(2).group_size(2).build()?,
 /// )?;
 /// let mut session = store.session()?;
 /// let tickets: Vec<_> = (0..32u64)
-///     .map(|k| session.submit_put(k, b"v"))
+///     .map(|k| session.submit(Op::put(k, b"v")))
 ///     .collect::<Result<_, _>>()?;
 /// for t in tickets {
-///     assert_eq!(session.wait(t)?, OpResult::Put(Ok(())));
+///     assert_eq!(session.wait(t)?, Reply::Put(Ok(())));
 /// }
 /// # store.shutdown()?;
 /// # Ok::<(), flatstore::StoreError>(())
@@ -155,7 +155,7 @@ pub struct Session {
     /// Control requests (barrier/cursor) awaiting their ack.
     pending_control: HashSet<u64>,
     /// Completed but unharvested results.
-    ready: VecDeque<(Ticket, OpResult)>,
+    ready: VecDeque<(Ticket, Reply)>,
     /// Decides which submissions carry a causal span.
     sampler: Sampler,
     /// Completed spans awaiting [`drain_spans`](Session::drain_spans);
@@ -281,7 +281,7 @@ impl Session {
         }
     }
 
-    fn submit(&mut self, core: usize, body: OpReq) -> Result<Ticket, StoreError> {
+    fn submit_req(&mut self, core: usize, body: OpReq) -> Result<Ticket, StoreError> {
         while self.inflight.len() >= self.shared.depth {
             self.absorb_blocking()?;
         }
@@ -317,55 +317,82 @@ impl Session {
         Ok(seq)
     }
 
-    /// Submits a Put of `value` under `key`.
+    /// Submits one operation, routed to its owning core; the single entry
+    /// point every verb goes through.
+    ///
+    /// Returns a [`Ticket`] immediately; the matching [`Reply`] variant
+    /// (`Op::Get` → [`Reply::Get`], …) is harvested later with
+    /// [`poll_completions`](Self::poll_completions) or
+    /// [`wait`](Self::wait). Blocks only when the pipeline is full
+    /// (`pipeline_depth` ops outstanding) or the target ring is out of
+    /// credits, absorbing completions while it waits.
     ///
     /// # Errors
     ///
     /// [`StoreError::ShuttingDown`] if the engine stopped. Per-operation
     /// failures ([`StoreError::EmptyValue`], …) surface in the completed
-    /// [`OpResult`].
+    /// [`Reply`], not here.
+    pub fn submit(&mut self, op: Op) -> Result<Ticket, StoreError> {
+        let core = op.home_core(self.shared.ncores);
+        self.submit_req(core, op.into_req())
+    }
+
+    /// Submits a Put of `value` under `key`, copying the caller's buffer.
+    ///
+    /// Pre-redesign entry point; prefer
+    /// `submit(Op::put(key, value))` ([`Session::submit`]). Kept as a
+    /// thin wrapper for existing call sites.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ShuttingDown`] if the engine stopped. Per-operation
+    /// failures ([`StoreError::EmptyValue`], …) surface in the completed
+    /// [`Reply`].
     pub fn submit_put(&mut self, key: u64, value: impl AsRef<[u8]>) -> Result<Ticket, StoreError> {
-        // The single copy: from the caller's buffer into the request that
-        // travels the fabric; the engine moves it into the log entry.
-        let value = value.as_ref().to_vec();
-        self.submit(core_of(key, self.shared.ncores), OpReq::Put { key, value })
+        self.submit(Op::put(key, value))
     }
 
     /// Submits a Get of `key`.
+    ///
+    /// Pre-redesign entry point; prefer `submit(Op::Get { key })`
+    /// ([`Session::submit`]).
     ///
     /// # Errors
     ///
     /// [`StoreError::ShuttingDown`] if the engine stopped.
     pub fn submit_get(&mut self, key: u64) -> Result<Ticket, StoreError> {
-        self.submit(core_of(key, self.shared.ncores), OpReq::Get { key })
+        self.submit(Op::Get { key })
     }
 
     /// Submits a Delete of `key`.
+    ///
+    /// Pre-redesign entry point; prefer `submit(Op::Delete { key })`
+    /// ([`Session::submit`]).
     ///
     /// # Errors
     ///
     /// [`StoreError::ShuttingDown`] if the engine stopped.
     pub fn submit_delete(&mut self, key: u64) -> Result<Ticket, StoreError> {
-        self.submit(core_of(key, self.shared.ncores), OpReq::Delete { key })
+        self.submit(Op::Delete { key })
     }
 
     /// Submits a range scan over `lo..hi` with at most `limit` items
     /// (FlatStore-M/-FF only; FlatStore-H completes with
     /// [`StoreError::RangeUnsupported`]).
     ///
+    /// Pre-redesign entry point; prefer
+    /// `submit(Op::Range { lo, hi, limit })` ([`Session::submit`]).
+    ///
     /// # Errors
     ///
     /// [`StoreError::ShuttingDown`] if the engine stopped.
     pub fn submit_range(&mut self, lo: u64, hi: u64, limit: usize) -> Result<Ticket, StoreError> {
-        self.submit(
-            core_of(lo, self.shared.ncores),
-            OpReq::Range { lo, hi, limit },
-        )
+        self.submit(Op::Range { lo, hi, limit })
     }
 
     /// Harvests every completion that has arrived, in completion order
     /// (which may differ from submission order across keys).
-    pub fn poll_completions(&mut self) -> Vec<(Ticket, OpResult)> {
+    pub fn poll_completions(&mut self) -> Vec<(Ticket, Reply)> {
         self.absorb();
         self.ready.drain(..).collect()
     }
@@ -391,7 +418,7 @@ impl Session {
     /// [`StoreError::UnknownTicket`] if the ticket was already harvested
     /// (or belongs to another session); [`StoreError::ShuttingDown`] if
     /// the engine stops first.
-    pub fn wait(&mut self, ticket: Ticket) -> Result<OpResult, StoreError> {
+    pub fn wait(&mut self, ticket: Ticket) -> Result<Reply, StoreError> {
         loop {
             if let Some(i) = self.ready.iter().position(|(t, _)| *t == ticket) {
                 // pmlint: allow(no-unwrap) — `i` comes from position() on
@@ -412,7 +439,7 @@ impl Session {
     /// # Errors
     ///
     /// [`StoreError::ShuttingDown`] if the engine stops first.
-    pub fn wait_all(&mut self) -> Result<Vec<(Ticket, OpResult)>, StoreError> {
+    pub fn wait_all(&mut self) -> Result<Vec<(Ticket, Reply)>, StoreError> {
         while !self.inflight.is_empty() {
             self.absorb_blocking()?;
         }

@@ -11,7 +11,7 @@ use std::collections::HashSet;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use flatstore::{Config, FlatStore};
+use flatstore::{Config, FlatStore, Op};
 use obs::Json;
 
 fn dump_dir() -> PathBuf {
@@ -55,7 +55,9 @@ fn shard_panic_dumps_partial_stage_vector() {
         .expect("valid test config");
     let store = FlatStore::create(cfg).expect("create store");
     let mut session = store.session().expect("session");
-    session.submit_put(7, b"boom").expect("submit poisoned put");
+    session
+        .submit(Op::put(7, b"boom"))
+        .expect("submit poisoned put");
 
     // The owning worker panics while the put is in flight; the panic hook
     // dumps every live registry. Poll for the new file.

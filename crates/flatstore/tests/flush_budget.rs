@@ -2,7 +2,7 @@
 //! keep [`pmem::REDUNDANT_FLUSH_BUDGET`] — see the constant's docs for why
 //! the engine should essentially never flush a clean line.
 
-use flatstore::{Config, FlatStore};
+use flatstore::{Config, FlatStore, Op};
 use pmem::REDUNDANT_FLUSH_BUDGET;
 use workloads::value_bytes;
 
@@ -35,7 +35,9 @@ fn standard_workload_keeps_redundant_flush_budget() {
     }
     let mut session = store.session().unwrap();
     for k in 0..500u64 {
-        session.submit_put(10_000 + k, value_bytes(k, 48)).unwrap();
+        session
+            .submit(Op::put(10_000 + k, value_bytes(k, 48)))
+            .unwrap();
     }
     session.wait_all().unwrap();
     drop(session);

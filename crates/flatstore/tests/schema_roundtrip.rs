@@ -6,7 +6,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use flatstore::{Config, FlatStore, ReplOp, ReplicationSink};
+use flatstore::{Config, FlatStore, Op, ReplOp, ReplicationSink};
 use obs::{Json, STATS_SCHEMA_VERSION};
 use pmem::PmAddr;
 
@@ -42,7 +42,7 @@ fn stats_report_json_round_trips_byte_identical() {
     // replication), gets (cache), deletes (maintenance counters).
     let mut session = store.session().expect("session");
     for k in 0..256u64 {
-        session.submit_put(k, b"round-trip").expect("put");
+        session.submit(Op::put(k, b"round-trip")).expect("put");
     }
     session.wait_all().expect("wait_all");
     drop(session);

@@ -5,7 +5,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use flatstore::{Config, ExecutionModel, FlatStore, OpResult, StoreError, Ticket};
+use flatstore::{Config, ExecutionModel, FlatStore, Op, OpResult, StoreError, Ticket};
 use proptest::prelude::*;
 use workloads::value_bytes;
 
@@ -57,9 +57,9 @@ proptest! {
         let mut completed: Vec<(Ticket, OpResult)> = Vec::new();
         for (i, &(op, key)) in ops.iter().enumerate() {
             let t = match op % 3 {
-                0 => session.submit_put(key, value_bytes(i as u64, 24)).unwrap(),
-                1 => session.submit_delete(key).unwrap(),
-                _ => session.submit_get(key).unwrap(),
+                0 => session.submit(Op::put(key, value_bytes(i as u64, 24))).unwrap(),
+                1 => session.submit(Op::Delete { key }).unwrap(),
+                _ => session.submit(Op::Get { key }).unwrap(),
             };
             prop_assert!(submitted.insert(t, i).is_none(), "ticket reused");
             // Harvest opportunistically, as a real client would.
@@ -115,7 +115,7 @@ fn pipelined_sessions_fill_hb_batches() {
             s.spawn(move || {
                 for i in 0..2_000u64 {
                     let key = client * 100_000 + i % 512;
-                    session.submit_put(key, value_bytes(i, 32)).unwrap();
+                    session.submit(Op::put(key, value_bytes(i, 32))).unwrap();
                 }
                 for (_, r) in session.wait_all().unwrap() {
                     assert_eq!(r, OpResult::Put(Ok(())));
@@ -148,7 +148,9 @@ fn backoff_does_not_throttle_a_saturated_pipeline() {
     let ops = 20_000u64;
     let start = std::time::Instant::now();
     for i in 0..ops {
-        session.submit_put(i % 1024, value_bytes(i, 32)).unwrap();
+        session
+            .submit(Op::put(i % 1024, value_bytes(i, 32)))
+            .unwrap();
     }
     for (_, r) in session.wait_all().unwrap() {
         assert_eq!(r, OpResult::Put(Ok(())));
@@ -177,7 +179,7 @@ fn dropping_a_busy_session_leaves_the_engine_healthy() {
     {
         let mut session = store.session().unwrap();
         for k in 0..64u64 {
-            session.submit_put(k, value_bytes(k, 48)).unwrap();
+            session.submit(Op::put(k, value_bytes(k, 48))).unwrap();
         }
         // Drop with most completions unharvested.
     }
@@ -196,4 +198,64 @@ fn sessions_error_after_shutdown() {
     store.shutdown().unwrap();
     assert!(matches!(handle.session(), Err(StoreError::ShuttingDown)));
     assert!(matches!(handle.put(1, b"x"), Err(StoreError::ShuttingDown)));
+}
+
+/// The pre-redesign `submit_*` wrappers stay behaviour-identical to
+/// `submit(Op)` — one test pins them so the compatibility shim cannot
+/// rot while the rest of the suite moves to the typed entry point.
+#[test]
+fn legacy_submit_wrappers_still_work() {
+    let store = FlatStore::create(cfg(2, 4)).unwrap();
+    let mut session = store.session().unwrap();
+
+    let t = session.submit_put(5, b"legacy").unwrap();
+    assert_eq!(session.wait(t).unwrap(), OpResult::Put(Ok(())));
+    let t = session.submit_get(5).unwrap();
+    assert_eq!(
+        session.wait(t).unwrap(),
+        OpResult::Get(Ok(Some(b"legacy".to_vec())))
+    );
+    let t = session.submit_delete(5).unwrap();
+    assert_eq!(session.wait(t).unwrap(), OpResult::Delete(Ok(true)));
+    // Hash index: ranges complete with RangeUnsupported, same as Op::Range.
+    let t = session.submit_range(0, 10, 16).unwrap();
+    assert_eq!(
+        session.wait(t).unwrap(),
+        OpResult::Range(Err(StoreError::RangeUnsupported))
+    );
+
+    drop(session);
+    store.shutdown().unwrap();
+}
+
+/// `KvApi` is one surface over both blocking transports: the same
+/// generic driver runs against a `StoreHandle` and a session-backed
+/// `Client`.
+#[test]
+fn kv_api_unifies_handle_and_client() {
+    use flatstore::{Client, KvApi};
+
+    fn drive(kv: &mut impl KvApi, base: u64) {
+        kv.put(base, b"unified").unwrap();
+        assert_eq!(kv.get(base).unwrap(), Some(b"unified".to_vec()));
+        assert!(kv.delete(base).unwrap());
+        assert_eq!(kv.get(base).unwrap(), None);
+        assert!(matches!(
+            kv.range(0, 10, 4),
+            Err(StoreError::RangeUnsupported)
+        ));
+    }
+
+    let store = FlatStore::create(cfg(2, 4)).unwrap();
+    let mut handle = store.handle();
+    drive(&mut handle, 100);
+    let mut client = Client::new(store.session().unwrap());
+    drive(&mut client, 200);
+    // Object safety: the transport can be picked at run time.
+    let mut dyn_kv: Box<dyn KvApi> = Box::new(client);
+    dyn_kv.put(300, b"dyn").unwrap();
+    assert_eq!(dyn_kv.get(300).unwrap(), Some(b"dyn".to_vec()));
+    drop(dyn_kv);
+    drop(handle);
+    store.shutdown().unwrap();
 }

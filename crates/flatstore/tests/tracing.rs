@@ -7,7 +7,7 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use flatstore::{Config, FlatStore, OpResult, ReplOp, ReplicationSink};
+use flatstore::{Config, FlatStore, Op, OpResult, ReplOp, ReplicationSink};
 use obs::{Json, Stage};
 use pmem::PmAddr;
 
@@ -62,7 +62,7 @@ fn traced_put_under_replication_reports_causal_stage_chain() {
     .expect("create replicated store");
     let mut session = store.session().expect("session");
     for k in 0..64u64 {
-        session.submit_put(k, b"traced-value").expect("submit");
+        session.submit(Op::put(k, b"traced-value")).expect("submit");
     }
     for (_, r) in session.wait_all().expect("wait_all") {
         assert_eq!(r, OpResult::Put(Ok(())));
@@ -175,7 +175,7 @@ fn traced_get_takes_the_short_path() {
     let store = FlatStore::create(traced_cfg()).expect("create store");
     store.put(9, b"value").expect("put");
     let mut session = store.session().expect("session");
-    let t = session.submit_get(9).expect("submit");
+    let t = session.submit(Op::Get { key: 9 }).expect("submit");
     assert_eq!(
         session.wait(t).expect("wait"),
         OpResult::Get(Ok(Some(b"value".to_vec())))
@@ -206,7 +206,7 @@ fn trace_sample_zero_records_nothing() {
     let store = FlatStore::create(cfg).expect("create store");
     let mut session = store.session().expect("session");
     for k in 0..32u64 {
-        session.submit_put(k, b"untraced").expect("submit");
+        session.submit(Op::put(k, b"untraced")).expect("submit");
     }
     session.wait_all().expect("wait_all");
     assert!(session.drain_spans().is_empty(), "unsampled ops left spans");

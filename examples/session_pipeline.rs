@@ -8,7 +8,8 @@
 //! cargo run --release --example session_pipeline
 //! ```
 
-use flatstore::{Config, ExecutionModel, FlatStore, OpResult, StoreError};
+use flatstore::prelude::*;
+use flatstore::{ExecutionModel, FlatStore};
 
 const CLIENTS: u64 = 4;
 const OPS_PER_CLIENT: u64 = 25_000;
@@ -28,21 +29,21 @@ fn main() -> Result<(), StoreError> {
         for client in 0..CLIENTS {
             let mut session = store.session().expect("attach session");
             s.spawn(move || {
-                // submit_put returns as soon as the request is on the
+                // submit returns as soon as the request is on the
                 // core's ring; completions are harvested out of order.
                 for i in 0..OPS_PER_CLIENT {
                     let key = client << 32 | (i % 4096);
                     session
-                        .submit_put(key, format!("client{client}-op{i}"))
+                        .submit(Op::put(key, format!("client{client}-op{i}")))
                         .expect("submit");
                     // A real client would do useful work here; we just
                     // drain whatever already completed.
                     for (_, result) in session.poll_completions() {
-                        assert_eq!(result, OpResult::Put(Ok(())));
+                        assert_eq!(result, Reply::Put(Ok(())));
                     }
                 }
                 for (_, result) in session.wait_all().expect("drain") {
-                    assert_eq!(result, OpResult::Put(Ok(())));
+                    assert_eq!(result, Reply::Put(Ok(())));
                 }
             });
         }

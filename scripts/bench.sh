@@ -1,15 +1,37 @@
 #!/usr/bin/env bash
-# BENCH trajectory runner — regenerates BENCH_6.json at the pinned
-# full scale (200k keys / 120k ops / 36 cores / 288 clients, the same
-# defaults every figure harness uses). The DES is deterministic, so the
-# committed file reproduces bit-for-bit on any machine.
+# BENCH trajectory runner.
 #
-#   scripts/bench.sh              # full scale, writes BENCH_6.json
-#   FLATBENCH_QUICK=1 scripts/bench.sh   # CI smoke: small scale, tmp output
+#   scripts/bench.sh              # BENCH_6.json: tracing-overhead trajectory
+#                                 #   at the pinned full scale (deterministic
+#                                 #   DES — reproduces bit-for-bit anywhere)
+#   scripts/bench.sh --wire       # BENCH_7.json: flatload --compare, the
+#                                 #   in-process / loopback-TCP / Unix-socket
+#                                 #   three-way (wall-clock: machine-dependent)
+#   FLATBENCH_QUICK=1 scripts/bench.sh [--wire]  # CI smoke: small scale,
+#                                                #   tmp output
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick="${FLATBENCH_QUICK:-0}"
+mode="${1:-trajectory}"
+
+if [ "$mode" = "--wire" ]; then
+    if [ "$quick" != "0" ]; then
+        out="${FLATBENCH_OUT:-$(mktemp -d)/BENCH_7.json}"
+        ops=20000
+    else
+        out="${FLATBENCH_OUT:-$PWD/BENCH_7.json}"
+        ops=200000
+    fi
+    cargo build --release --offline -p flatsrv
+    ./target/release/flatload --compare --conns 4 --depth 8 \
+        --ops "$ops" --keyspace 10000 --put-ratio 0.1 --seed 42 \
+        --out "$out"
+    test -s "$out"
+    echo "wire transport bench at $out"
+    exit 0
+fi
+
 if [ "$quick" != "0" ]; then
     # Smoke mode: exercise the harness end-to-end but do not clobber the
     # committed full-scale trajectory.

@@ -35,9 +35,24 @@ cargo run --release --offline --example session_pipeline
 echo "== replication smoke: failover, promotion, catch-up =="
 cargo run --release --offline --example replicated_failover
 
-echo "== observability smoke: simulate with exporters =="
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
+
+echo "== wire smoke: flatsrv + flatload ETC over a unix socket =="
+sock="$tmpdir/flatsrv.sock"
+./target/release/flatsrv --unix "$sock" --quiet &
+srv_pid=$!
+for _ in $(seq 50); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "flatsrv never bound $sock"; exit 1; }
+# 50k ETC ops over 4 pipelined connections; the run fails unless every
+# command succeeds AND the engine's mean HB batch stays > 1 — i.e. real
+# sockets still fill horizontal batches. --shutdown then exercises the
+# drain path; the server must exit cleanly.
+./target/release/flatload --unix "$sock" --conns 4 --depth 8 \
+    --ops 50000 --assert-batch-gt 1.0 --shutdown
+wait "$srv_pid"
+
+echo "== observability smoke: simulate with exporters =="
 cargo run --release --offline --example simulate -- \
     --metrics-out "$tmpdir/metrics.json" --trace-out "$tmpdir/trace.json"
 test -s "$tmpdir/metrics.json"
@@ -48,5 +63,8 @@ FLATBENCH_QUICK=1 cargo bench --workspace --offline
 
 echo "== BENCH trajectory smoke (tracing-overhead harness) =="
 FLATBENCH_QUICK=1 scripts/bench.sh
+
+echo "== BENCH wire-transport smoke (in-process / tcp / unix) =="
+FLATBENCH_QUICK=1 scripts/bench.sh --wire
 
 echo "All checks passed."
