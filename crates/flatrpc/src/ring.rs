@@ -1,10 +1,10 @@
 //! A bounded single-producer / single-consumer ring — the shared-memory
 //! stand-in for an RDMA-written message buffer.
 
+use racecheck::sync::atomic::{AtomicUsize, Ordering};
+use racecheck::sync::Arc;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 
 use crossbeam::utils::CachePadded;
 
@@ -58,6 +58,9 @@ impl<T> Producer<T> {
     /// buffer has no credits).
     pub fn push(&self, value: T) -> Result<(), T> {
         let inner = &self.inner;
+        // pmlint: allow(relaxed-ordering) — the producer is `tail`'s only
+        // writer, so program order suffices for its own index (racecheck
+        // `ring_model`).
         let tail = inner.tail.load(Ordering::Relaxed);
         let next = (tail + 1) % inner.slots.len();
         if next == inner.head.load(Ordering::Acquire) {
@@ -105,6 +108,9 @@ impl<T> Consumer<T> {
     /// Polls one message.
     pub fn pop(&self) -> Option<T> {
         let inner = &self.inner;
+        // pmlint: allow(relaxed-ordering) — the consumer is `head`'s only
+        // writer, so program order suffices for its own index (racecheck
+        // `ring_model`).
         let head = inner.head.load(Ordering::Relaxed);
         if head == inner.tail.load(Ordering::Acquire) {
             return None;
@@ -119,6 +125,8 @@ impl<T> Consumer<T> {
 
     /// Whether a message is waiting.
     pub fn is_empty(&self) -> bool {
+        // pmlint: allow(relaxed-ordering) — `head` is this consumer's own
+        // index; only `tail` needs Acquire to order the slot read.
         self.inner.head.load(Ordering::Relaxed) == self.inner.tail.load(Ordering::Acquire)
     }
 
@@ -130,9 +138,13 @@ impl<T> Consumer<T> {
 
 impl<T> Drop for Inner<T> {
     fn drop(&mut self) {
-        // Drop any undelivered messages.
-        let mut head = *self.head.get_mut();
-        let tail = *self.tail.get_mut();
+        // Drop any undelivered messages. Relaxed loads suffice: `&mut
+        // self` proves exclusive ownership, and the facade's model
+        // atomics have no `get_mut`.
+        // pmlint: allow(relaxed-ordering) — exclusive `&mut self` in Drop
+        let mut head = self.head.load(Ordering::Relaxed);
+        // pmlint: allow(relaxed-ordering) — exclusive `&mut self` in Drop
+        let tail = self.tail.load(Ordering::Relaxed);
         while head != tail {
             // SAFETY: slots in [head, tail) are initialized.
             unsafe { (*self.slots[head].get()).assume_init_drop() };

@@ -1,8 +1,8 @@
 //! Horizontal-batching machinery and engine-shared state (paper §3.3).
 
+use racecheck::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use racecheck::sync::Arc;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::Instant;
 
 use oplog::ChunkUsage;
@@ -62,12 +62,17 @@ impl Completion {
     /// Records the ship-batch watermark this op's ack must wait for.
     pub fn set_repl(&self, core: usize, seq: u64) {
         debug_assert!(core < 1 << 16 && seq >> 48 == 0);
-        self.repl
-            .store(((core as u64) << 48) | seq, Ordering::Relaxed);
+        let watermark = ((core as u64) << 48) | seq;
+        // pmlint: allow(relaxed-ordering) — written by the leader before
+        // `fulfil`'s Release store on `addr`, read only after `poll`'s
+        // Acquire observed it (racecheck `completion_model`).
+        self.repl.store(watermark, Ordering::Relaxed);
     }
 
     /// The `(leader core, ship seq)` watermark, if this op was replicated.
     pub fn repl(&self) -> Option<(usize, u64)> {
+        // pmlint: allow(relaxed-ordering) — ordered after the leader's
+        // stores by `poll`'s Acquire on `addr` (racecheck `completion_model`).
         match self.repl.load(Ordering::Relaxed) {
             0 => None,
             v => Some(((v >> 48) as usize, v & ((1 << 48) - 1))),
@@ -77,18 +82,30 @@ impl Completion {
     /// Leader stamps for a traced op; call before [`fulfil`](Self::fulfil)
     /// (`shipped_ns` is 0 when the batch was not shipped).
     pub fn set_stage_stamps(&self, collected_ns: u64, persisted_ns: u64, shipped_ns: u64) {
-        self.collected_ns.store(collected_ns, Ordering::Relaxed);
-        self.persisted_ns.store(persisted_ns, Ordering::Relaxed);
-        self.shipped_ns.store(shipped_ns, Ordering::Relaxed);
+        let stamps = [
+            (&self.collected_ns, collected_ns),
+            (&self.persisted_ns, persisted_ns),
+            (&self.shipped_ns, shipped_ns),
+        ];
+        for (cell, ns) in stamps {
+            // pmlint: allow(relaxed-ordering) — published to the owner core
+            // by `fulfil`'s Release store on `addr` (racecheck
+            // `completion_model`).
+            cell.store(ns, Ordering::Relaxed);
+        }
     }
 
     /// `(collected, persisted, shipped)` stamps (0 = unset), valid after
     /// [`poll`](Self::poll) returned `Some`.
     pub fn stage_stamps(&self) -> (u64, u64, u64) {
+        // pmlint: allow(relaxed-ordering) — ordered after the leader's
+        // stamp stores by `poll`'s Acquire on `addr` (racecheck
+        // `completion_model`).
+        let stamp = |cell: &AtomicU64| cell.load(Ordering::Relaxed);
         (
-            self.collected_ns.load(Ordering::Relaxed),
-            self.persisted_ns.load(Ordering::Relaxed),
-            self.shipped_ns.load(Ordering::Relaxed),
+            stamp(&self.collected_ns),
+            stamp(&self.persisted_ns),
+            stamp(&self.shipped_ns),
         )
     }
 }
@@ -376,13 +393,20 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
+    /// Reads one monotone stat counter for reporting.
+    fn stat(counter: &AtomicU64) -> u64 {
+        // pmlint: allow(relaxed-ordering) — stat counter; reports tolerate
+        // torn cross-counter snapshots.
+        counter.load(Ordering::Relaxed)
+    }
+
     /// Average entries per persisted batch so far.
     pub fn avg_batch(&self) -> f64 {
-        let b = self.batches.load(Ordering::Relaxed);
+        let b = Self::stat(&self.batches);
         if b == 0 {
             0.0
         } else {
-            self.batched_entries.load(Ordering::Relaxed) as f64 / b as f64
+            Self::stat(&self.batched_entries) as f64 / b as f64
         }
     }
 
@@ -393,21 +417,15 @@ impl EngineStats {
     /// [`FlatStore::stats_report`]: crate::FlatStore::stats_report
     pub fn fill_report(&self, r: &mut obs::StatsReport) {
         r.section("ops")
-            .row("puts", self.puts.load(Ordering::Relaxed))
-            .row("gets", self.gets.load(Ordering::Relaxed))
-            .row("deletes", self.deletes.load(Ordering::Relaxed))
-            .row(
-                "conflicts_deferred",
-                self.conflicts_deferred.load(Ordering::Relaxed),
-            );
+            .row("puts", Self::stat(&self.puts))
+            .row("gets", Self::stat(&self.gets))
+            .row("deletes", Self::stat(&self.deletes))
+            .row("conflicts_deferred", Self::stat(&self.conflicts_deferred));
         {
             let batch = self.batch_size.snapshot();
             let sec = r.section("batching");
-            sec.row("batches", self.batches.load(Ordering::Relaxed))
-                .row(
-                    "batched_entries",
-                    self.batched_entries.load(Ordering::Relaxed),
-                )
+            sec.row("batches", Self::stat(&self.batches))
+                .row("batched_entries", Self::stat(&self.batched_entries))
                 .row("avg_batch", self.avg_batch());
             if batch.count > 0 {
                 sec.row("batch_p50_entries", batch.percentile(50.0))
@@ -443,8 +461,8 @@ impl EngineStats {
             self.breakdown.fill_section(r.section("latency_breakdown"));
         }
         r.section("maintenance")
-            .row("gc_chunks", self.gc_chunks.load(Ordering::Relaxed))
-            .row("gc_relocated", self.gc_relocated.load(Ordering::Relaxed))
-            .row("checkpoints", self.checkpoints.load(Ordering::Relaxed));
+            .row("gc_chunks", Self::stat(&self.gc_chunks))
+            .row("gc_relocated", Self::stat(&self.gc_relocated))
+            .row("checkpoints", Self::stat(&self.checkpoints));
     }
 }

@@ -25,9 +25,9 @@
 //! core ownership, and filling another core's shard from a scan would break
 //! the single-writer discipline above.
 
+use racecheck::sync::atomic::{AtomicU64, Ordering};
+use racecheck::sync::Arc;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 use parking_lot::Mutex;
 

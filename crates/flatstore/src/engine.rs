@@ -1,9 +1,9 @@
 //! The FlatStore engine: worker lifecycle, the FlatRPC fabric, recovery
 //! and shutdown.
 
+use racecheck::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use racecheck::sync::Arc;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use oplog::{LogEntry, LogOp, OpLog, Payload};
@@ -886,7 +886,7 @@ impl FlatStore {
         let mut r = obs::StatsReport::new("flatstore");
         stats.fill_report(&mut r);
         {
-            use std::sync::atomic::Ordering::Relaxed;
+            use racecheck::sync::atomic::Ordering::Relaxed;
             let fs = fabric.stats();
             r.section("fabric")
                 .row("requests", fs.requests.load(Relaxed))

@@ -55,6 +55,18 @@ const RULE_NAMES: &[&str] = &[
     "sim-wall-clock",
     "no-unwrap",
     "volatile-only",
+    "relaxed-ordering",
+];
+
+/// Files whose atomics are all statistics by design — every access in
+/// them may be `Relaxed` without comment. Anything outside this list
+/// needs either the stat-bump idiom (`fetch_add`/`fetch_sub`/`fetch_max`,
+/// which also continue release sequences) or a reasoned escape naming the
+/// edge that makes the relaxed access sound.
+const RELAXED_STAT_FILES: &[&[&str]] = &[
+    &["crates", "obs", "src", "counter.rs"],
+    &["crates", "obs", "src", "hist.rs"],
+    &["crates", "flatstore", "src", "cache.rs"],
 ];
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -299,6 +311,7 @@ struct Scope {
     write_persist: bool,
     sim_wall_clock: bool,
     volatile_only: bool,
+    relaxed_ordering: bool,
 }
 
 fn scope_of(rel: &Path) -> Scope {
@@ -316,6 +329,12 @@ fn scope_of(rel: &Path) -> Scope {
         // lets the simulator reuse it unchanged under virtual time.
         sim_wall_clock: lib_src && (krate == "simkv" || krate == "obs"),
         volatile_only: lib_src && krate == "flatstore" && parts[3..] == ["cache.rs"],
+        // The fabric hot path (RPC ring, engine, batching) plus obs: any
+        // `Relaxed` access there is either a stat counter or a claim
+        // about the memory model that must be written down.
+        relaxed_ordering: lib_src
+            && ["flatrpc", "flatstore", "obs"].contains(&krate)
+            && !RELAXED_STAT_FILES.contains(&parts.as_slice()),
     }
 }
 
@@ -477,6 +496,43 @@ fn check_file(rel: &Path, src: &str) -> Vec<Finding> {
                     );
                 }
             }
+        }
+    }
+
+    // relaxed-ordering: `Relaxed` in the fabric hot path is a memory-model
+    // claim. Statistic bumps (`fetch_add`/`fetch_sub`/`fetch_max` — RMWs
+    // that also continue release sequences) and report formatting
+    // (`.row(...)`) are idiomatically fine; every other relaxed access
+    // must name its happens-before edge in an escape, ideally pointing at
+    // the racecheck model that explores it.
+    if scope.relaxed_ordering {
+        for (i, l) in lines.iter().enumerate() {
+            if in_test[i] {
+                continue;
+            }
+            let code = &l.code;
+            if !has_word(code, "Relaxed") {
+                continue;
+            }
+            // Imports only name the ordering; the accesses are what count.
+            if code.trim_start().starts_with("use ") {
+                continue;
+            }
+            if ["fetch_add(", "fetch_sub(", "fetch_max(", ".row("]
+                .iter()
+                .any(|idiom| code.contains(idiom))
+            {
+                continue;
+            }
+            report(
+                i,
+                "relaxed-ordering",
+                "`Relaxed` outside the stat-counter idiom — state the \
+                 happens-before edge that makes it sound in a \
+                 `pmlint: allow(relaxed-ordering)` escape (and cover it \
+                 with a racecheck model)"
+                    .to_string(),
+            );
         }
     }
 
@@ -737,6 +793,44 @@ mod tests {
 
         let clean = "fn f(m: &mut HashMap<u64, usize>) { m.clear(); }\n";
         assert!(check("crates/flatstore/src/cache.rs", clean).is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_scoped_to_fabric_crates() {
+        let src = "fn f(a: &AtomicU64) { a.store(1, Ordering::Relaxed); }\n";
+        assert_eq!(
+            rules(&check("crates/flatrpc/src/ring.rs", src)),
+            ["relaxed-ordering"]
+        );
+        assert_eq!(
+            rules(&check("crates/flatstore/src/batch.rs", src)),
+            ["relaxed-ordering"]
+        );
+        // Outside the fabric crates, relaxed atomics are not policed.
+        assert!(check("crates/pmem/src/a.rs", src).is_empty());
+        // Test code and the designated stat-only files are exempt.
+        assert!(check("crates/flatrpc/tests/a.rs", src).is_empty());
+        assert!(check("crates/obs/src/counter.rs", src).is_empty());
+        assert!(check("crates/flatstore/src/cache.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t(a: &AtomicU64) { a.store(1, Ordering::Relaxed); }\n}\n";
+        assert!(check("crates/flatrpc/src/ring.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_stat_idiom_and_escapes() {
+        // Stat bumps and report rows are the allowed idiom.
+        let idiom = "fn f(s: &Stats) {\n    s.hits.fetch_add(1, Ordering::Relaxed);\n    s.depth.fetch_max(d, Ordering::Relaxed);\n    r.row(\"hits\", s.hits.load(Ordering::Relaxed));\n}\n";
+        assert!(check("crates/flatstore/src/shard.rs", idiom).is_empty());
+        // Bare `Relaxed` from a scoped import is still caught; the `use`
+        // line itself is not (it performs no access).
+        let bare = "use Ordering::Relaxed;\nfn f(a: &AtomicU64) { a.store(1, Relaxed); }\n";
+        assert_eq!(
+            rules(&check("crates/flatstore/src/engine.rs", bare)),
+            ["relaxed-ordering"]
+        );
+        // A reasoned escape names the happens-before edge.
+        let escaped = "fn f(a: &AtomicU64) {\n    // pmlint: allow(relaxed-ordering) — own index, sole writer\n    let t = a.load(Ordering::Relaxed);\n}\n";
+        assert!(check("crates/flatrpc/src/ring.rs", escaped).is_empty());
     }
 
     #[test]

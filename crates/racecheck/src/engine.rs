@@ -1,0 +1,358 @@
+//! The happens-before engine: per-thread vector clocks advanced by
+//! synchronization operations, plus per-location access metadata that
+//! turns "no happens-before path" into a reported data race.
+//!
+//! This module is pure state machinery — no threads, no scheduler. The
+//! cooperative scheduler in [`crate::model`] feeds it one operation at a
+//! time from whichever model thread holds the token; the property tests
+//! feed it synthetic event DAGs directly and cross-check its verdicts
+//! against graph reachability.
+//!
+//! # Memory-model coverage
+//!
+//! * `Release` stores publish the writer's clock as the *message clock*
+//!   of the stored value; `Acquire` loads join it. A `Relaxed` store
+//!   replaces the message clock with the writer's release-fence clock
+//!   (empty without one) — so a `Relaxed` publish genuinely fails to
+//!   carry the writer's history, which is exactly how a missing
+//!   `Release` edge surfaces as a data race on the payload.
+//! * Read-modify-writes continue the release sequence: their message
+//!   clock joins the previous one, so a `Relaxed` RMW in the middle of a
+//!   release chain (stat bump on a published counter) doesn't sever it.
+//! * `SeqCst` is modelled as `AcqRel` on the location. The global SC
+//!   total order adds no happens-before edges between different
+//!   locations, so this is the sound (never hides a race) direction of
+//!   approximation; algorithms that *need* the SC order (Dekker-style
+//!   mutual exclusion through fences) may report false races here.
+//! * Fences: an `Acquire` fence upgrades every earlier `Relaxed` load of
+//!   the thread (their message clocks accumulate in
+//!   [`ThreadState::pending_acquire`]); a `Release` fence snapshots the
+//!   thread clock so later `Relaxed` stores publish it.
+
+use crate::vc::VectorClock;
+use std::sync::atomic::Ordering;
+
+/// Per-thread happens-before state.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadState {
+    /// The thread's own clock: everything that happens-before its next op.
+    pub clock: VectorClock,
+    /// Message clocks of `Relaxed` loads since the last `Acquire` fence —
+    /// joined into [`Self::clock`] when such a fence executes.
+    pub pending_acquire: VectorClock,
+    /// Thread clock as of the last `Release` fence, published by
+    /// subsequent `Relaxed` stores. `None` until the first release fence.
+    pub release_fence: Option<VectorClock>,
+}
+
+/// One atomic location: current value plus the message clock attached to
+/// the value by its last store.
+#[derive(Debug, Clone, Default)]
+pub struct AtomicState {
+    pub value: u64,
+    pub msg: VectorClock,
+}
+
+/// One mutex: the clock released by the last unlock.
+#[derive(Debug, Clone, Default)]
+pub struct MutexState {
+    pub clock: VectorClock,
+}
+
+/// One plain-memory location (a [`RaceCell`](crate::model::RaceCell)):
+/// last-write times and last-read times per thread.
+#[derive(Debug, Clone, Default)]
+pub struct CellState {
+    /// Component `t` = time of thread `t`'s last write to this location.
+    pub writes: VectorClock,
+    /// Component `t` = time of thread `t`'s last read of this location.
+    pub reads: VectorClock,
+    /// Thread id of the most recent write (trace decoration only).
+    pub last_writer: Option<usize>,
+}
+
+/// A detected conflict: the current access and the prior thread whose
+/// access it races with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// Thread performing the access that exposed the race.
+    pub tid: usize,
+    /// Thread with a conflicting earlier access not ordered before it.
+    pub other: usize,
+    /// True when the *current* access is a write.
+    pub write: bool,
+    /// True when the *prior* conflicting access is a write.
+    pub other_write: bool,
+}
+
+/// Vector clocks for every model thread plus spawn/join edges.
+#[derive(Debug, Clone, Default)]
+pub struct Threads {
+    pub threads: Vec<ThreadState>,
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+impl Threads {
+    /// Registers thread 0 (the model's root).
+    pub fn root() -> Threads {
+        let mut t = Threads::default();
+        let mut root = ThreadState::default();
+        root.clock.incr(0);
+        t.threads.push(root);
+        t
+    }
+
+    /// Spawns a child of `parent`: the child starts knowing everything
+    /// the parent knows, and the parent's clock advances so later parent
+    /// events are not covered by the child's initial knowledge.
+    pub fn spawn(&mut self, parent: usize) -> usize {
+        let child = self.threads.len();
+        let mut st = ThreadState {
+            clock: self.threads[parent].clock.clone(),
+            ..ThreadState::default()
+        };
+        st.clock.incr(child);
+        self.threads.push(st);
+        self.threads[parent].clock.incr(parent);
+        child
+    }
+
+    /// Joins `child` into `parent`: the parent learns everything the
+    /// child did.
+    pub fn join(&mut self, parent: usize, child: usize) {
+        let ck = self.threads[child].clock.clone();
+        self.threads[parent].clock.join(&ck);
+    }
+
+    /// Atomic load of `a` by `tid` with ordering `o`; returns the value.
+    pub fn atomic_load(&mut self, tid: usize, a: &mut AtomicState, o: Ordering) -> u64 {
+        let th = &mut self.threads[tid];
+        if is_acquire(o) {
+            th.clock.join(&a.msg);
+        } else {
+            th.pending_acquire.join(&a.msg);
+        }
+        a.value
+    }
+
+    /// Atomic store to `a` by `tid` with ordering `o`.
+    pub fn atomic_store(&mut self, tid: usize, a: &mut AtomicState, value: u64, o: Ordering) {
+        let th = &mut self.threads[tid];
+        if is_release(o) {
+            a.msg = th.clock.clone();
+            th.clock.incr(tid);
+        } else {
+            // A Relaxed store REPLACES the message clock: readers of this
+            // value synchronize with (at most) the thread's last release
+            // fence, not with the store itself.
+            a.msg = th.release_fence.clone().unwrap_or_default();
+        }
+        a.value = value;
+    }
+
+    /// Atomic read-modify-write: load side then store side, with the new
+    /// message clock *joining* the old one (release-sequence continuation).
+    pub fn atomic_rmw(
+        &mut self,
+        tid: usize,
+        a: &mut AtomicState,
+        new_value: u64,
+        o: Ordering,
+    ) -> u64 {
+        let old = a.value;
+        let th = &mut self.threads[tid];
+        if is_acquire(o) {
+            th.clock.join(&a.msg);
+        } else {
+            th.pending_acquire.join(&a.msg);
+        }
+        let mut msg = a.msg.clone();
+        if is_release(o) {
+            msg.join(&th.clock);
+            th.clock.incr(tid);
+        } else if let Some(fc) = &th.release_fence {
+            msg.join(fc);
+        }
+        a.msg = msg;
+        a.value = new_value;
+        old
+    }
+
+    /// Mutex acquire edge (the scheduler has already decided the lock is
+    /// free).
+    pub fn mutex_lock(&mut self, tid: usize, m: &mut MutexState) {
+        self.threads[tid].clock.join(&m.clock);
+    }
+
+    /// Mutex release edge.
+    pub fn mutex_unlock(&mut self, tid: usize, m: &mut MutexState) {
+        let th = &mut self.threads[tid];
+        m.clock = th.clock.clone();
+        th.clock.incr(tid);
+    }
+
+    /// A memory fence with ordering `o`.
+    pub fn fence(&mut self, tid: usize, o: Ordering) {
+        let th = &mut self.threads[tid];
+        if is_acquire(o) {
+            let pending = std::mem::take(&mut th.pending_acquire);
+            th.clock.join(&pending);
+        }
+        if is_release(o) {
+            th.release_fence = Some(th.clock.clone());
+        }
+    }
+
+    /// Plain-memory read of `c` by `tid`; reports a race against an
+    /// unordered earlier write. State is updated even on a race so
+    /// exploration can continue past the first report.
+    pub fn cell_read(&mut self, tid: usize, c: &mut CellState) -> Result<(), Race> {
+        let th = &self.threads[tid];
+        let mut verdict = Ok(());
+        for other in 0..c.writes.len() {
+            if other != tid && c.writes.get(other) > th.clock.get(other) {
+                verdict = Err(Race {
+                    tid,
+                    other,
+                    write: false,
+                    other_write: true,
+                });
+                break;
+            }
+        }
+        let t = th.clock.get(tid);
+        c.reads.set(tid, t.max(c.reads.get(tid)));
+        verdict
+    }
+
+    /// Plain-memory write of `c` by `tid`; reports a race against an
+    /// unordered earlier read or write.
+    pub fn cell_write(&mut self, tid: usize, c: &mut CellState) -> Result<(), Race> {
+        let th = &self.threads[tid];
+        let mut verdict = Ok(());
+        let others = c.writes.len().max(c.reads.len());
+        for other in 0..others {
+            if other == tid {
+                continue;
+            }
+            if c.writes.get(other) > th.clock.get(other) {
+                verdict = Err(Race {
+                    tid,
+                    other,
+                    write: true,
+                    other_write: true,
+                });
+                break;
+            }
+            if c.reads.get(other) > th.clock.get(other) {
+                verdict = Err(Race {
+                    tid,
+                    other,
+                    write: true,
+                    other_write: false,
+                });
+                break;
+            }
+        }
+        let t = th.clock.get(tid);
+        c.writes.set(tid, t.max(c.writes.get(tid)));
+        c.last_writer = Some(tid);
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn release_acquire_orders_cell_accesses() {
+        let mut th = Threads::root();
+        let w = th.spawn(0); // writer
+        let r = th.spawn(0); // reader
+        let mut flag = AtomicState::default();
+        let mut data = CellState::default();
+
+        assert!(th.cell_write(w, &mut data).is_ok());
+        th.atomic_store(w, &mut flag, 1, Ordering::Release);
+        assert_eq!(th.atomic_load(r, &mut flag, Ordering::Acquire), 1);
+        assert!(th.cell_read(r, &mut data).is_ok());
+    }
+
+    #[test]
+    fn relaxed_publish_is_a_race() {
+        let mut th = Threads::root();
+        let w = th.spawn(0);
+        let r = th.spawn(0);
+        let mut flag = AtomicState::default();
+        let mut data = CellState::default();
+
+        assert!(th.cell_write(w, &mut data).is_ok());
+        th.atomic_store(w, &mut flag, 1, Ordering::Relaxed);
+        assert_eq!(th.atomic_load(r, &mut flag, Ordering::Acquire), 1);
+        let race = th.cell_read(r, &mut data).unwrap_err();
+        assert_eq!((race.tid, race.other, race.other_write), (r, w, true));
+    }
+
+    #[test]
+    fn fences_upgrade_relaxed_accesses() {
+        let mut th = Threads::root();
+        let w = th.spawn(0);
+        let r = th.spawn(0);
+        let mut flag = AtomicState::default();
+        let mut data = CellState::default();
+
+        assert!(th.cell_write(w, &mut data).is_ok());
+        th.fence(w, Ordering::Release);
+        th.atomic_store(w, &mut flag, 1, Ordering::Relaxed);
+
+        assert_eq!(th.atomic_load(r, &mut flag, Ordering::Relaxed), 1);
+        th.fence(r, Ordering::Acquire);
+        assert!(th.cell_read(r, &mut data).is_ok());
+    }
+
+    #[test]
+    fn rmw_continues_the_release_sequence() {
+        let mut th = Threads::root();
+        let w = th.spawn(0);
+        let bump = th.spawn(0);
+        let r = th.spawn(0);
+        let mut flag = AtomicState::default();
+        let mut data = CellState::default();
+
+        assert!(th.cell_write(w, &mut data).is_ok());
+        th.atomic_store(w, &mut flag, 1, Ordering::Release);
+        // A relaxed RMW by a third thread must not sever w's release edge.
+        th.atomic_rmw(bump, &mut flag, 2, Ordering::Relaxed);
+        assert_eq!(th.atomic_load(r, &mut flag, Ordering::Acquire), 2);
+        assert!(th.cell_read(r, &mut data).is_ok());
+    }
+
+    #[test]
+    fn mutex_orders_and_join_orders() {
+        let mut th = Threads::root();
+        let a = th.spawn(0);
+        let mut m = MutexState::default();
+        let mut data = CellState::default();
+
+        th.mutex_lock(a, &mut m);
+        assert!(th.cell_write(a, &mut data).is_ok());
+        th.mutex_unlock(a, &mut m);
+
+        let b = th.spawn(0);
+        th.mutex_lock(b, &mut m);
+        assert!(th.cell_read(b, &mut data).is_ok());
+        th.mutex_unlock(b, &mut m);
+
+        th.join(0, a);
+        th.join(0, b);
+        assert!(th.cell_write(0, &mut data).is_ok());
+    }
+}

@@ -1,0 +1,338 @@
+//! Schedule exploration: depth-first enumeration of interleavings with a
+//! preemption bound, plus a seeded-random fallback for models whose
+//! schedule trees exceed the exhaustive budget.
+//!
+//! Each run replays a *prefix* of scheduling decisions and continues
+//! deterministically (prefer-current, then lowest thread id). The
+//! recorded decisions form a path through the schedule tree; DFS
+//! backtracks to the deepest decision with an untried alternative whose
+//! preemption count stays within bound, extends the prefix, and reruns.
+//! Determinism of replay is checked on every run — a model that makes
+//! different choices available on the same prefix is reported as
+//! [`FailureKind::Nondeterminism`] instead of silently exploring a
+//! different tree.
+
+use std::sync::Arc;
+
+use super::exec::{Choice, Execution, Failure, FailureKind, Policy};
+use super::{clear_ctx, thread::run_thread};
+
+/// Exploration budget and bounds.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum preemptive context switches per schedule (`None` =
+    /// unbounded). Two preemptions catch the vast majority of real
+    /// concurrency bugs while keeping the tree tractable.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on explored schedules; hitting it marks the report
+    /// incomplete instead of failing.
+    pub max_schedules: usize,
+    /// Per-schedule step budget (visible operations) before the run is
+    /// declared a livelock.
+    pub max_steps: usize,
+    /// Watchdog patience in ~100 ms ticks for a wedged run.
+    pub watchdog_polls: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            preemption_bound: Some(2),
+            max_schedules: 20_000,
+            max_steps: 2_000,
+            watchdog_polls: 50,
+        }
+    }
+}
+
+impl Config {
+    pub fn new() -> Config {
+        Config::default()
+    }
+
+    pub fn preemption_bound(mut self, bound: Option<usize>) -> Config {
+        self.preemption_bound = bound;
+        self
+    }
+
+    pub fn max_schedules(mut self, n: usize) -> Config {
+        self.max_schedules = n;
+        self
+    }
+
+    pub fn max_steps(mut self, n: usize) -> Config {
+        self.max_steps = n;
+        self
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Schedules actually executed.
+    pub schedules: usize,
+    /// True when the bounded tree was exhausted (no schedule budget cut).
+    pub complete: bool,
+    /// First failing schedule found, if any.
+    pub failure: Option<Failure>,
+    /// FNV-1a digest over every executed schedule, in order — two
+    /// explorations of the same model with the same config must agree.
+    pub digest: u64,
+}
+
+/// One decision point on the DFS stack.
+struct Frame {
+    /// Enabled threads at this decision (ascending).
+    enabled: Vec<usize>,
+    /// Token holder at this decision.
+    prev: usize,
+    /// Preemptions consumed by the prefix *before* this decision.
+    preempts_before: usize,
+    /// Exploration order: the default choice first, then the remaining
+    /// enabled threads ascending.
+    order: Vec<usize>,
+    /// Index into `order` of the choice taken on the most recent run.
+    idx: usize,
+}
+
+fn fnv_mix(mut digest: u64, schedule: &[usize]) -> u64 {
+    const PRIME: u64 = 0x100000001b3;
+    for &t in schedule {
+        digest ^= t as u64 + 1;
+        digest = digest.wrapping_mul(PRIME);
+    }
+    digest ^= 0xff;
+    digest.wrapping_mul(PRIME)
+}
+
+/// Installs (once per process) a panic hook that silences [`AbortToken`]
+/// unwinds — they are control flow, not failures — and chains every
+/// other payload to the previously installed hook.
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info
+                .payload()
+                .downcast_ref::<super::exec::AbortToken>()
+                .is_some()
+            {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Runs the model closure once under the given schedule prefix; returns
+/// the failure (if any) and the full decision list.
+fn run_once(
+    cfg: &Config,
+    prefix: Vec<usize>,
+    policy: Policy,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> (Option<Failure>, Vec<Choice>) {
+    install_quiet_hook();
+    let exec = Execution::new(prefix, policy, cfg.max_steps);
+    let exec2 = Arc::clone(&exec);
+    let f = Arc::clone(f);
+    let root = std::thread::Builder::new()
+        .name("racecheck-t0".to_string())
+        .spawn(move || {
+            let slot = Arc::new(std::sync::Mutex::new(None));
+            run_thread(exec2, 0, move || f(), slot);
+        })
+        .expect("racecheck failed to spawn the root model thread");
+    let (failure, choices, _trace) = exec.finish(cfg.watchdog_polls);
+    // The root wrapper exits promptly once the run is done or aborted.
+    let _ = root.join();
+    clear_ctx();
+    (failure, choices)
+}
+
+/// Counts the preemptions in `choices[..upto]`.
+fn preempts_upto(choices: &[Choice], upto: usize) -> usize {
+    choices[..upto].iter().filter(|c| c.is_preemption()).count()
+}
+
+/// Exhaustive bounded DFS over schedules of `f`. Stops at the first
+/// failure, the schedule budget, or tree exhaustion.
+pub fn explore(cfg: Config, f: impl Fn() + Send + Sync + 'static) -> Report {
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut schedules = 0usize;
+    let mut digest = 0xcbf29ce484222325u64; // FNV offset basis
+    loop {
+        let prefix: Vec<usize> = stack.iter().map(|fr| fr.order[fr.idx]).collect();
+        let (failure, choices) = run_once(&cfg, prefix, Policy::Deterministic, &f);
+        schedules += 1;
+        let schedule: Vec<usize> = choices.iter().map(|c| c.chosen).collect();
+        digest = fnv_mix(digest, &schedule);
+        if let Some(failure) = failure {
+            return Report {
+                schedules,
+                complete: false,
+                failure: Some(failure),
+                digest,
+            };
+        }
+        // Replay-consistency check: the recorded decisions must agree
+        // with the stack frames that produced the prefix.
+        if choices.len() < stack.len() {
+            return Report {
+                schedules,
+                complete: false,
+                failure: Some(Failure {
+                    kind: FailureKind::Nondeterminism,
+                    message: format!(
+                        "replay ended after {} decisions but the prefix has {} — \
+                         model behaviour must depend only on the schedule",
+                        choices.len(),
+                        stack.len()
+                    ),
+                    schedule,
+                    trace: Vec::new(),
+                }),
+                digest,
+            };
+        }
+        for (i, fr) in stack.iter().enumerate() {
+            let c = &choices[i];
+            if c.enabled != fr.enabled || c.prev != fr.prev {
+                return Report {
+                    schedules,
+                    complete: false,
+                    failure: Some(Failure {
+                        kind: FailureKind::Nondeterminism,
+                        message: format!(
+                            "enabled set diverged on replay at step {i}: \
+                             recorded {:?} (prev t{}), replayed {:?} (prev t{}) — \
+                             model behaviour must depend only on the schedule",
+                            fr.enabled, fr.prev, c.enabled, c.prev
+                        ),
+                        schedule,
+                        trace: Vec::new(),
+                    }),
+                    digest,
+                };
+            }
+        }
+        // Extend the stack with the decisions made beyond the prefix.
+        for i in stack.len()..choices.len() {
+            let c = &choices[i];
+            let mut order = vec![c.chosen];
+            order.extend(c.enabled.iter().copied().filter(|&t| t != c.chosen));
+            stack.push(Frame {
+                enabled: c.enabled.clone(),
+                prev: c.prev,
+                preempts_before: preempts_upto(&choices, i),
+                order,
+                idx: 0,
+            });
+        }
+        if schedules >= cfg.max_schedules {
+            return Report {
+                schedules,
+                complete: false,
+                failure: None,
+                digest,
+            };
+        }
+        // Backtrack to the deepest frame with an in-bound alternative.
+        let advanced = loop {
+            let Some(fr) = stack.last_mut() else {
+                break false;
+            };
+            let mut next = fr.idx + 1;
+            if let Some(bound) = cfg.preemption_bound {
+                // Skip alternatives that would blow the preemption bound.
+                while next < fr.order.len() {
+                    let chosen = fr.order[next];
+                    let preempts = fr.preempts_before
+                        + usize::from(chosen != fr.prev && fr.enabled.contains(&fr.prev));
+                    if preempts <= bound {
+                        break;
+                    }
+                    next += 1;
+                }
+            }
+            if next < fr.order.len() {
+                fr.idx = next;
+                break true;
+            }
+            stack.pop();
+        };
+        if !advanced {
+            return Report {
+                schedules,
+                complete: true,
+                failure: None,
+                digest,
+            };
+        }
+    }
+}
+
+/// Randomized exploration: `iters` runs with seeded xorshift scheduling.
+/// Complements [`explore`] for models whose bounded tree is too large.
+pub fn explore_random(
+    cfg: Config,
+    seed: u64,
+    iters: usize,
+    f: impl Fn() + Send + Sync + 'static,
+) -> Report {
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut schedules = 0usize;
+    let mut digest = 0xcbf29ce484222325u64;
+    for i in 0..iters {
+        // Mix the iteration index in; xorshift must never be seeded 0.
+        let state = (seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15)) | 1;
+        let (failure, choices) = run_once(&cfg, Vec::new(), Policy::Random { state }, &f);
+        schedules += 1;
+        let schedule: Vec<usize> = choices.iter().map(|c| c.chosen).collect();
+        digest = fnv_mix(digest, &schedule);
+        if let Some(failure) = failure {
+            return Report {
+                schedules,
+                complete: false,
+                failure: Some(failure),
+                digest,
+            };
+        }
+    }
+    Report {
+        schedules,
+        complete: false,
+        failure: None,
+        digest,
+    }
+}
+
+/// Asserts the model is clean under bounded exhaustive exploration;
+/// panics with the failing schedule and trace otherwise.
+pub fn check(name: &str, cfg: Config, f: impl Fn() + Send + Sync + 'static) {
+    let report = explore(cfg, f);
+    if let Some(failure) = report.failure {
+        panic!(
+            "model `{name}` failed after {} schedules:\n{failure}",
+            report.schedules
+        );
+    }
+}
+
+/// Asserts the model *fails* — the regression direction: a seeded-buggy
+/// variant must be caught. Returns the failure for kind assertions;
+/// panics if exploration comes back clean.
+pub fn check_race(name: &str, cfg: Config, f: impl Fn() + Send + Sync + 'static) -> Failure {
+    let report = explore(cfg, f);
+    match report.failure {
+        Some(failure) => failure,
+        None => panic!(
+            "model `{name}` explored {} schedules (complete: {}) without finding \
+             the expected failure",
+            report.schedules, report.complete
+        ),
+    }
+}

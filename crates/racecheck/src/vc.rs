@@ -1,0 +1,135 @@
+//! Vector clocks — the partial-order backbone of the happens-before
+//! engine.
+//!
+//! A [`VectorClock`] maps thread ids to logical times. Component `t` is
+//! the number of *release points* thread `t` had passed the last time the
+//! clock's owner synchronized with it (directly or transitively). Two
+//! clocks compare by the pointwise partial order; an access is racy
+//! exactly when neither side's clock covers the other's stamp.
+//!
+//! Clocks grow on demand: a component never written is implicitly 0, so
+//! clocks over different thread counts compare naturally.
+
+use std::fmt;
+
+/// A grow-on-demand vector clock over thread ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    t: Vec<u32>,
+}
+
+impl VectorClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> VectorClock {
+        VectorClock::default()
+    }
+
+    /// Logical time of thread `tid` (0 if never synchronized).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.t.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Sets component `tid` to `time`.
+    pub fn set(&mut self, tid: usize, time: u32) {
+        if self.t.len() <= tid {
+            self.t.resize(tid + 1, 0);
+        }
+        self.t[tid] = time;
+    }
+
+    /// Advances component `tid` by one and returns the new time.
+    pub fn incr(&mut self, tid: usize) -> u32 {
+        let next = self.get(tid) + 1;
+        self.set(tid, next);
+        next
+    }
+
+    /// Pointwise maximum: after `self.join(o)`, `self` covers both inputs.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.t.len() < other.t.len() {
+            self.t.resize(other.t.len(), 0);
+        }
+        for (i, &v) in other.t.iter().enumerate() {
+            if self.t[i] < v {
+                self.t[i] = v;
+            }
+        }
+    }
+
+    /// Pointwise `≤`: true iff every component of `self` is covered by
+    /// `other` — i.e. everything `self` knows, `other` knows too.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.t.iter().enumerate().all(|(i, &v)| v <= other.get(i))
+    }
+
+    /// Whether this clock is the zero clock.
+    pub fn is_zero(&self) -> bool {
+        self.t.iter().all(|&v| v == 0)
+    }
+
+    /// Number of explicit components (trailing zeros may be elided).
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// True when no component is stored explicitly.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.t.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 3);
+        a.set(2, 1);
+        let mut b = VectorClock::new();
+        b.set(0, 1);
+        b.set(1, 5);
+        a.join(&b);
+        assert_eq!((a.get(0), a.get(1), a.get(2)), (3, 5, 1));
+    }
+
+    #[test]
+    fn le_is_pointwise_and_length_agnostic() {
+        let mut a = VectorClock::new();
+        a.set(1, 2);
+        let mut b = VectorClock::new();
+        b.set(0, 9);
+        b.set(1, 2);
+        b.set(5, 1);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        // Trailing zero components don't break the comparison.
+        let mut c = VectorClock::new();
+        c.set(7, 0);
+        assert!(c.le(&a));
+        assert!(c.is_zero());
+    }
+
+    #[test]
+    fn incr_advances_one_component() {
+        let mut a = VectorClock::new();
+        assert_eq!(a.incr(3), 1);
+        assert_eq!(a.incr(3), 2);
+        assert_eq!(a.get(3), 2);
+        assert_eq!(a.get(0), 0);
+    }
+}

@@ -20,6 +20,18 @@ cargo run --release --offline -p pmlint
 echo "== pmcheck strict mode (real paths, zero violations) =="
 cargo test -p pmcheck -q --offline
 
+echo "== racecheck (interleaving explorer over the fabric protocols) =="
+cargo test -p racecheck -q --offline
+
+echo "== racecheck stays out of release artifacts =="
+# The model layer is compiled into the fabric crates only under
+# `cfg(racecheck)`; the cfg must never leak outside the checker's crate.
+if grep -rn 'cfg(racecheck)' crates shims --include='*.rs' \
+        | grep -v '^crates/racecheck/'; then
+    echo "cfg(racecheck) found outside crates/racecheck"
+    exit 1
+fi
+
 echo "== tests (unit + integration + property) =="
 cargo test --workspace -q --offline
 
