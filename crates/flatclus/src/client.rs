@@ -1,0 +1,151 @@
+//! The routed client: cached routing snapshot, redirect-driven refresh,
+//! and the [`KvApi`] surface over the whole cluster.
+
+use std::sync::Arc;
+
+use flatstore::{KvApi, Op, Reply, StoreError, StoreHandle};
+use workloads::slot_of_key;
+
+use crate::cluster::ClusterShared;
+use crate::table::RoutingSnapshot;
+
+/// Redirect/failover retries before an operation gives up. Each retry
+/// refreshes the routing snapshot and group handles, so one flip (or
+/// one promotion) costs exactly one extra round trip.
+const MAX_RETRIES: usize = 8;
+
+/// A cluster client: routes every [`Op`] by its key's slot, retries
+/// through [`StoreError::WrongGroup`] redirects, and fans `Range` across
+/// all groups.
+///
+/// The client deliberately works off a **cached** [`RoutingSnapshot`]
+/// (plus cached per-group engine handles) rather than reading the live
+/// table — exactly like a remote client would — so the epoch/redirect
+/// protocol is genuinely exercised: after a migration flips a slot, the
+/// next operation on it is refused with `WrongGroup{epoch}`, the client
+/// refreshes, re-routes and succeeds.
+///
+/// Implements [`KvApi`], so code written against a single engine runs
+/// unchanged over the cluster.
+pub struct ClusterClient {
+    shared: Arc<ClusterShared>,
+    snap: RoutingSnapshot,
+    handles: Vec<StoreHandle>,
+}
+
+impl std::fmt::Debug for ClusterClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterClient")
+            .field("epoch", &self.snap.epoch())
+            .field("groups", &self.handles.len())
+            .finish()
+    }
+}
+
+impl ClusterClient {
+    pub(crate) fn new(shared: Arc<ClusterShared>) -> Result<ClusterClient, StoreError> {
+        let snap = shared.table_snapshot();
+        let handles = shared.handles()?;
+        Ok(ClusterClient {
+            shared,
+            snap,
+            handles,
+        })
+    }
+
+    /// The routing epoch this client last refreshed at.
+    pub fn epoch(&self) -> u64 {
+        self.snap.epoch()
+    }
+
+    /// Re-reads the routing table and re-resolves group handles (also
+    /// called automatically on redirects and failovers).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ShuttingDown`] if a group is out of service.
+    pub fn refresh(&mut self) -> Result<(), StoreError> {
+        self.shared.stats.client_refreshes.inc();
+        self.snap = self.shared.table_snapshot();
+        self.handles = self.shared.handles()?;
+        Ok(())
+    }
+
+    /// Runs `f` against the current route for `key`'s slot, refreshing
+    /// and retrying on `WrongGroup` (stale route) or `ShuttingDown`
+    /// (failover in progress).
+    fn retry<T>(
+        &mut self,
+        key: u64,
+        f: impl Fn(&ClusterShared, &[StoreHandle], u16) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let mut last = StoreError::ShuttingDown;
+        for _ in 0..MAX_RETRIES {
+            let slot = slot_of_key(key, self.shared.nslots());
+            let gid = self.snap.owner(slot);
+            match f(&self.shared, &self.handles, gid) {
+                Err(e @ (StoreError::WrongGroup { .. } | StoreError::ShuttingDown)) => {
+                    last = e;
+                    // A failed refresh (mid-promotion) is retried too —
+                    // the stale snapshot stays in place meanwhile.
+                    let _ = self.refresh();
+                }
+                other => return other,
+            }
+        }
+        Err(last)
+    }
+
+    /// Routes one operation: point verbs go to their slot's owner,
+    /// `Range` fans out across every group with ownership-filtered,
+    /// key-merged results.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failures (exhausted redirects, shutdown); the
+    /// per-operation outcome rides inside the [`Reply`] like a session
+    /// completion.
+    pub fn call(&mut self, op: Op) -> Result<Reply, StoreError> {
+        match op {
+            Op::Put { key, value } => Ok(Reply::Put(self.put(key, &value))),
+            Op::Get { key } => Ok(Reply::Get(self.get(key))),
+            Op::Delete { key } => Ok(Reply::Delete(self.delete(key))),
+            Op::Range { lo, hi, limit } => Ok(Reply::Range(self.range(lo, hi, limit))),
+            other => Err(StoreError::InvalidConfig(format!(
+                "unroutable operation: {other:?}"
+            ))),
+        }
+    }
+}
+
+impl KvApi for ClusterClient {
+    fn put(&mut self, key: u64, value: &[u8]) -> Result<(), StoreError> {
+        self.retry(key, |shared, handles, gid| {
+            shared.put_at(handles, gid, key, value)
+        })
+    }
+
+    fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        self.retry(key, |shared, handles, gid| shared.get_at(handles, gid, key))
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, StoreError> {
+        self.retry(key, |shared, handles, gid| {
+            shared.delete_at(handles, gid, key)
+        })
+    }
+
+    fn range(&mut self, lo: u64, hi: u64, limit: usize) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+        let mut last = StoreError::ShuttingDown;
+        for _ in 0..MAX_RETRIES {
+            match self.shared.range_fanout(&self.handles, lo, hi, limit) {
+                Err(e @ StoreError::ShuttingDown) => {
+                    last = e;
+                    let _ = self.refresh();
+                }
+                other => return other,
+            }
+        }
+        Err(last)
+    }
+}

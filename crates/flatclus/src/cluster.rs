@@ -1,0 +1,492 @@
+//! The cluster: N engine groups, the routing table, per-slot gates, and
+//! the group-front operation paths (ownership checks + double-writes).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use flatrepl::ReplicatedStore;
+use flatstore::{Config, FlatStore, ReplOp, StoreError, StoreHandle};
+use parking_lot::{Mutex, RwLock};
+use workloads::{slot_of_key, NSLOTS};
+
+use crate::client::ClusterClient;
+use crate::migrate::MigrationReport;
+use crate::ring::{GroupId, RendezvousRing, SlotRing};
+use crate::stats::ClusterStats;
+use crate::table::RoutingTable;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Engine groups (each one FlatStore, or a primary-backup pair when
+    /// `replicated`).
+    pub groups: usize,
+    /// Virtual slots ([`NSLOTS`] is the production default; tests shrink
+    /// it so one slot holds a meaningful share of the keyspace).
+    pub nslots: usize,
+    /// Pair every group with a passive backup ([`ReplicatedStore`]);
+    /// required for [`Cluster::fail_group_primary`].
+    pub replicated: bool,
+    /// The per-group engine configuration (every group gets a clone).
+    pub engine: Config,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            groups: 1,
+            nslots: NSLOTS,
+            replicated: false,
+            engine: Config::default(),
+        }
+    }
+}
+
+/// One group's engine: a bare store or a replicated pair. The variants
+/// expose the same blocking surface, so routing code is agnostic to
+/// whether a group has a backup (a promoted group degrades to `Single`
+/// until an operator re-pairs it).
+pub(crate) enum GroupEngine {
+    Single(FlatStore),
+    Replicated(ReplicatedStore),
+}
+
+impl GroupEngine {
+    pub(crate) fn handle(&self) -> StoreHandle {
+        match self {
+            GroupEngine::Single(s) => s.handle(),
+            GroupEngine::Replicated(r) => r.handle(),
+        }
+    }
+
+    pub(crate) fn barrier(&self) {
+        match self {
+            GroupEngine::Single(s) => s.barrier(),
+            GroupEngine::Replicated(r) => r.barrier(),
+        }
+    }
+
+    pub(crate) fn repl_suffix(
+        &self,
+        core: usize,
+        from: pmem::PmAddr,
+        f: impl FnMut(ReplOp),
+    ) -> Result<pmem::PmAddr, StoreError> {
+        match self {
+            GroupEngine::Single(s) => s.repl_suffix(core, from, f),
+            GroupEngine::Replicated(r) => r.repl_suffix(core, from, f),
+        }
+    }
+
+    fn shutdown(self) -> Result<(), StoreError> {
+        match self {
+            GroupEngine::Single(s) => s.shutdown().map(|_| ()),
+            GroupEngine::Replicated(r) => r.shutdown().map(|_| ()),
+        }
+    }
+}
+
+/// Everything the groups, migrator and clients share.
+pub(crate) struct ClusterShared {
+    pub(crate) cfg: ClusterConfig,
+    pub(crate) table: RoutingTable,
+    /// One gate per slot. Normal operations hold the read side across
+    /// their ownership check *and* engine call; double-writes and the
+    /// migration flip hold the write side. The flip therefore linearizes
+    /// against every in-flight operation on the migrating slot — and
+    /// only that slot.
+    pub(crate) gates: Vec<RwLock<()>>,
+    /// `None` only transiently inside [`Cluster::fail_group_primary`]
+    /// (which holds the vector's write lock throughout).
+    pub(crate) groups: RwLock<Vec<Option<GroupEngine>>>,
+    /// Bumped on every failover of the indexed group; the migrator
+    /// re-checks it each round so suffix cursors never cross engines.
+    pub(crate) incarnation: Vec<AtomicU64>,
+    pub(crate) stats: Arc<ClusterStats>,
+    /// Serializes migrations (one slot in flight at a time).
+    pub(crate) migration: Mutex<()>,
+}
+
+impl ClusterShared {
+    pub(crate) fn nslots(&self) -> usize {
+        self.cfg.nslots
+    }
+
+    pub(crate) fn table_snapshot(&self) -> crate::table::RoutingSnapshot {
+        self.table.snapshot()
+    }
+
+    fn ngroups(&self) -> usize {
+        self.incarnation.len()
+    }
+
+    /// A fresh handle onto group `gid`'s engine.
+    pub(crate) fn group_handle(&self, gid: GroupId) -> Result<StoreHandle, StoreError> {
+        let groups = self.groups.read();
+        let engine = groups
+            .get(gid as usize)
+            .ok_or_else(|| StoreError::InvalidConfig(format!("no group {gid}")))?;
+        Ok(engine.as_ref().ok_or(StoreError::ShuttingDown)?.handle())
+    }
+
+    /// One handle per group, for a client's route cache.
+    pub(crate) fn handles(&self) -> Result<Vec<StoreHandle>, StoreError> {
+        let groups = self.groups.read();
+        groups
+            .iter()
+            .map(|g| Ok(g.as_ref().ok_or(StoreError::ShuttingDown)?.handle()))
+            .collect()
+    }
+
+    fn wrong_group(&self) -> StoreError {
+        self.stats.redirects.inc();
+        StoreError::WrongGroup {
+            epoch: self.table.epoch(),
+        }
+    }
+
+    fn handle_of<'h>(
+        &self,
+        handles: &'h [StoreHandle],
+        gid: GroupId,
+    ) -> Result<&'h StoreHandle, StoreError> {
+        // A short handle vector means the client's cache predates a
+        // topology it cannot know about; treat as a stale route.
+        handles.get(gid as usize).ok_or(StoreError::ShuttingDown)
+    }
+
+    /// A write against group `gid` (the client's routed owner):
+    /// ownership-checked under the slot gate, double-written while the
+    /// slot is migrating. `apply` runs the verb against one group's
+    /// handle; it must be idempotent (it re-runs on the destination).
+    fn write_at<T>(
+        &self,
+        handles: &[StoreHandle],
+        gid: GroupId,
+        key: u64,
+        apply: impl Fn(&StoreHandle) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let slot = slot_of_key(key, self.nslots());
+        loop {
+            let (owner, migrating) = self.table.route(slot);
+            if owner != gid {
+                return Err(self.wrong_group());
+            }
+            if migrating.is_some() {
+                // Exclusive gate: double-writes to one slot serialize, so
+                // the destination observes them in version order.
+                let _g = self.gates[slot].write();
+                let (owner, migrating) = self.table.route(slot);
+                if owner != gid {
+                    return Err(self.wrong_group());
+                }
+                // Source first: the ack's durability guarantee (primary +
+                // its backup) holds before the destination copy exists,
+                // so an abort loses nothing that was acked.
+                let out = apply(self.handle_of(handles, gid)?)?;
+                if let Some(dst) = migrating {
+                    apply(self.handle_of(handles, dst)?)?;
+                    self.stats.double_writes.inc();
+                }
+                return Ok(out);
+            }
+            let _g = self.gates[slot].read();
+            let (owner, migrating) = self.table.route(slot);
+            if owner != gid {
+                return Err(self.wrong_group());
+            }
+            if migrating.is_some() {
+                continue; // marked since the peek: redo as a double-write
+            }
+            return apply(self.handle_of(handles, gid)?);
+        }
+    }
+
+    /// Stores `value` under `key` at group `gid`.
+    pub(crate) fn put_at(
+        &self,
+        handles: &[StoreHandle],
+        gid: GroupId,
+        key: u64,
+        value: &[u8],
+    ) -> Result<(), StoreError> {
+        self.write_at(handles, gid, key, |h| h.put(key, value))
+    }
+
+    /// Deletes `key` at group `gid`; returns whether the source had it.
+    pub(crate) fn delete_at(
+        &self,
+        handles: &[StoreHandle],
+        gid: GroupId,
+        key: u64,
+    ) -> Result<bool, StoreError> {
+        self.write_at(handles, gid, key, |h| h.delete(key))
+    }
+
+    /// Reads `key` from group `gid`. Reads hold the slot gate's read
+    /// side across check + execute, so a concurrent flip either happens
+    /// entirely before (read redirects) or entirely after (read served
+    /// by the still-owner, whose value the flip's convergence proof
+    /// covers) — a completed read is never stale past the flip epoch.
+    pub(crate) fn get_at(
+        &self,
+        handles: &[StoreHandle],
+        gid: GroupId,
+        key: u64,
+    ) -> Result<Option<Vec<u8>>, StoreError> {
+        let slot = slot_of_key(key, self.nslots());
+        let _g = self.gates[slot].read();
+        let (owner, _) = self.table.route(slot);
+        if owner != gid {
+            return Err(self.wrong_group());
+        }
+        self.handle_of(handles, gid)?.get(key)
+    }
+
+    /// Range scan fanned across every group, merged by key. Results are
+    /// filtered by *current* slot ownership so keys a finished migration
+    /// left un-purged at their old home do not appear twice; across a
+    /// concurrent flip the scan is weakly consistent (like any
+    /// multi-shard scan without a cluster-wide snapshot).
+    pub(crate) fn range_fanout(
+        &self,
+        handles: &[StoreHandle],
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+        let snap = self.table.snapshot();
+        let mut merged: Vec<(u64, Vec<u8>)> = Vec::new();
+        for (gid, h) in handles.iter().enumerate() {
+            for (k, v) in h.range(lo, hi, limit)? {
+                if usize::from(snap.owner(slot_of_key(k, self.nslots()))) == gid {
+                    merged.push((k, v));
+                }
+            }
+        }
+        merged.sort_by_key(|&(k, _)| k);
+        merged.dedup_by_key(|&mut (k, _)| k);
+        merged.truncate(limit);
+        Ok(merged)
+    }
+}
+
+/// A running cluster of engine groups behind one routing table.
+///
+/// See the crate docs for the architecture; [`client`](Cluster::client)
+/// opens routed [`ClusterClient`]s, [`migrate`](Cluster::migrate) moves
+/// a slot live.
+pub struct Cluster {
+    shared: Arc<ClusterShared>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("groups", &self.shared.ngroups())
+            .field("nslots", &self.shared.nslots())
+            .field("epoch", &self.shared.table.epoch())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Creates `cfg.groups` fresh groups behind a [`RendezvousRing`]
+    /// slot assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidConfig`] for an empty cluster; otherwise as
+    /// for [`FlatStore::create`] / [`ReplicatedStore::create`].
+    pub fn create(cfg: ClusterConfig) -> Result<Cluster, StoreError> {
+        Cluster::create_with_ring(cfg, &RendezvousRing)
+    }
+
+    /// Creates a cluster whose initial slot placement comes from `ring`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`create`](Cluster::create).
+    pub fn create_with_ring(
+        cfg: ClusterConfig,
+        ring: &dyn SlotRing,
+    ) -> Result<Cluster, StoreError> {
+        if cfg.groups == 0 || cfg.groups > usize::from(GroupId::MAX) {
+            return Err(StoreError::InvalidConfig(
+                "cluster needs 1..=65535 groups".into(),
+            ));
+        }
+        if cfg.nslots == 0 {
+            return Err(StoreError::InvalidConfig(
+                "cluster needs at least one slot".into(),
+            ));
+        }
+        let ids: Vec<GroupId> = (0..cfg.groups as u16).collect();
+        let owners = ring.assign(cfg.nslots, &ids);
+        let mut groups = Vec::with_capacity(cfg.groups);
+        for _ in 0..cfg.groups {
+            groups.push(Some(if cfg.replicated {
+                GroupEngine::Replicated(ReplicatedStore::create(cfg.engine.clone())?)
+            } else {
+                GroupEngine::Single(FlatStore::create(cfg.engine.clone())?)
+            }));
+        }
+        let nslots = cfg.nslots;
+        let ngroups = cfg.groups;
+        Ok(Cluster {
+            shared: Arc::new(ClusterShared {
+                cfg,
+                table: RoutingTable::new(owners),
+                gates: (0..nslots).map(|_| RwLock::new(())).collect(),
+                groups: RwLock::new(groups),
+                incarnation: (0..ngroups).map(|_| AtomicU64::new(0)).collect(),
+                stats: Arc::new(ClusterStats::default()),
+                migration: Mutex::new(()),
+            }),
+        })
+    }
+
+    /// Opens a routed client (its own routing snapshot and per-group
+    /// engine handles).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ShuttingDown`] if a group is gone.
+    pub fn client(&self) -> Result<ClusterClient, StoreError> {
+        ClusterClient::new(Arc::clone(&self.shared))
+    }
+
+    /// The slot `key` routes to.
+    pub fn slot_of(&self, key: u64) -> usize {
+        slot_of_key(key, self.shared.nslots())
+    }
+
+    /// The group currently owning `slot`.
+    pub fn owner_of(&self, slot: usize) -> GroupId {
+        self.shared.table.owner(slot)
+    }
+
+    /// The current routing epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.table.epoch()
+    }
+
+    /// Group count.
+    pub fn ngroups(&self) -> usize {
+        self.shared.ngroups()
+    }
+
+    /// Virtual-slot count.
+    pub fn nslots(&self) -> usize {
+        self.shared.nslots()
+    }
+
+    /// Cluster counters.
+    pub fn stats(&self) -> &ClusterStats {
+        &self.shared.stats
+    }
+
+    /// Migrates `slot` to group `to`, live (see the crate docs for the
+    /// protocol). Blocks until the flip (or abort); writes to the slot
+    /// keep flowing throughout except during the final flip window.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidConfig`] for an unknown slot/group;
+    /// [`StoreError::ShuttingDown`] if the source failed over
+    /// mid-transfer (the migration aborted; the source group — possibly
+    /// freshly promoted — still owns the slot); `Corrupt` if the
+    /// source's cleaner invalidated the suffix cursors (abort, retry).
+    pub fn migrate(&self, slot: usize, to: GroupId) -> Result<MigrationReport, StoreError> {
+        self.shared.migrate_slot(slot, to)
+    }
+
+    /// Kills group `gid`'s primary abruptly and promotes its backup
+    /// (FlatStore's ordinary full-scan recovery over the backup image).
+    /// The group serves again as an unreplicated `Single` engine; every
+    /// op acked before the failure survives. Any migration sourced from
+    /// `gid` aborts. Client handles onto the dead primary return
+    /// [`StoreError::ShuttingDown`] and refresh on retry.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidConfig`] if the group is unknown or has no
+    /// backup; promotion failures leave the group out of service.
+    pub fn fail_group_primary(&self, gid: GroupId) -> Result<(), StoreError> {
+        let mut groups = self.shared.groups.write();
+        let slot = groups
+            .get_mut(gid as usize)
+            .ok_or_else(|| StoreError::InvalidConfig(format!("no group {gid}")))?;
+        let engine = slot.take().ok_or(StoreError::ShuttingDown)?;
+        match engine {
+            GroupEngine::Replicated(rs) => {
+                // Invalidate suffix cursors before the new engine exists:
+                // a migrator observing the bump never walks the promoted
+                // engine's (differently-chained) logs with old cursors.
+                self.shared.incarnation[gid as usize].fetch_add(1, Ordering::AcqRel);
+                let (_dead, backup) = rs.fail_primary();
+                let promoted = backup.promote(self.shared.cfg.engine.clone())?;
+                *slot = Some(GroupEngine::Single(promoted));
+                Ok(())
+            }
+            single => {
+                *slot = Some(single);
+                Err(StoreError::InvalidConfig(format!(
+                    "group {gid} has no backup to promote"
+                )))
+            }
+        }
+    }
+
+    /// Quiesces every group (all acked operations fully applied).
+    pub fn barrier(&self) {
+        let groups = self.shared.groups.read();
+        for g in groups.iter().flatten() {
+            g.barrier();
+        }
+    }
+
+    /// A cluster-level stats report: routing state plus the migration /
+    /// redirect counters. (Per-group engine internals stay available on
+    /// each group's own `stats_report`.)
+    pub fn stats_report(&self) -> obs::StatsReport {
+        let mut r = obs::StatsReport::new("flatclus");
+        let mut per_group = vec![0u64; self.shared.ngroups()];
+        for slot in 0..self.shared.nslots() {
+            per_group[usize::from(self.shared.table.owner(slot))] += 1;
+        }
+        {
+            let sec = r.section("routing");
+            sec.row("groups", self.shared.ngroups() as u64)
+                .row("nslots", self.shared.nslots() as u64)
+                .row("epoch", self.shared.table.epoch());
+            for (gid, n) in per_group.iter().enumerate() {
+                sec.row(format!("slots_group_{gid}"), *n);
+            }
+        }
+        self.shared.stats.fill_report(&mut r);
+        r
+    }
+
+    /// Clean shutdown of every group (primaries drain, then backups).
+    ///
+    /// # Errors
+    ///
+    /// The first engine shutdown failure; later groups still attempt to
+    /// stop.
+    pub fn shutdown(self) -> Result<(), StoreError> {
+        let mut first_err = None;
+        let mut groups = self.shared.groups.write();
+        for g in groups.iter_mut() {
+            if let Some(engine) = g.take() {
+                if let Err(e) = engine.shutdown() {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! **flatclus** — a consistent-hash cluster of FlatStore replica groups
+//! with live shard migration.
+//!
+//! One [`flatrepl::ReplicatedStore`] is the paper's single node scaled to
+//! its core count; the ROADMAP's "millions of users" story needs N such
+//! primary-backup groups behind a key router. This crate is that layer,
+//! Cyclone-style: the replicated groups stay exactly as PR 4 built them,
+//! and the cluster adds
+//!
+//! * **slot routing** — every key hashes onto one of
+//!   [`NSLOTS`] virtual slots
+//!   ([`workloads::slot_of_key`]); a pluggable [`SlotRing`] (default
+//!   [`RendezvousRing`], highest-random-weight) assigns slots to groups
+//!   so a group join/leave moves only the minimal slot set;
+//! * **a versioned routing table** — [`RoutingTable`] maps slot →
+//!   owning group and bumps a monotonic **epoch** on every ownership
+//!   flip. Group fronts refuse operations for slots they no longer own
+//!   with [`WrongGroup`](flatstore::StoreError::WrongGroup)`{epoch}`;
+//!   a [`ClusterClient`] caches
+//!   a routing snapshot and refreshes + retries on redirect, so stale
+//!   clients converge without any broadcast;
+//! * **online shard migration** — [`Cluster::migrate`] ships a slot's
+//!   data to a new owner while writes keep flowing:
+//!
+//!   1. the slot is marked *migrating*; from that point every write to
+//!      the slot **double-writes** (source first — so acks keep their
+//!      replication guarantee — then destination) under the slot's gate;
+//!   2. a **bulk round** barriers the source and walks its per-core logs
+//!      via the existing `repl_suffix` chain walk (the same primitive
+//!      `flatrepl::catch_up` re-ships to a stale backup), deduplicates
+//!      to the newest version per key, and ships the snapshot through a
+//!      dedicated flatrpc ring to an applier feeding the destination
+//!      group's ordinary write path (so migrated data is itself
+//!      replicated inside the destination group);
+//!   3. a **delta round** re-walks only the log suffix past the bulk
+//!      cursors, repairing any bulk apply that raced a newer
+//!      double-write (per key, ring batches always carry versions in
+//!      log order, so the last apply wins correctly);
+//!   4. the **flip**: the slot's write gate is taken exclusively (this
+//!      is the only client-visible pause, and it covers one slot, not
+//!      the store), the final sliver of suffix is shipped and the ring
+//!      drained, then ownership flips and the epoch bumps. In-flight
+//!      clients get `WrongGroup` and re-route.
+//!
+//! The commit point is the flip: before it the source owns the slot and
+//! every acked write is durable there (double-writes hit the source
+//! first), so a source failure mid-migration simply aborts the transfer
+//! — promote the backup ([`Cluster::fail_group_primary`]) and every
+//! acked op is still served. After the flip the destination owns the
+//! slot and has provably converged (the ring stream ends with the
+//! newest version of every key, applied after all double-writes
+//! drained).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flatclus::{Cluster, ClusterConfig};
+//! use flatstore::prelude::*;
+//!
+//! let cfg = ClusterConfig {
+//!     groups: 2,
+//!     nslots: 64,
+//!     replicated: false, // true pairs every group with a backup
+//!     engine: Config::builder()
+//!         .pm_bytes(48 << 20)
+//!         .ncores(2)
+//!         .group_size(2)
+//!         .build()?,
+//! };
+//! let cluster = Cluster::create(cfg)?;
+//! let mut client = cluster.client()?;
+//! client.put(7, b"sharded")?;
+//! assert_eq!(client.get(7)?.as_deref(), Some(&b"sharded"[..]));
+//!
+//! // Move key 7's slot to the other group, live.
+//! let slot = cluster.slot_of(7);
+//! let to = (cluster.owner_of(slot) + 1) % 2;
+//! cluster.migrate(slot, to)?;
+//! assert_eq!(client.get(7)?.as_deref(), Some(&b"sharded"[..])); // redirected
+//! cluster.shutdown()?;
+//! # Ok::<(), flatstore::StoreError>(())
+//! ```
+
+mod client;
+mod cluster;
+mod migrate;
+mod ring;
+mod stats;
+mod table;
+
+pub use client::ClusterClient;
+pub use cluster::{Cluster, ClusterConfig};
+pub use migrate::{MigAck, MigBatch, MigrationReport};
+pub use ring::{GroupId, RendezvousRing, SlotRing};
+pub use stats::ClusterStats;
+pub use table::{RoutingSnapshot, RoutingTable};
+pub use workloads::{slot_of_key, NSLOTS};

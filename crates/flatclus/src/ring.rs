@@ -1,0 +1,53 @@
+//! Slot → group assignment: the pluggable ring.
+//!
+//! The routing *table* (who owns slot S right now) is mutable state that
+//! migration flips one slot at a time; the *ring* is the pure placement
+//! policy that decides where slots should live for a given group set.
+//! [`RendezvousRing`] (highest-random-weight hashing) is the default:
+//! every slot independently ranks all groups by a keyed hash and picks
+//! the maximum, which gives near-uniform balance over 1024 slots and the
+//! minimal-movement property by construction — when a group joins, the
+//! only slots that move are those the new group now wins; when a group
+//! leaves, the only slots that move are those it owned.
+
+/// A group's identity inside one cluster (index into the group vector).
+pub type GroupId = u16;
+
+/// A slot-placement policy: maps every virtual slot onto one of the
+/// given groups.
+pub trait SlotRing: Send + Sync {
+    /// Assigns each slot in `0..nslots` to one of `groups`.
+    ///
+    /// `groups` lists the live group ids (non-empty, distinct, in any
+    /// order); the result has length `nslots` and only contains ids from
+    /// `groups`. Must be deterministic: the same inputs yield the same
+    /// assignment on every call and every host.
+    fn assign(&self, nslots: usize, groups: &[GroupId]) -> Vec<GroupId>;
+}
+
+/// Highest-random-weight (rendezvous) hashing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RendezvousRing;
+
+impl SlotRing for RendezvousRing {
+    fn assign(&self, nslots: usize, groups: &[GroupId]) -> Vec<GroupId> {
+        // The weight function and argmax live in `workloads` so the DES
+        // (`simkv`) computes per-group load shares with exactly this
+        // placement.
+        workloads::rendezvous_assign(nslots, groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_group_used() {
+        let groups: Vec<GroupId> = (0..4).collect();
+        let assign = RendezvousRing.assign(1024, &groups);
+        for g in groups {
+            assert!(assign.contains(&g), "group {g} owns no slots");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Cluster observability: migration, redirect and pause accounting.
+
+use obs::{Counter, LogHistogram, StatsReport};
+
+/// Cluster-level counters and distributions, reported through [`obs`].
+///
+/// `pause_ns` is the acceptance metric for live migration: the
+/// client-visible stall is the flip window (final suffix sliver + ring
+/// drain + table flip, all under one slot's write gate), which must stay
+/// far below `migration_ns` (the whole suffix-ship window) — migration
+/// pauses one slot briefly, it never stops the world.
+#[derive(Debug, Default)]
+pub struct ClusterStats {
+    /// Operations refused with [`WrongGroup`]: a stale client routed a
+    /// slot to a group that no longer owns it.
+    ///
+    /// [`WrongGroup`]: flatstore::StoreError::WrongGroup
+    pub redirects: Counter,
+    /// Routing-snapshot refreshes clients performed (each redirect or
+    /// failover retry triggers one).
+    pub client_refreshes: Counter,
+    /// Writes applied twice (source + destination) inside a migration
+    /// window.
+    pub double_writes: Counter,
+    /// Migrations entered.
+    pub migrations_started: Counter,
+    /// Migrations that flipped ownership.
+    pub migrations_completed: Counter,
+    /// Migrations aborted (source failure, cursor invalidation, …); the
+    /// source kept the slot.
+    pub migrations_aborted: Counter,
+    /// Batches shipped over migration rings.
+    pub mig_batches: Counter,
+    /// Operations those batches carried (bulk + delta + final rounds).
+    pub mig_ops: Counter,
+    /// Client-visible flip pause per migration, in nanoseconds.
+    pub pause_ns: LogHistogram,
+    /// Whole-migration duration (mark → flip), in nanoseconds: the
+    /// suffix-ship window `pause_ns` must undercut.
+    pub migration_ns: LogHistogram,
+}
+
+impl ClusterStats {
+    /// Adds a `cluster` section to `r`.
+    pub fn fill_report(&self, r: &mut StatsReport) {
+        let sec = r.section("cluster");
+        sec.row("redirects", self.redirects.get())
+            .row("client_refreshes", self.client_refreshes.get())
+            .row("double_writes", self.double_writes.get())
+            .row("migrations_started", self.migrations_started.get())
+            .row("migrations_completed", self.migrations_completed.get())
+            .row("migrations_aborted", self.migrations_aborted.get())
+            .row("mig_batches", self.mig_batches.get())
+            .row("mig_ops", self.mig_ops.get());
+        if !self.pause_ns.is_empty() {
+            sec.latency_rows("pause", &self.pause_ns.snapshot());
+        }
+        if !self.migration_ns.is_empty() {
+            sec.latency_rows("migration", &self.migration_ns.snapshot());
+        }
+    }
+}

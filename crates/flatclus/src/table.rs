@@ -1,0 +1,164 @@
+//! The versioned routing table: slot → owner, with migration marks and
+//! the redirect epoch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use flatstore::StoreError;
+use parking_lot::RwLock;
+
+use crate::ring::GroupId;
+
+/// One slot's routing state.
+#[derive(Debug, Clone, Copy)]
+struct SlotState {
+    /// The group clients must send this slot's operations to.
+    owner: GroupId,
+    /// `Some(dst)` while a migration is in flight: the owner
+    /// double-writes every acked write to `dst` until the flip.
+    migrating_to: Option<GroupId>,
+}
+
+/// The cluster's authoritative slot → group map.
+///
+/// The **epoch** is a monotonic version of the ownership function: it
+/// bumps exactly when some slot's owner changes (the migration flip).
+/// Group fronts quote it in [`StoreError::WrongGroup`] refusals, and
+/// clients compare it against their cached [`RoutingSnapshot`] to decide
+/// a refresh is worth retrying.
+#[derive(Debug)]
+pub struct RoutingTable {
+    epoch: AtomicU64,
+    slots: RwLock<Vec<SlotState>>,
+}
+
+impl RoutingTable {
+    /// Builds a table from an initial assignment (one owner per slot).
+    pub fn new(owners: Vec<GroupId>) -> RoutingTable {
+        RoutingTable {
+            epoch: AtomicU64::new(1),
+            slots: RwLock::new(
+                owners
+                    .into_iter()
+                    .map(|owner| SlotState {
+                        owner,
+                        migrating_to: None,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// The number of virtual slots.
+    pub fn nslots(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    /// The current routing epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The group currently owning `slot`.
+    pub fn owner(&self, slot: usize) -> GroupId {
+        self.slots.read()[slot].owner
+    }
+
+    /// `(owner, migrating_to)` for `slot`, read atomically.
+    pub(crate) fn route(&self, slot: usize) -> (GroupId, Option<GroupId>) {
+        let s = self.slots.read()[slot];
+        (s.owner, s.migrating_to)
+    }
+
+    /// A consistent copy of the ownership map for client-side caching.
+    pub fn snapshot(&self) -> RoutingSnapshot {
+        let slots = self.slots.read();
+        // Epoch read under the same lock every writer holds, so the
+        // snapshot's epoch never lags its owners.
+        RoutingSnapshot {
+            epoch: self.epoch.load(Ordering::Acquire),
+            owners: slots.iter().map(|s| s.owner).collect(),
+        }
+    }
+
+    /// Marks `slot` as migrating toward `to`. Ownership (and therefore
+    /// the epoch) is unchanged — clients keep routing to the source;
+    /// the mark only turns the owner's writes into double-writes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidConfig`] if the slot is already migrating.
+    pub(crate) fn set_migrating(&self, slot: usize, to: GroupId) -> Result<(), StoreError> {
+        let mut slots = self.slots.write();
+        if slots[slot].migrating_to.is_some() {
+            return Err(StoreError::InvalidConfig(format!(
+                "slot {slot} is already migrating"
+            )));
+        }
+        slots[slot].migrating_to = Some(to);
+        Ok(())
+    }
+
+    /// Clears a migration mark without flipping ownership (the abort
+    /// path: the source keeps the slot).
+    pub(crate) fn clear_migrating(&self, slot: usize) {
+        self.slots.write()[slot].migrating_to = None;
+    }
+
+    /// The migration commit point: `slot`'s ownership flips to `to`, the
+    /// migration mark clears, and the epoch bumps. Returns the new
+    /// epoch. The caller must hold the slot's write gate so no operation
+    /// straddles the flip.
+    pub(crate) fn flip(&self, slot: usize, to: GroupId) -> u64 {
+        let mut slots = self.slots.write();
+        slots[slot].owner = to;
+        slots[slot].migrating_to = None;
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+/// A client-side copy of the ownership map, tagged with the epoch it was
+/// taken at. Stale snapshots are harmless: a misrouted operation comes
+/// back as [`StoreError::WrongGroup`] and the client refreshes.
+#[derive(Debug, Clone)]
+pub struct RoutingSnapshot {
+    epoch: u64,
+    owners: Vec<GroupId>,
+}
+
+impl RoutingSnapshot {
+    /// The epoch this snapshot was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The owner this snapshot routes `slot` to.
+    pub fn owner(&self, slot: usize) -> GroupId {
+        self.owners[slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_bumps_epoch_and_moves_owner() {
+        let t = RoutingTable::new(vec![0, 0, 1]);
+        let e0 = t.epoch();
+        t.set_migrating(1, 1).expect("fresh slot");
+        assert_eq!(t.epoch(), e0, "marking must not bump the epoch");
+        assert_eq!(t.route(1), (0, Some(1)));
+        let e1 = t.flip(1, 1);
+        assert_eq!(e1, e0 + 1);
+        assert_eq!(t.route(1), (1, None));
+    }
+
+    #[test]
+    fn double_mark_refused() {
+        let t = RoutingTable::new(vec![0]);
+        t.set_migrating(0, 1).expect("fresh slot");
+        assert!(t.set_migrating(0, 1).is_err());
+        t.clear_migrating(0);
+        assert!(t.set_migrating(0, 1).is_ok());
+    }
+}

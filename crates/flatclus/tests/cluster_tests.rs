@@ -1,0 +1,361 @@
+//! Cluster end-to-end: routing, stale-client redirects, cross-group
+//! range scans, and the acceptance run — a zipf-skewed mixed workload
+//! over four replicated groups, continuously serving while a hot slot
+//! migrates between groups, with zero lost or duplicated acked ops and
+//! no read stale past the flip epoch.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use flatclus::{Cluster, ClusterConfig};
+use flatstore::{Config, IndexKind, KvApi, Op, Reply, StoreError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn engine_cfg() -> Config {
+    Config::builder()
+        .pm_bytes(48 << 20)
+        .dram_bytes(8 << 20)
+        .ncores(2)
+        .group_size(2)
+        .build()
+        .expect("valid test config")
+}
+
+fn cluster_cfg(groups: usize, nslots: usize, replicated: bool) -> ClusterConfig {
+    ClusterConfig {
+        groups,
+        nslots,
+        replicated,
+        engine: engine_cfg(),
+    }
+}
+
+fn val(key: u64, round: u64) -> Vec<u8> {
+    let mut v = key.to_le_bytes().to_vec();
+    v.extend_from_slice(&round.to_le_bytes());
+    v.extend(std::iter::repeat_n((key % 251) as u8, (key % 48) as usize));
+    v
+}
+
+/// Keys land on the group the table routes them to, and reads come back
+/// through the routed client exactly as written — across every group.
+#[test]
+fn routing_basics_across_groups() {
+    let cluster = Cluster::create(cluster_cfg(3, 16, false)).expect("create");
+    let mut client = cluster.client().expect("client");
+    for key in 0..300u64 {
+        client.put(key, &val(key, 0)).expect("put");
+    }
+    // Every group owns some slot at 16 slots / 3 groups (rendezvous
+    // balance), so the keyspace genuinely spans the cluster.
+    let mut groups_hit = std::collections::HashSet::new();
+    for slot in 0..cluster.nslots() {
+        groups_hit.insert(cluster.owner_of(slot));
+    }
+    assert_eq!(groups_hit.len(), 3, "some group owns no slots");
+    for key in 0..300u64 {
+        assert_eq!(client.get(key).expect("get"), Some(val(key, 0)));
+    }
+    assert!(!client.delete(9999).expect("delete missing"));
+    assert!(client.delete(7).expect("delete present"));
+    assert_eq!(client.get(7).expect("get deleted"), None);
+    cluster.shutdown().expect("shutdown");
+}
+
+/// The `Op`-level entry point routes every verb and wraps the outcome
+/// in the right `Reply` variant.
+#[test]
+fn op_call_routes_every_verb() {
+    let cluster = Cluster::create(cluster_cfg(2, 8, false)).expect("create");
+    let mut client = cluster.client().expect("client");
+    match client
+        .call(Op::Put {
+            key: 1,
+            value: b"one".to_vec(),
+        })
+        .expect("put")
+    {
+        Reply::Put(r) => r.expect("put ok"),
+        other => panic!("wrong reply: {other:?}"),
+    }
+    match client.call(Op::Get { key: 1 }).expect("get") {
+        Reply::Get(r) => assert_eq!(r.expect("get ok"), Some(b"one".to_vec())),
+        other => panic!("wrong reply: {other:?}"),
+    }
+    match client.call(Op::Delete { key: 1 }).expect("del") {
+        Reply::Delete(r) => assert!(r.expect("del ok")),
+        other => panic!("wrong reply: {other:?}"),
+    }
+    cluster.shutdown().expect("shutdown");
+}
+
+/// A client whose snapshot predates a migration is refused with
+/// `WrongGroup`, refreshes, and succeeds — the epoch/redirect protocol
+/// end to end. A second (fresh) client watches the same keys directly.
+#[test]
+fn stale_client_redirects_after_migration() {
+    let cluster = Cluster::create(cluster_cfg(2, 8, false)).expect("create");
+    let mut stale = cluster.client().expect("client");
+    let epoch_before = stale.epoch();
+
+    // Find a slot with traffic and move it to the other group.
+    let probe_key = 42u64;
+    let slot = cluster.slot_of(probe_key);
+    let from = cluster.owner_of(slot);
+    let to = (from + 1) % 2;
+    stale.put(probe_key, b"before").expect("put");
+
+    let report = cluster.migrate(slot, to).expect("migrate");
+    assert_eq!(report.from, from);
+    assert_eq!(report.to, to);
+    assert!(report.epoch > epoch_before, "flip must bump the epoch");
+    assert_eq!(cluster.owner_of(slot), to);
+
+    // The stale client still routes to `from`; its next op must redirect
+    // transparently and land on the new owner.
+    let redirects_before = cluster.stats().redirects.get();
+    assert_eq!(stale.get(probe_key).expect("get"), Some(b"before".to_vec()));
+    assert!(
+        cluster.stats().redirects.get() > redirects_before,
+        "stale route should have been refused at least once"
+    );
+    assert_eq!(
+        stale.epoch(),
+        cluster.epoch(),
+        "client refreshed to the flip epoch"
+    );
+
+    stale.put(probe_key, b"after").expect("put after flip");
+    assert_eq!(stale.get(probe_key).expect("get"), Some(b"after".to_vec()));
+    cluster.shutdown().expect("shutdown");
+}
+
+/// Migrating a slot back and forth repeatedly keeps its contents exact
+/// (bulk + delta + final rounds compose; dedup keeps newest versions).
+#[test]
+fn migrate_round_trips_preserve_contents() {
+    let cluster = Cluster::create(cluster_cfg(2, 8, false)).expect("create");
+    let mut client = cluster.client().expect("client");
+    let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut rng = SmallRng::seed_from_u64(0x5107_0a11);
+    for round in 0..4u64 {
+        for i in 0..200u64 {
+            let key = rng.gen_range(0..64u64);
+            if rng.gen_bool(0.2) {
+                client.delete(key).expect("delete");
+                model.remove(&key);
+            } else {
+                let v = val(key, round * 1000 + i);
+                client.put(key, &v).expect("put");
+                model.insert(key, v);
+            }
+        }
+        let slot = cluster.slot_of(17);
+        let to = (cluster.owner_of(slot) + 1) % 2;
+        cluster.migrate(slot, to).expect("migrate");
+    }
+    for key in 0..64u64 {
+        assert_eq!(
+            client.get(key).expect("get"),
+            model.get(&key).cloned(),
+            "key {key} diverged from the model"
+        );
+    }
+    cluster.shutdown().expect("shutdown");
+}
+
+/// Range fans out across groups and merges by key — including right
+/// after a migration left un-purged copies at a slot's old home.
+#[test]
+fn range_fans_out_and_dedupes_after_migration() {
+    let mut cfg = cluster_cfg(3, 16, false);
+    cfg.engine = Config::builder()
+        .pm_bytes(48 << 20)
+        .dram_bytes(8 << 20)
+        .ncores(2)
+        .group_size(2)
+        .index(IndexKind::Masstree)
+        .build()
+        .expect("valid test config");
+    let cluster = Cluster::create(cfg).expect("create");
+    let mut client = cluster.client().expect("client");
+    for key in 0..200u64 {
+        client.put(key, &val(key, 0)).expect("put");
+    }
+    // Move a couple of slots around: their keys now exist on two groups,
+    // but ownership filtering must keep each key exactly once.
+    for &probe in &[3u64, 11, 57] {
+        let slot = cluster.slot_of(probe);
+        let to = (cluster.owner_of(slot) + 1) % 3;
+        cluster.migrate(slot, to).expect("migrate");
+    }
+    let got = client.range(20, 120, 1000).expect("range");
+    let expect: Vec<(u64, Vec<u8>)> = (20..120).map(|k| (k, val(k, 0))).collect();
+    assert_eq!(got, expect);
+    // Limit applies after the merge.
+    let capped = client.range(0, 200, 10).expect("range capped");
+    assert_eq!(capped.len(), 10);
+    assert_eq!(capped[0].0, 0);
+    assert_eq!(capped[9].0, 9);
+    cluster.shutdown().expect("shutdown");
+}
+
+/// The acceptance run: 4 replicated groups, zipf-skewed mixed workload
+/// running continuously while the hottest slot migrates between groups
+/// several times. Every acked write must be readable (no lost ops), no
+/// read may return a value older than the last ack the same thread
+/// observed (no staleness past the flip), and the run must actually
+/// exercise redirects and migrations.
+#[test]
+fn e2e_zipf_workload_survives_live_migrations() {
+    const NSLOTS: usize = 16;
+    const THREADS: usize = 3;
+    const MIN_OPS_PER_THREAD: u64 = 400;
+    const MIGRATIONS: u32 = 4;
+
+    let cluster = Arc::new(Cluster::create(cluster_cfg(4, NSLOTS, true)).expect("create"));
+
+    // Zipf-ish skew: half of every thread's traffic hammers a handful of
+    // contiguous hot keys around `hot_base` (so the slot holding
+    // `hot_base` is genuinely hot), the rest spreads over a 512-key
+    // tail. Hot and cold key ranges are disjoint per thread, so each
+    // thread's model map is an exact oracle for every key it touches.
+    let hot_base = 1_000_000u64;
+    let hot_slot = cluster.slot_of(hot_base);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut workers = Vec::new();
+    for t in 0..THREADS {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || {
+            let mut client = cluster.client().expect("client");
+            let mut rng = SmallRng::seed_from_u64(0xe2e0 + t as u64);
+            let mut model: HashMap<u64, Option<Vec<u8>>> = HashMap::new();
+            let base = 10_000u64 * (t as u64 + 1);
+            let mut i = 0u64;
+            // Run at least MIN_OPS_PER_THREAD ops, then keep serving
+            // until the migration driver is done — the workload never
+            // pauses while slots move.
+            while i < MIN_OPS_PER_THREAD || !stop.load(Ordering::Acquire) {
+                let key = if rng.gen_bool(0.5) {
+                    hot_base + (t as u64) * 4 + rng.gen_range(0..4u64)
+                } else {
+                    base + rng.gen_range(0..512u64)
+                };
+                match rng.gen_range(0..10u32) {
+                    0 => {
+                        client.delete(key).expect("delete acked");
+                        model.insert(key, None);
+                    }
+                    1..=5 => {
+                        let v = val(key, i);
+                        client.put(key, &v).expect("put acked");
+                        model.insert(key, Some(v));
+                    }
+                    _ => {
+                        let got = client.get(key).expect("get");
+                        if let Some(expect) = model.get(&key) {
+                            assert_eq!(
+                                &got, expect,
+                                "thread {t} read a value inconsistent with its last ack \
+                                 for key {key} (lost, duplicated or stale op)"
+                            );
+                        }
+                    }
+                }
+                i += 1;
+            }
+            (model, client)
+        }));
+    }
+
+    // Migrate the hot slot round-robin across all 4 groups while the
+    // workload runs, then release the workers.
+    let mut migrations = 0u32;
+    let mut target = (cluster.owner_of(hot_slot) + 1) % 4;
+    while migrations < MIGRATIONS {
+        match cluster.migrate(hot_slot, target) {
+            Ok(_) => migrations += 1,
+            Err(e) => panic!("migration failed mid-run: {e}"),
+        }
+        target = (target + 1) % 4;
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    stop.store(true, Ordering::Release);
+
+    // Final audit: after everything quiesces, each thread's model must
+    // match the cluster exactly — wherever the slots ended up.
+    let mut audits = Vec::new();
+    for w in workers {
+        audits.push(w.join().expect("worker"));
+    }
+    cluster.barrier();
+    for (t, (model, mut client)) in audits.into_iter().enumerate() {
+        client.refresh().expect("refresh");
+        for (key, expect) in &model {
+            assert_eq!(
+                &client.get(*key).expect("audit get"),
+                expect,
+                "thread {t}: acked state for key {key} lost after migrations"
+            );
+        }
+    }
+
+    assert!(
+        migrations >= 2,
+        "run too short to exercise migration ({migrations})"
+    );
+    let stats = cluster.stats();
+    assert!(
+        stats.migrations_completed.get() >= u64::from(migrations),
+        "completed counter lags"
+    );
+    assert!(stats.redirects.get() > 0, "no stale route was ever refused");
+    assert!(
+        stats.mig_ops.get() > 0,
+        "migrations shipped nothing — the hot slot never moved data"
+    );
+
+    let cluster = Arc::try_unwrap(cluster)
+        .map_err(|_| ())
+        .expect("sole owner");
+    cluster.shutdown().expect("shutdown");
+}
+
+/// Epoch bookkeeping: every completed migration with an ownership change
+/// bumps the epoch exactly once; no-op migrations don't.
+#[test]
+fn epoch_bumps_once_per_flip() {
+    let cluster = Cluster::create(cluster_cfg(2, 8, false)).expect("create");
+    let e0 = cluster.epoch();
+    let slot = 3;
+    let owner = cluster.owner_of(slot);
+    let noop = cluster.migrate(slot, owner).expect("noop migrate");
+    assert_eq!(noop.epoch, e0, "migrating to the current owner is a no-op");
+    assert_eq!(cluster.epoch(), e0);
+    cluster.migrate(slot, (owner + 1) % 2).expect("migrate");
+    assert_eq!(cluster.epoch(), e0 + 1);
+    cluster.migrate(slot, owner).expect("migrate back");
+    assert_eq!(cluster.epoch(), e0 + 2);
+    cluster.shutdown().expect("shutdown");
+}
+
+/// Unknown slots and groups are refused up front, without touching the
+/// routing table.
+#[test]
+fn migrate_validates_arguments() {
+    let cluster = Cluster::create(cluster_cfg(2, 8, false)).expect("create");
+    assert!(matches!(
+        cluster.migrate(8, 0),
+        Err(StoreError::InvalidConfig(_))
+    ));
+    assert!(matches!(
+        cluster.migrate(0, 9),
+        Err(StoreError::InvalidConfig(_))
+    ));
+    assert_eq!(cluster.epoch(), 1);
+    cluster.shutdown().expect("shutdown");
+}

@@ -1,0 +1,100 @@
+//! Hash-ring placement properties: rendezvous assignment must spread
+//! slots evenly across groups, and membership changes must move only
+//! the minimal slot set (join moves only slots the newcomer wins;
+//! leave moves only the leaver's slots).
+
+use flatclus::{GroupId, RendezvousRing, SlotRing};
+use proptest::prelude::*;
+
+const NSLOTS: usize = 1024;
+
+fn ids(n: usize) -> Vec<GroupId> {
+    (0..n as u16).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every group's slot share stays within ±20% of the fair share.
+    #[test]
+    fn assignment_balanced_within_20_percent(ngroups in 2usize..=12) {
+        let owners = RendezvousRing.assign(NSLOTS, &ids(ngroups));
+        prop_assert_eq!(owners.len(), NSLOTS);
+        let mut counts = vec![0usize; ngroups];
+        for &g in &owners {
+            counts[usize::from(g)] += 1;
+        }
+        let fair = NSLOTS as f64 / ngroups as f64;
+        for (gid, &n) in counts.iter().enumerate() {
+            let dev = (n as f64 - fair).abs() / fair;
+            prop_assert!(
+                dev <= 0.20,
+                "group {} owns {} slots, fair share {:.1} (deviation {:.1}%)",
+                gid, n, fair, dev * 100.0
+            );
+        }
+    }
+
+    /// Adding a group moves slots only *to* the newcomer: every slot the
+    /// join reassigns was won by the new group, and every other slot
+    /// keeps its old owner. (This is rendezvous hashing's defining
+    /// minimal-movement property — each slot's winner among the old
+    /// groups is unchanged by a new contestant unless the contestant
+    /// itself wins.)
+    #[test]
+    fn join_moves_slots_only_to_newcomer(ngroups in 1usize..=11) {
+        let before = RendezvousRing.assign(NSLOTS, &ids(ngroups));
+        let after = RendezvousRing.assign(NSLOTS, &ids(ngroups + 1));
+        let newcomer = ngroups as GroupId;
+        let mut moved = 0usize;
+        for slot in 0..NSLOTS {
+            if after[slot] != before[slot] {
+                prop_assert_eq!(
+                    after[slot], newcomer,
+                    "slot {} moved {} -> {}, not to the joining group {}",
+                    slot, before[slot], after[slot], newcomer
+                );
+                moved += 1;
+            }
+        }
+        // The newcomer must take roughly its fair share, no more: the
+        // movement is minimal (≈ NSLOTS / (n+1)), not a reshuffle.
+        let fair = NSLOTS as f64 / (ngroups + 1) as f64;
+        prop_assert!(
+            (moved as f64) <= fair * 1.20,
+            "join moved {} slots, expected ≈{:.1}",
+            moved, fair
+        );
+        prop_assert!(moved > 0, "a join that moves nothing starves the new group");
+    }
+
+    /// Removing a group moves only the slots it owned; survivors keep
+    /// every slot they already had.
+    #[test]
+    fn leave_moves_only_leavers_slots(ngroups in 2usize..=12, leaver_pick in 0usize..12) {
+        let leaver = (leaver_pick % ngroups) as GroupId;
+        let before = RendezvousRing.assign(NSLOTS, &ids(ngroups));
+        let survivors: Vec<GroupId> =
+            ids(ngroups).into_iter().filter(|&g| g != leaver).collect();
+        let after = RendezvousRing.assign(NSLOTS, &survivors);
+        for slot in 0..NSLOTS {
+            prop_assert!(after[slot] != leaver, "slot {} still routed to the leaver", slot);
+            if before[slot] != leaver {
+                prop_assert_eq!(
+                    after[slot], before[slot],
+                    "slot {} moved {} -> {} though its owner never left",
+                    slot, before[slot], after[slot]
+                );
+            }
+        }
+    }
+
+    /// Placement is a pure function of (nslots, membership) — every
+    /// node computing the table independently agrees.
+    #[test]
+    fn assignment_deterministic(ngroups in 1usize..=12) {
+        let a = RendezvousRing.assign(NSLOTS, &ids(ngroups));
+        let b = RendezvousRing.assign(NSLOTS, &ids(ngroups));
+        prop_assert_eq!(a, b);
+    }
+}

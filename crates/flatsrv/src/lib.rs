@@ -19,8 +19,11 @@
 //!   socket) running a poll-style event loop. Each connection owns one
 //!   pipelined engine [`Session`](flatstore::Session), so N busy
 //!   connections look to the engine like the paper's client fleet and
-//!   fill horizontal batches. Commands: `GET` `SET` `DEL` `SCAN` `PING`
-//!   `INFO` `QUIT` (+ `SHUTDOWN` for orchestration).
+//!   fill horizontal batches. Commands: `GET` `SET` `DEL` `MGET` `MSET`
+//!   `SCAN` `PING` `INFO` `QUIT` (+ `SHUTDOWN` for orchestration). The
+//!   multi-key verbs fan out over the session's pipelined `Op` API and
+//!   gather their replies into one frame, so a single command fills a
+//!   whole horizontal batch.
 //! - [`load`]: the `flatload` generator — pipelined ETC workload over
 //!   real sockets, latency percentiles, and engine-side `INFO` readback
 //!   (mean HB batch size, cache hit rate) — plus an in-process twin for

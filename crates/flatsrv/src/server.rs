@@ -215,6 +215,12 @@ enum Pend {
     One { ticket: Ticket, kind: PendKind },
     /// A multi-key `DEL`: resolves once every ticket has completed.
     Del { tickets: Vec<Ticket> },
+    /// A multi-key `MGET`: one array reply, one bulk-or-nil per key, in
+    /// request order, once every ticket has completed.
+    MGet { items: Vec<(Ticket, Vec<u8>)> },
+    /// A multi-pair `MSET`: one `+OK` (or the first failure) once every
+    /// ticket has completed.
+    MSet { tickets: Vec<Ticket> },
 }
 
 enum PendKind {
@@ -512,6 +518,56 @@ impl AcceptLoop {
                 }
                 conn.fifo.push_back(Pend::Del { tickets });
             }
+            b"MGET" => {
+                if argv.len() < 2 {
+                    return arity_err(conn, "mget");
+                }
+                let mut items = Vec::with_capacity(argv.len() - 1);
+                for raw in &argv[1..] {
+                    let key = hash_key(raw);
+                    // Like DEL: submit may block past the pipeline depth
+                    // on huge fan-outs, absorbing completions meanwhile.
+                    match conn.session.submit(Op::Get { key }) {
+                        Ok(t) => items.push((t, raw.clone())),
+                        Err(e) => {
+                            // Render what we have; report the failure.
+                            conn.fifo.push_back(Pend::MGet { items });
+                            resp::error(&mut out, &e.to_string());
+                            conn.fifo.push_back(Pend::Ready(out));
+                            return true;
+                        }
+                    }
+                }
+                conn.fifo.push_back(Pend::MGet { items });
+            }
+            b"MSET" => {
+                // Pairs: MSET k1 v1 [k2 v2 ...]
+                if argv.len() < 3 || argv.len().is_multiple_of(2) {
+                    return arity_err(conn, "mset");
+                }
+                // Validate every key before submitting anything, so a bad
+                // pair never leaves a partial multi-set behind.
+                if argv[1..].chunks(2).any(|pair| pair[0].len() > MAX_KEY_LEN) {
+                    resp::error(&mut out, "key too long");
+                    conn.fifo.push_back(Pend::Ready(out));
+                    return true;
+                }
+                let mut tickets = Vec::with_capacity((argv.len() - 1) / 2);
+                for pair in argv[1..].chunks(2) {
+                    let key = hash_key(&pair[0]);
+                    let frame = encode_frame(&pair[0], &pair[1]);
+                    match conn.session.submit(Op::Put { key, value: frame }) {
+                        Ok(t) => tickets.push(t),
+                        Err(e) => {
+                            conn.fifo.push_back(Pend::MSet { tickets });
+                            resp::error(&mut out, &e.to_string());
+                            conn.fifo.push_back(Pend::Ready(out));
+                            return true;
+                        }
+                    }
+                }
+                conn.fifo.push_back(Pend::MSet { tickets });
+            }
             b"SCAN" => {
                 if argv.len() != 2 && argv.len() != 4 {
                     return arity_err(conn, "scan");
@@ -639,6 +695,76 @@ fn render_ready(conn: &mut Conn, stats: &ServerStats) -> bool {
                 match first_err {
                     Some(e) => resp::error(&mut out, &e.to_string()),
                     None => resp::integer(&mut out, existed),
+                }
+                out
+            }
+            Some(Pend::MGet { items }) => {
+                if !items.iter().all(|(t, _)| conn.results.contains_key(t)) {
+                    break;
+                }
+                let Some(Pend::MGet { items }) = conn.fifo.pop_front() else {
+                    unreachable!("front() just matched MGet");
+                };
+                let mut body = Vec::new();
+                let mut first_err: Option<StoreError> = None;
+                resp::array_header(&mut body, items.len());
+                for (t, raw) in items {
+                    match conn.results.remove(&t) {
+                        Some(Reply::Get(Ok(Some(frame)))) => match decode_frame(&frame) {
+                            Some((stored_key, value)) if stored_key == raw => {
+                                resp::bulk(&mut body, value);
+                            }
+                            Some(_) => {
+                                // A different raw key hashed onto the
+                                // same u64: nil for this caller.
+                                stats.collision_misses.fetch_add(1, Ordering::Relaxed);
+                                resp::nil(&mut body);
+                            }
+                            None => {
+                                first_err.get_or_insert(StoreError::corrupt(
+                                    "stored value frame corrupt",
+                                ));
+                            }
+                        },
+                        Some(Reply::Get(Ok(None))) | None => resp::nil(&mut body),
+                        Some(Reply::Get(Err(e))) => {
+                            first_err.get_or_insert(e);
+                        }
+                        Some(_) => {}
+                    }
+                }
+                match first_err {
+                    // One engine failure poisons the whole array — a
+                    // partial MGET with silent nils would read as misses.
+                    Some(e) => {
+                        let mut out = Vec::new();
+                        resp::error(&mut out, &e.to_string());
+                        out
+                    }
+                    None => body,
+                }
+            }
+            Some(Pend::MSet { tickets }) => {
+                if !tickets.iter().all(|t| conn.results.contains_key(t)) {
+                    break;
+                }
+                let Some(Pend::MSet { tickets }) = conn.fifo.pop_front() else {
+                    unreachable!("front() just matched MSet");
+                };
+                let mut first_err: Option<StoreError> = None;
+                for t in tickets {
+                    match conn.results.remove(&t) {
+                        Some(Reply::Put(Ok(()))) | None => {}
+                        Some(Reply::Put(Err(e))) => {
+                            first_err.get_or_insert(e);
+                        }
+                        Some(_) => {}
+                    }
+                }
+                let mut out = Vec::new();
+                match first_err {
+                    Some(e) => resp::error(&mut out, &e.to_string()),
+                    None => resp::simple(&mut out, "OK"),
                 }
                 out
             }

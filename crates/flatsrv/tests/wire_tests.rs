@@ -288,6 +288,86 @@ fn pipelined_commands_reply_in_order() {
 }
 
 #[test]
+fn mget_mset_fan_out_and_gather() {
+    let ts = TestServer::boot(ServerOpts::default());
+    let mut c = ts.connect();
+
+    // MSET fills many keys in one command (deeper than the pipeline
+    // depth of 8, so submit's credit-blocking path runs too).
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..20u32)
+        .map(|i| {
+            (
+                format!("multi-{i}").into_bytes(),
+                format!("mv-{i}").into_bytes(),
+            )
+        })
+        .collect();
+    let mut argv: Vec<&[u8]> = vec![b"MSET"];
+    for (k, v) in &pairs {
+        argv.push(k);
+        argv.push(v);
+    }
+    c.cmd(&argv);
+    assert_eq!(c.reply(), Reply::Simple("OK".into()));
+
+    // MGET gathers hits and misses in request order, one array frame.
+    c.cmd(&[b"MGET", b"multi-3", b"never-was", b"multi-19", b"multi-0"]);
+    assert_eq!(
+        c.reply(),
+        Reply::Array(vec![
+            bulk(b"mv-3"),
+            Reply::Bulk(None),
+            bulk(b"mv-19"),
+            bulk(b"mv-0"),
+        ])
+    );
+
+    // A deleted key reads as nil inside the gather.
+    c.cmd(&[b"DEL", b"multi-3"]);
+    assert_eq!(c.reply(), Reply::Integer(1));
+    c.cmd(&[b"MGET", b"multi-3", b"multi-4"]);
+    assert_eq!(
+        c.reply(),
+        Reply::Array(vec![Reply::Bulk(None), bulk(b"mv-4")])
+    );
+
+    // Arity: MGET needs a key; MSET needs complete pairs.
+    c.cmd(&[b"MGET"]);
+    assert!(matches!(c.reply(), Reply::Error(e) if e.contains("wrong number of arguments")));
+    c.cmd(&[b"MSET", b"k"]);
+    assert!(matches!(c.reply(), Reply::Error(e) if e.contains("wrong number of arguments")));
+    c.cmd(&[b"MSET", b"k", b"v", b"dangling"]);
+    assert!(matches!(c.reply(), Reply::Error(e) if e.contains("wrong number of arguments")));
+
+    // An oversized key rejects the whole MSET before anything applies.
+    let huge = vec![b'x'; 5000];
+    c.cmd(&[b"MSET", b"good", b"val", &huge, b"val"]);
+    assert!(matches!(c.reply(), Reply::Error(e) if e.contains("key too long")));
+    c.cmd(&[b"GET", b"good"]);
+    assert_eq!(c.reply(), Reply::Bulk(None));
+
+    // Multi-key verbs interleave cleanly with the rest of a pipeline.
+    let mut burst = Vec::new();
+    burst.extend_from_slice(&resp::command(&[
+        b"MSET".to_vec(),
+        b"a".to_vec(),
+        b"1".to_vec(),
+        b"b".to_vec(),
+        b"2".to_vec(),
+    ]));
+    burst.extend_from_slice(&resp::command(&[
+        b"MGET".to_vec(),
+        b"a".to_vec(),
+        b"b".to_vec(),
+    ]));
+    burst.extend_from_slice(&resp::command(&[b"PING".to_vec()]));
+    c.send(&burst);
+    assert_eq!(c.reply(), Reply::Simple("OK".into()));
+    assert_eq!(c.reply(), Reply::Array(vec![bulk(b"1"), bulk(b"2")]));
+    assert_eq!(c.reply(), Reply::Simple("PONG".into()));
+}
+
+#[test]
 fn connection_churn_returns_to_baseline() {
     let ts = TestServer::boot(ServerOpts::default());
     let baseline = ts.clients_attached();

@@ -64,6 +64,18 @@ impl Op {
         }
     }
 
+    /// The key this operation routes by: the touched key for point ops,
+    /// the inclusive lower bound for range scans. Cluster routers use
+    /// this the way the engine's internal `home_core` shards cores — one
+    /// routing rule for every verb (a Range additionally fans out across
+    /// groups; its routing key only picks the coordinator).
+    pub fn routing_key(&self) -> u64 {
+        match self {
+            Op::Put { key, .. } | Op::Get { key } | Op::Delete { key } => *key,
+            Op::Range { lo, .. } => *lo,
+        }
+    }
+
     /// The server core this operation routes to (range scans route by
     /// their lower bound; the owning core walks the shared tree).
     pub(crate) fn home_core(&self, ncores: usize) -> usize {

@@ -1,0 +1,405 @@
+//! Multi-group cluster model: composes per-group discrete-event runs
+//! through the real slot-routing arithmetic, plus a first-order analytic
+//! model of one live slot migration.
+//!
+//! A `flatclus` cluster is N independent engine groups behind a
+//! slot-routing table; groups share nothing, so the cluster DES runs one
+//! ordinary [`run`] per group with that group's *share* of the offered
+//! load and takes the wall clock of the slowest group. The shares come
+//! from the exact production arithmetic — [`workloads::slot_of_key`]
+//! over a sampled key stream, owners from
+//! [`workloads::rendezvous_assign`] — so skew effects (a zipfian hot
+//! slot pinning one group while others idle) emerge from the same
+//! routing the engine uses rather than from an assumed split.
+//!
+//! The migration model estimates the two acceptance metrics of live
+//! shard migration analytically from the calibrated cost parameters:
+//! the **suffix-ship window** (bulk rounds streaming `keyspace/nslots`
+//! keys in `MIG_BATCH`-op ring batches while writes keep flowing) and
+//! the **client-visible pause** (the final round: only the writes that
+//! arrived during the last delta round, shipped under the slot gate).
+//! The pause shrinks geometrically with each un-paused round, which is
+//! exactly why the protocol's stall is bounded by the slot's write rate
+//! and not by its size.
+
+use workloads::{rendezvous_assign, slot_of_key};
+
+use crate::common::Gen;
+use crate::metrics::Summary;
+use crate::params::{SimConfig, WorkloadSpec};
+use crate::run;
+
+/// Operations per migration ring batch — mirrors `flatclus`'s
+/// `MIG_BATCH` (which mirrors `flatrepl`'s catch-up batching).
+pub const MIG_BATCH: usize = 64;
+
+/// Keys sampled from the workload generator to estimate per-group and
+/// per-slot traffic shares.
+const SHARE_SAMPLE: u64 = 32_768;
+
+/// A cluster simulation: the whole-cluster offered load in `base`,
+/// sliced across `groups` engine groups by slot routing.
+#[derive(Debug, Clone)]
+pub struct ClusterSimConfig {
+    /// Engine groups (each is one full `base.ncores`-core engine).
+    pub groups: usize,
+    /// Virtual slots for the routing table.
+    pub nslots: usize,
+    /// The cluster-wide workload and calibration. `ops`, `warmup`,
+    /// `clients` and `keyspace` describe the whole cluster and are
+    /// scaled down to each group's share.
+    pub base: SimConfig,
+}
+
+impl Default for ClusterSimConfig {
+    fn default() -> Self {
+        ClusterSimConfig {
+            groups: 1,
+            nslots: workloads::NSLOTS,
+            base: SimConfig::default(),
+        }
+    }
+}
+
+/// Analytic estimate of one live migration of the hottest slot.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationModel {
+    /// Keys resident in the migrating slot (`keyspace / nslots`).
+    pub slot_keys: u64,
+    /// Writes per nanosecond landing on the migrating slot while it
+    /// ships (cluster rate × hot-slot traffic share × put ratio).
+    pub slot_write_rate: f64,
+    /// The un-paused suffix-ship window: bulk round plus one delta
+    /// round, in nanoseconds.
+    pub window_ns: f64,
+    /// Writes expected in the final (paused) round.
+    pub final_ops: f64,
+    /// The client-visible pause: final-round ship + ring drain + flip,
+    /// in nanoseconds.
+    pub pause_ns: f64,
+}
+
+/// What a cluster run measured.
+#[derive(Debug, Clone)]
+pub struct ClusterSummary {
+    /// Groups simulated.
+    pub groups: usize,
+    /// Measured operations across all groups.
+    pub ops: u64,
+    /// Cluster wall clock: the slowest group's simulated span (groups
+    /// run concurrently).
+    pub sim_ns: f64,
+    /// Cluster throughput in million operations per second.
+    pub mops: f64,
+    /// Ops-weighted mean latency (ns).
+    pub avg_latency_ns: f64,
+    /// Worst per-group p99 (ns) — the straggler bounds the cluster tail.
+    pub p99_ns: f64,
+    /// Traffic share each group served (sums to ~1).
+    pub shares: Vec<f64>,
+    /// Traffic share of the single hottest slot — what a rebalance
+    /// would migrate first, and the write rate behind the pause model.
+    pub hot_slot_share: f64,
+    /// Each group's full single-engine summary.
+    pub per_group: Vec<Summary>,
+    /// The hot-slot migration estimate.
+    pub migration: MigrationModel,
+}
+
+/// Runs the cluster model.
+///
+/// With `groups == 1` the base configuration runs verbatim — the
+/// cluster wrapper adds nothing, so the summary is bit-identical to
+/// [`run`]`(&cfg.base)`.
+///
+/// # Panics
+///
+/// As [`run`]; additionally if `groups == 0` or `nslots == 0`.
+pub fn run_cluster(cfg: &ClusterSimConfig) -> ClusterSummary {
+    assert!(cfg.groups > 0, "cluster needs at least one group");
+    assert!(cfg.nslots > 0, "cluster needs at least one slot");
+
+    let (group_traffic, slot_traffic, owners) = traffic_shares(cfg);
+
+    let mut per_group = Vec::with_capacity(cfg.groups);
+    if cfg.groups == 1 {
+        per_group.push(run(&cfg.base));
+    } else {
+        let slot_share = {
+            let mut counts = vec![0usize; cfg.groups];
+            for &g in &owners {
+                counts[usize::from(g)] += 1;
+            }
+            counts
+        };
+        for g in 0..cfg.groups {
+            let share = group_traffic[g];
+            let mut sub = cfg.base.clone();
+            // Each group sees its traffic share of the ops and its slot
+            // share of the keyspace. Clients split *evenly*: connections
+            // land round-robin while ops route by key, so a hot group
+            // serves more operations with the same client concurrency —
+            // which is exactly how a skewed slot turns into the
+            // cluster's straggler.
+            sub.ops = ((cfg.base.ops as f64 * share).round() as u64).max(1);
+            sub.warmup = (cfg.base.warmup as f64 * share).round() as u64;
+            sub.clients = (cfg.base.clients / cfg.groups).max(1);
+            let kshare = slot_share[g] as f64 / cfg.nslots as f64;
+            sub.keyspace = ((cfg.base.keyspace as f64 * kshare).round() as u64).max(64);
+            sub.seed = cfg
+                .base
+                .seed
+                .wrapping_add(g as u64)
+                .wrapping_mul(0x9e37_79b9);
+            per_group.push(run(&sub));
+        }
+    }
+
+    let ops: u64 = per_group.iter().map(|s| s.ops).sum();
+    let sim_ns = per_group.iter().map(|s| s.sim_ns).fold(0.0f64, f64::max);
+    let mops = if sim_ns > 0.0 {
+        ops as f64 / sim_ns * 1e3
+    } else {
+        0.0
+    };
+    let avg_latency_ns = if ops > 0 {
+        per_group
+            .iter()
+            .map(|s| s.avg_latency_ns * s.ops as f64)
+            .sum::<f64>()
+            / ops as f64
+    } else {
+        0.0
+    };
+    let p99_ns = per_group.iter().map(|s| s.p99_ns).fold(0.0f64, f64::max);
+
+    let hot_share = slot_traffic.iter().copied().fold(0.0f64, f64::max);
+    let cluster_rate = if sim_ns > 0.0 {
+        ops as f64 / sim_ns
+    } else {
+        0.0
+    };
+    let migration = migration_model(cfg, cluster_rate, hot_share);
+
+    ClusterSummary {
+        groups: cfg.groups,
+        ops,
+        sim_ns,
+        mops,
+        avg_latency_ns,
+        p99_ns,
+        shares: group_traffic,
+        hot_slot_share: hot_share,
+        per_group,
+        migration,
+    }
+}
+
+/// Samples the workload's key stream and routes it exactly as the
+/// cluster would: per-group traffic shares, per-slot traffic shares,
+/// and the slot owners.
+fn traffic_shares(cfg: &ClusterSimConfig) -> (Vec<f64>, Vec<f64>, Vec<u16>) {
+    let ids: Vec<u16> = (0..cfg.groups as u16).collect();
+    let owners = rendezvous_assign(cfg.nslots, &ids);
+    let mut group_hits = vec![0u64; cfg.groups];
+    let mut slot_hits = vec![0u64; cfg.nslots];
+    let mut gen = Gen::new(
+        cfg.base.workload,
+        cfg.base.keyspace,
+        cfg.base.seed ^ 0x5107_5a3e,
+    );
+    for _ in 0..SHARE_SAMPLE {
+        let key = match gen.next_op() {
+            workloads::Op::Put { key, .. }
+            | workloads::Op::Get { key }
+            | workloads::Op::Delete { key } => key,
+        };
+        let slot = slot_of_key(key, cfg.nslots);
+        slot_hits[slot] += 1;
+        group_hits[usize::from(owners[slot])] += 1;
+    }
+    let n = SHARE_SAMPLE as f64;
+    (
+        group_hits.iter().map(|&h| h as f64 / n).collect(),
+        slot_hits.iter().map(|&h| h as f64 / n).collect(),
+        owners,
+    )
+}
+
+/// First-order migration estimate. One ring batch costs the wire round
+/// trip plus `MIG_BATCH` destination applies (hash insert, entry build,
+/// allocation, post, value stores) plus — on a replicated destination —
+/// the backup persist; ring pipelining overlaps the wire latency of
+/// interior batches, so the window is the serial apply work plus one
+/// round trip at each end.
+fn migration_model(cfg: &ClusterSimConfig, cluster_rate: f64, hot_share: f64) -> MigrationModel {
+    let base = &cfg.base;
+    let value_len = match base.workload {
+        WorkloadSpec::Ycsb { value_len, .. } => value_len as f64,
+        // The ETC mix is trimodal; its mean sits near 150 B.
+        WorkloadSpec::Etc { .. } => 150.0,
+    };
+    let apply_ns = base.cpu.hash_op_ns
+        + base.cpu.entry_build_ns
+        + base.cpu.alloc_ns
+        + base.cpu.post_ns
+        + value_len * base.cpu.store_ns_per_byte;
+    let repl_ns = if base.replicas > 0 {
+        base.repl_persist_ns + 2.0 * base.net.one_way_ns
+    } else {
+        0.0
+    };
+    let batch_ns = MIG_BATCH as f64 * apply_ns + repl_ns + 2.0 * base.net.nic_ns_per_msg;
+
+    let slot_keys = (base.keyspace / cfg.nslots as u64).max(1);
+    let bulk_batches = (slot_keys as f64 / MIG_BATCH as f64).ceil();
+    let bulk_ns = bulk_batches * batch_ns + 2.0 * base.net.one_way_ns;
+
+    let put_ratio = match base.workload {
+        WorkloadSpec::Ycsb { put_ratio, .. } | WorkloadSpec::Etc { put_ratio } => put_ratio,
+    };
+    let slot_write_rate = cluster_rate * hot_share * put_ratio;
+
+    // Delta round: writes that landed during the bulk ship. Final
+    // (paused) round: writes that landed during the delta — the second
+    // step of a geometric series whose ratio is the slot write rate
+    // times the per-op ship cost.
+    let delta_ops = bulk_ns * slot_write_rate;
+    let delta_ns = (delta_ops / MIG_BATCH as f64).ceil().max(1.0) * batch_ns;
+    let window_ns = bulk_ns + delta_ns;
+    let final_ops = delta_ns * slot_write_rate;
+    let pause_ns = final_ops * apply_ns
+        + (final_ops / MIG_BATCH as f64).ceil().max(1.0)
+            * (repl_ns + 2.0 * base.net.nic_ns_per_msg)
+        + 2.0 * base.net.one_way_ns
+        + base.cpu.lock_ns;
+
+    MigrationModel {
+        slot_keys,
+        slot_write_rate,
+        window_ns,
+        final_ops,
+        pause_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Engine, ExecModel, SimIndex};
+    use workloads::KeyDist;
+
+    fn quick_base(dist: KeyDist) -> SimConfig {
+        SimConfig {
+            engine: Engine::FlatStore {
+                model: ExecModel::PipelinedHb,
+                index: SimIndex::Hash,
+            },
+            ncores: 2,
+            group_size: 2,
+            clients: 16,
+            keyspace: 4_000,
+            ops: 6_000,
+            warmup: 500,
+            workload: WorkloadSpec::Ycsb {
+                dist,
+                value_len: 64,
+                put_ratio: 0.5,
+            },
+            ..SimConfig::default()
+        }
+    }
+
+    fn cluster(groups: usize, dist: KeyDist) -> ClusterSummary {
+        run_cluster(&ClusterSimConfig {
+            groups,
+            nslots: 64,
+            base: quick_base(dist),
+        })
+    }
+
+    #[test]
+    fn one_group_matches_plain_run() {
+        let base = quick_base(KeyDist::Uniform);
+        let plain = run(&base);
+        let clustered = run_cluster(&ClusterSimConfig {
+            groups: 1,
+            nslots: 64,
+            base,
+        });
+        assert_eq!(clustered.ops, plain.ops);
+        assert_eq!(clustered.sim_ns, plain.sim_ns);
+        assert_eq!(clustered.mops, plain.mops);
+        assert_eq!(clustered.p99_ns, plain.p99_ns);
+    }
+
+    #[test]
+    fn throughput_scales_with_groups() {
+        let one = cluster(1, KeyDist::Uniform);
+        let two = cluster(2, KeyDist::Uniform);
+        let four = cluster(4, KeyDist::Uniform);
+        assert!(
+            two.mops > one.mops,
+            "2 groups ({:.3}) not faster than 1 ({:.3})",
+            two.mops,
+            one.mops
+        );
+        assert!(
+            four.mops > two.mops,
+            "4 groups ({:.3}) not faster than 2 ({:.3})",
+            four.mops,
+            two.mops
+        );
+    }
+
+    #[test]
+    fn zipf_concentrates_traffic_on_a_hot_slot() {
+        let zipf = cluster(4, KeyDist::Zipfian { theta: 0.99 });
+        let uniform = cluster(4, KeyDist::Uniform);
+        // Uniform traffic spreads ≈1/nslots per slot; zipf's scrambled
+        // hot keys stack a multiple of that onto one slot — the slot a
+        // rebalance migrates, and the write rate the pause model sees.
+        assert!(
+            zipf.hot_slot_share > 2.0 * uniform.hot_slot_share,
+            "zipf hot slot {:.4} not clearly hotter than uniform {:.4}",
+            zipf.hot_slot_share,
+            uniform.hot_slot_share
+        );
+        let zm = zipf.migration;
+        let um = uniform.migration;
+        assert!(
+            zm.slot_write_rate > um.slot_write_rate,
+            "hotter slot must mean a higher modeled write rate"
+        );
+        assert!(
+            zm.final_ops >= um.final_ops,
+            "a hotter slot cannot shrink the paused final round"
+        );
+    }
+
+    #[test]
+    fn migration_pause_is_far_below_ship_window() {
+        let s = cluster(4, KeyDist::Zipfian { theta: 0.99 });
+        let m = s.migration;
+        assert!(m.window_ns > 0.0);
+        assert!(
+            m.pause_ns < m.window_ns / 5.0,
+            "pause {:.0} ns not well under window {:.0} ns",
+            m.pause_ns,
+            m.window_ns
+        );
+        // The pause is set by the slot's write rate, not its size.
+        assert!(m.slot_keys >= 1);
+        assert!(m.final_ops < m.slot_keys as f64);
+    }
+
+    #[test]
+    fn shares_sum_to_one_and_follow_ownership() {
+        let s = cluster(4, KeyDist::Uniform);
+        let total: f64 = s.shares.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+        for (g, &share) in s.shares.iter().enumerate() {
+            assert!(share > 0.0, "group {g} got no traffic");
+        }
+    }
+}

@@ -7,8 +7,11 @@
 #   scripts/bench.sh --wire       # BENCH_7.json: flatload --compare, the
 #                                 #   in-process / loopback-TCP / Unix-socket
 #                                 #   three-way (wall-clock: machine-dependent)
-#   FLATBENCH_QUICK=1 scripts/bench.sh [--wire]  # CI smoke: small scale,
-#                                                #   tmp output
+#   scripts/bench.sh --cluster    # BENCH_9.json: throughput vs 1/2/4 replica
+#                                 #   groups (DES) + live-migration pause p99
+#                                 #   vs ship window on the real engine
+#   FLATBENCH_QUICK=1 scripts/bench.sh [--wire|--cluster]  # CI smoke: small
+#                                                          #   scale, tmp output
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +32,18 @@ if [ "$mode" = "--wire" ]; then
         --out "$out"
     test -s "$out"
     echo "wire transport bench at $out"
+    exit 0
+fi
+
+if [ "$mode" = "--cluster" ]; then
+    if [ "$quick" != "0" ]; then
+        out="${FLATBENCH_OUT:-$(mktemp -d)/BENCH_9.json}"
+    else
+        out="${FLATBENCH_OUT:-$PWD/BENCH_9.json}"
+    fi
+    FLATBENCH_OUT="$out" cargo bench -p flatstore-bench --bench cluster9 --offline
+    test -s "$out"
+    echo "cluster bench at $out"
     exit 0
 fi
 

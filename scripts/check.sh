@@ -35,6 +35,9 @@ fi
 echo "== tests (unit + integration + property) =="
 cargo test --workspace -q --offline
 
+echo "== cluster gate (routing, migration, fault injection) =="
+cargo test -p flatclus -q --offline
+
 echo "== stats_report schema gate (emit -> parse -> re-emit byte-identical) =="
 cargo test -p flatstore --test schema_roundtrip -q --offline
 
@@ -78,5 +81,8 @@ FLATBENCH_QUICK=1 scripts/bench.sh
 
 echo "== BENCH wire-transport smoke (in-process / tcp / unix) =="
 FLATBENCH_QUICK=1 scripts/bench.sh --wire
+
+echo "== BENCH cluster smoke (throughput vs groups + migration pause) =="
+FLATBENCH_QUICK=1 scripts/bench.sh --cluster
 
 echo "All checks passed."
