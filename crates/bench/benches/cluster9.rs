@@ -13,9 +13,11 @@
 //!   `pause_ns` histogram (the only client-visible stall, one slot's
 //!   write gate during the final suffix sliver) is checked against
 //!   `migration_ns` (the whole ship window). Wall-clock throughput per
-//!   group count is reported for completeness, but on a small host the
-//!   groups time-share physical cores — scaling *shape* is the DES's
-//!   job, the real engine's job is the pause bound.
+//!   group count is reported for completeness under a fixed shard-core
+//!   budget split across the groups (so every point runs the same number
+//!   of engine threads and the sweep is not an oversubscription sweep) —
+//!   scaling *shape* is still the DES's job, the real engine's job is
+//!   the pause bound.
 //!
 //! Writes `FLATBENCH_OUT` (default `BENCH_9.json`).
 
@@ -32,17 +34,22 @@ const VALUE_LEN: usize = 64;
 const PUT_RATIO: f64 = 0.5;
 
 /// Real-engine run sizes: (keyspace, ops per client thread, client
-/// threads, migrations under load).
+/// threads, migrations under load). Client threads are capped by the
+/// host's parallelism for the same reason as [`cores_per_group`]: extra
+/// threads on a small host only add scheduler noise to the pause
+/// percentiles.
 fn real_scale(quick: bool) -> (u64, u64, usize, usize) {
+    let host = std::thread::available_parallelism().map_or(2, |n| n.get());
     if quick {
         (3_000, 1_500, 2, 3)
     } else {
-        (8_000, 6_000, 3, 6)
+        (8_000, 6_000, 3.min(host.max(2)), 6)
     }
 }
 
 struct RealPoint {
     groups: usize,
+    ncores_per_group: usize,
     ops: u64,
     elapsed_ns: u64,
     mops: f64,
@@ -61,12 +68,25 @@ struct RealMigration {
     window_p99_ns: u64,
 }
 
-fn engine_cfg() -> Config {
+/// Engine cores per group, sized so the whole cluster's shard threads fit
+/// the host: half the physical cores (clamped to [2, 4]) are the shard
+/// budget — the other half serves client threads — and the budget is
+/// split across groups. A fixed per-group core count instead makes the
+/// group sweep an oversubscription sweep: 4 groups × 2 cores time-share a
+/// small host and lose to 1 × 2, which says nothing about the cluster.
+fn cores_per_group(groups: usize) -> usize {
+    let host = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let budget = (host / 2).clamp(2, 4);
+    (budget / groups).max(1)
+}
+
+fn engine_cfg(groups: usize) -> Config {
+    let ncores = cores_per_group(groups);
     Config::builder()
         .pm_bytes(48 << 20)
         .dram_bytes(8 << 20)
-        .ncores(2)
-        .group_size(2)
+        .ncores(ncores)
+        .group_size(ncores)
         .build()
         .expect("valid engine config")
 }
@@ -76,7 +96,7 @@ fn cluster_cfg(groups: usize) -> ClusterConfig {
         groups,
         nslots: 64,
         replicated: false,
-        engine: engine_cfg(),
+        engine: engine_cfg(groups),
     }
 }
 
@@ -139,6 +159,7 @@ fn run_real(groups: usize, keyspace: u64, ops_per_thread: u64, threads: usize) -
     cluster.shutdown().expect("shutdown");
     RealPoint {
         groups,
+        ncores_per_group: cores_per_group(groups),
         ops,
         elapsed_ns,
         mops: ops as f64 / elapsed_ns as f64 * 1e3,
@@ -219,8 +240,11 @@ fn sim_base(scale: &Scale) -> SimConfig {
 
 fn json_real(p: &RealPoint) -> String {
     format!(
-        "    {{\"groups\": {}, \"ops\": {}, \"elapsed_ns\": {}, \"mops\": {:.6}}}",
-        p.groups, p.ops, p.elapsed_ns, p.mops
+        concat!(
+            "    {{\"groups\": {}, \"ncores_per_group\": {}, \"ops\": {}, ",
+            "\"elapsed_ns\": {}, \"mops\": {:.6}}}"
+        ),
+        p.groups, p.ncores_per_group, p.ops, p.elapsed_ns, p.mops
     )
 }
 
@@ -359,10 +383,13 @@ fn main() {
     json.push_str(&format!(
         concat!(
             "  \"real_scale\": {{\"keyspace\": {}, \"ops_per_thread\": {}, ",
-            "\"threads\": {}, \"ncores_per_group\": 2, \"nslots\": 64, ",
+            "\"threads\": {}, \"shard_core_budget\": {}, \"nslots\": 64, ",
             "\"replicated\": false}},\n"
         ),
-        keyspace, ops_per_thread, threads
+        keyspace,
+        ops_per_thread,
+        threads,
+        cores_per_group(1)
     ));
     json.push_str("  \"real\": [\n");
     let rows: Vec<String> = reals.iter().map(json_real).collect();

@@ -1,16 +1,19 @@
 //! Horizontal-batching machinery and engine-shared state (paper §3.3).
 
-use racecheck::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use racecheck::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use racecheck::sync::Arc;
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::time::Instant;
 
 use oplog::ChunkUsage;
 use parking_lot::Mutex;
-use pmalloc::ChunkManager;
+use pmalloc::{ChunkManager, CHUNK_SIZE};
 use pmem::PmAddr;
 
 use oplog::LogEntry;
+
+use crate::tuner::BatchTuner;
 
 /// Sentinel meaning "batch append failed" in a [`Completion`].
 const FAILED: u64 = u64::MAX;
@@ -119,70 +122,273 @@ pub(crate) struct Posted {
     pub traced: bool,
 }
 
-/// One horizontal-batching group: the per-group "global lock" and the
-/// per-core request pools the leader steals from (paper Figure 5).
+/// One member's bounded SPSC publish list: the owner core is the only
+/// producer, and whichever leader holds this list's consumer token is
+/// the only consumer. `head`/`tail` are monotonic cursors into a
+/// power-of-two slot ring; occupancy is `tail - head`.
+///
+/// The happens-before protocol (racecheck `publish_list_model`):
+/// * producer → consumer: the slot write is published by the `Release`
+///   store on `tail` and observed through the consumer's `Acquire` load;
+/// * consumer → producer: the slot vacate is published by the `Release`
+///   store on `head`, so a producer that sees the freed capacity via its
+///   `Acquire` load may reuse the slot;
+/// * consumer → consumer: successive leaders hand the list over through
+///   the token's `Acquire` CAS / `Release` clear in [`Group::collect`].
+pub(crate) struct PublishList {
+    slots: Box<[UnsafeCell<Option<Posted>>]>,
+    mask: u64,
+    head: AtomicU64,
+    tail: AtomicU64,
+}
+
+// SAFETY: the slot cells are only touched under the SPSC protocol above —
+// one producer (the owner core, structurally: `post` takes the poster's
+// own slot) and one consumer at a time (guarded by the per-list token in
+// `Group`), with every hand-off ordered by a Release/Acquire edge.
+unsafe impl Send for PublishList {}
+// SAFETY: as above.
+unsafe impl Sync for PublishList {}
+
+impl PublishList {
+    fn new(capacity: usize) -> PublishList {
+        let capacity = capacity.next_power_of_two();
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || UnsafeCell::new(None));
+        PublishList {
+            slots: slots.into_boxed_slice(),
+            mask: capacity as u64 - 1,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+        }
+    }
+
+    /// Producer side: one slot store + one cursor publish. Returns the
+    /// record back when the ring is full (the caller persists its own
+    /// batch instead — bounded memory beats blocking on a leader).
+    fn push(&self, posted: Posted) -> Result<(), Posted> {
+        // pmlint: allow(relaxed-ordering) — producer-private cursor: only
+        // this core ever stores `tail`, so its own last value is current.
+        let t = self.tail.load(Ordering::Relaxed);
+        // Acquire pairs with the consumer's Release on `head`: observing
+        // the freed capacity also orders us after its slot `take`.
+        if t.wrapping_sub(self.head.load(Ordering::Acquire)) > self.mask {
+            return Err(posted);
+        }
+        // SAFETY: sole producer (own slot), and the capacity check above
+        // proved index `t` is vacated — ordered by the Acquire on `head`.
+        unsafe { *self.slots[(t & self.mask) as usize].get() = Some(posted) };
+        self.tail.store(t.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer side (caller must hold this list's token): takes every
+    /// published record, returning how many. Wait-free — one Acquire
+    /// load bounds the sweep.
+    fn drain(&self, out: &mut Vec<Posted>) -> usize {
+        // pmlint: allow(relaxed-ordering) — consumer cursor: only a token
+        // holder stores `head`, and the token's Acquire CAS in
+        // `Group::collect` ordered us after the previous holder's store.
+        let h = self.head.load(Ordering::Relaxed);
+        let t = self.tail.load(Ordering::Acquire);
+        let mut i = h;
+        while i != t {
+            // SAFETY: `h..t` was published by the producer's Release on
+            // `tail` before our Acquire read of it, and no other consumer
+            // can run (token held).
+            let taken = unsafe { (*self.slots[(i & self.mask) as usize].get()).take() };
+            // pmlint: allow(no-unwrap) — SPSC invariant: every published
+            // index holds the record stored before its tail publish.
+            out.push(taken.expect("published slot filled"));
+            i = i.wrapping_add(1);
+        }
+        self.head.store(t, Ordering::Release);
+        t.wrapping_sub(h) as usize
+    }
+
+    /// Whether the list has published entries right now. Advisory (the
+    /// caller need not hold the token): feeds the tuner's backlog signal.
+    fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire) == self.tail.load(Ordering::Acquire)
+    }
+}
+
+/// One horizontal-batching group, rebuilt as a flat-combining publish
+/// fabric (paper Figure 5, minus every mutex): per-member SPSC
+/// [`PublishList`]s replace the locked pools, and the group lock shrinks
+/// to per-list CAS-claimed consumer tokens, so leader election is
+/// wait-free and two leaders can sweep disjoint lists concurrently.
 pub(crate) struct Group {
-    pub lock: Mutex<()>,
-    pub pools: Vec<Mutex<Vec<Posted>>>,
+    lists: Vec<PublishList>,
+    /// Per-list consumer tokens: `true` while some leader owns the list.
+    tokens: Vec<AtomicBool>,
     /// Entries posted but not yet collected (cheap emptiness check).
     pub pending: AtomicUsize,
+    /// Adaptive controller ([`Config::adaptive`]); `None` keeps the
+    /// static sweep (every leader spans the whole group).
+    ///
+    /// [`Config::adaptive`]: crate::Config::adaptive
+    tuner: Option<Arc<BatchTuner>>,
 }
 
 impl Group {
-    pub fn new(members: usize) -> Arc<Group> {
-        let mut pools = Vec::with_capacity(members);
-        pools.resize_with(members, || Mutex::new(Vec::new()));
+    pub fn new(members: usize, list_capacity: usize) -> Arc<Group> {
+        Self::with_tuner(members, list_capacity, None)
+    }
+
+    pub fn with_tuner(
+        members: usize,
+        list_capacity: usize,
+        tuner: Option<Arc<BatchTuner>>,
+    ) -> Arc<Group> {
+        let mut lists = Vec::with_capacity(members);
+        lists.resize_with(members, || PublishList::new(list_capacity));
+        let mut tokens = Vec::with_capacity(members);
+        tokens.resize_with(members, || AtomicBool::new(false));
         Arc::new(Group {
-            lock: Mutex::new(()),
-            pools,
+            lists,
+            tokens,
             pending: AtomicUsize::new(0),
+            tuner,
         })
     }
 
-    /// Posts an entry to `slot`'s pool.
-    pub fn post(&self, slot: usize, posted: Posted) {
-        self.pools[slot].lock().push(posted);
-        self.pending.fetch_add(1, Ordering::Release);
+    /// The adaptive controller, when this group runs in adaptive mode.
+    pub fn tuner(&self) -> Option<&Arc<BatchTuner>> {
+        self.tuner.as_ref()
     }
 
-    /// Drains every pool (the leader's "steal"); caller must hold the lock.
-    pub fn collect(&self) -> Vec<Posted> {
-        let mut all = Vec::new();
-        for pool in &self.pools {
-            all.append(&mut pool.lock());
+    /// Posts an entry to `slot`'s publish list: one slot store, one
+    /// cursor publish, one pending bump — no locks. `Err` returns the
+    /// record when the list is full; the caller self-persists.
+    pub fn post(&self, slot: usize, posted: Posted) -> Result<(), Posted> {
+        self.lists[slot].push(posted)?;
+        self.pending.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    /// The sweep span of a leader at `slot`: the whole group statically,
+    /// or its current effective subgroup under the tuner.
+    fn sweep_range(&self, slot: usize) -> std::ops::Range<usize> {
+        match &self.tuner {
+            None => 0..self.lists.len(),
+            Some(t) => {
+                let eff = t.eff().max(1);
+                let base = slot - slot % eff;
+                base..(base + eff).min(self.lists.len())
+            }
         }
-        self.pending.fetch_sub(all.len(), Ordering::Release);
-        all
+    }
+
+    /// The leader's steal (wait-free): claims each list in the sweep
+    /// range via its token CAS — skipping lists another leader holds —
+    /// and drains what it wins. With `hold`, won tokens are kept (and
+    /// returned) so the caller can pin followers out until after the
+    /// flush (NaiveHb, Figure 4c); otherwise each token is released as
+    /// soon as its list is drained (PipelinedHb's early release,
+    /// Figure 4d). Also returns how many drained entries came off the
+    /// leader's *own* list — the tuner's skew signal (`fill - own` is the
+    /// batch's stolen count).
+    pub fn collect(&self, slot: usize, hold: bool, out: &mut Vec<Posted>) -> (Vec<usize>, usize) {
+        let mut held = Vec::new();
+        let mut drained = 0;
+        let mut own = 0;
+        for s in self.sweep_range(slot) {
+            // Acquire on success orders this sweep after the previous
+            // holder's head store.
+            if self.tokens[s]
+                // pmlint: allow(relaxed-ordering) — failure load only: a
+                // lost CAS skips the held list, touching nothing it guards
+                // (racecheck: held_tokens_fence_out_other_leaders).
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            let n = self.lists[s].drain(out);
+            drained += n;
+            if s == slot {
+                own = n;
+            }
+            if hold {
+                held.push(s);
+            } else {
+                self.tokens[s].store(false, Ordering::Release);
+            }
+        }
+        if drained > 0 {
+            self.pending.fetch_sub(drained, Ordering::Release);
+        }
+        (held, own)
+    }
+
+    /// Whether work is still published inside `slot`'s sweep range — the
+    /// tuner's backlog signal. Scoped to the subgroup on purpose: under a
+    /// narrowed sweep, other subgroups' lists are their own leaders'
+    /// business, and counting them would read as permanent congestion.
+    pub fn backlog(&self, slot: usize) -> bool {
+        self.sweep_range(slot).any(|s| !self.lists[s].is_empty())
+    }
+
+    /// Releases tokens kept by a `hold` collect (the Release store is
+    /// the hand-off edge to the next leader's Acquire CAS).
+    pub fn release(&self, held: &[usize]) {
+        for &s in held {
+            self.tokens[s].store(false, Ordering::Release);
+        }
     }
 }
+
+/// Stripes in the [`UsageTable`] (power of two).
+const USAGE_STRIPES: usize = 16;
 
 /// Engine-wide per-chunk liveness accounting. Log entries of one core are
 /// persisted into whichever group member led the batch, so dead-entry
 /// notifications cross log boundaries; this shared table replaces the
 /// per-log accounting for the engine.
-#[derive(Debug, Default)]
+///
+/// The map is striped by chunk index: every batch append and dead-entry
+/// note from every core lands here, and one global lock was the last
+/// shared mutex on the write path. A chunk's record lives in exactly one
+/// stripe, so per-chunk reads and updates keep the single-map semantics;
+/// only [`for_each`](Self::for_each)'s iteration order changes, which
+/// was HashMap-arbitrary already (consumers sort or don't care).
+#[derive(Debug)]
 pub(crate) struct UsageTable {
-    map: Mutex<HashMap<u64, ChunkUsage>>,
+    stripes: Box<[Mutex<HashMap<u64, ChunkUsage>>]>,
 }
 
 impl UsageTable {
     pub fn new() -> Arc<UsageTable> {
-        Arc::new(UsageTable::default())
+        let mut stripes = Vec::with_capacity(USAGE_STRIPES);
+        stripes.resize_with(USAGE_STRIPES, || Mutex::new(HashMap::new()));
+        Arc::new(UsageTable {
+            stripes: stripes.into_boxed_slice(),
+        })
+    }
+
+    /// The stripe owning `chunk` (a chunk-base offset).
+    fn stripe(&self, chunk: u64) -> &Mutex<HashMap<u64, ChunkUsage>> {
+        &self.stripes[(chunk / CHUNK_SIZE) as usize & (USAGE_STRIPES - 1)]
     }
 
     pub fn note_appended(&self, chunk: PmAddr, n: u32) {
-        self.map.lock().entry(chunk.offset()).or_default().total += n;
+        self.stripe(chunk.offset())
+            .lock()
+            .entry(chunk.offset())
+            .or_default()
+            .total += n;
     }
 
     pub fn note_dead(&self, entry_addr: PmAddr) {
         let chunk = oplog::OpLog::chunk_of(entry_addr);
-        if let Some(u) = self.map.lock().get_mut(&chunk.offset()) {
+        if let Some(u) = self.stripe(chunk.offset()).lock().get_mut(&chunk.offset()) {
             u.dead = (u.dead + 1).min(u.total);
         }
     }
 
     pub fn usage(&self, chunk: PmAddr) -> ChunkUsage {
-        self.map
+        self.stripe(chunk.offset())
             .lock()
             .get(&chunk.offset())
             .copied()
@@ -190,26 +396,35 @@ impl UsageTable {
     }
 
     /// Replaces the record for a relocated-to chunk and drops the victim's.
+    /// The two chunks may live in different stripes; the locks are taken
+    /// strictly one after the other (never nested), so stripe order can't
+    /// deadlock.
     pub fn on_cleaned(&self, victim: PmAddr, target: Option<(PmAddr, u32)>) {
-        let mut m = self.map.lock();
-        m.remove(&victim.offset());
+        self.stripe(victim.offset()).lock().remove(&victim.offset());
         if let Some((t, live)) = target {
-            let u = m.entry(t.offset()).or_default();
-            u.total += live;
+            self.stripe(t.offset())
+                .lock()
+                .entry(t.offset())
+                .or_default()
+                .total += live;
         }
     }
 
     /// Visits every `(chunk_base, total, dead)` triple (snapshot
     /// serialization).
     pub fn for_each(&self, f: &mut dyn FnMut(u64, u32, u32)) {
-        for (chunk, u) in self.map.lock().iter() {
-            f(*chunk, u.total, u.dead);
+        for stripe in self.stripes.iter() {
+            for (chunk, u) in stripe.lock().iter() {
+                f(*chunk, u.total, u.dead);
+            }
         }
     }
 
     /// Restores one chunk's accounting (snapshot load).
     pub fn restore(&self, chunk: u64, total: u32, dead: u32) {
-        self.map.lock().insert(chunk, ChunkUsage { total, dead });
+        self.stripe(chunk)
+            .lock()
+            .insert(chunk, ChunkUsage { total, dead });
     }
 }
 
@@ -464,5 +679,126 @@ impl EngineStats {
             .row("gc_chunks", Self::stat(&self.gc_chunks))
             .row("gc_relocated", Self::stat(&self.gc_relocated))
             .row("checkpoints", Self::stat(&self.checkpoints));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn posted(key: u64) -> Posted {
+        Posted {
+            // pmlint: allow(no-unwrap) — tiny inline value in a test.
+            entry: LogEntry::put_inline(key, 1, vec![7]).expect("inline fits"),
+            completion: Completion::new(),
+            traced: false,
+        }
+    }
+
+    #[test]
+    fn publish_list_is_fifo_and_bounded() {
+        let g = Group::new(1, 4);
+        for k in 0..4 {
+            assert!(g.post(0, posted(k)).is_ok());
+        }
+        // Ring full: the record comes back instead of blocking.
+        let bounced = g.post(0, posted(99)).expect_err("ring full");
+        assert_eq!(bounced.entry.key, 99);
+        assert_eq!(g.pending.load(Ordering::Acquire), 4);
+
+        let mut out = Vec::new();
+        let (held, own) = g.collect(0, false, &mut out);
+        assert!(held.is_empty());
+        assert_eq!(own, 4, "everything drained came off the leader's list");
+        let keys: Vec<u64> = out.iter().map(|p| p.entry.key).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3], "steal preserves post order");
+        assert_eq!(g.pending.load(Ordering::Acquire), 0);
+
+        // Freed capacity is visible to the producer again.
+        assert!(g.post(0, posted(5)).is_ok());
+    }
+
+    #[test]
+    fn held_tokens_fence_out_other_leaders() {
+        let g = Group::new(2, 8);
+        assert!(g.post(0, posted(1)).is_ok());
+        assert!(g.post(1, posted(2)).is_ok());
+        let mut first = Vec::new();
+        let (held, own) = g.collect(0, true, &mut first);
+        assert_eq!(held.len(), 2);
+        assert_eq!(first.len(), 2);
+        assert_eq!(own, 1, "one entry was the leader's own, one stolen");
+
+        // While held, another leader's sweep wins nothing — even for
+        // freshly posted work.
+        assert!(g.post(0, posted(3)).is_ok());
+        let mut second = Vec::new();
+        assert!(g.collect(1, false, &mut second).0.is_empty());
+        assert!(second.is_empty());
+
+        g.release(&held);
+        assert!(g.collect(1, false, &mut second).0.is_empty());
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].entry.key, 3);
+    }
+
+    #[test]
+    fn adaptive_sweep_spans_only_the_effective_subgroup() {
+        let tuner = BatchTuner::new(4, 2, 8);
+        let g = Group::with_tuner(4, 8, Some(tuner));
+        for slot in 0..4 {
+            assert!(g.post(slot, posted(slot as u64)).is_ok());
+        }
+        // eff = 2: leader at slot 0 sweeps lists {0, 1}, slot 2 sweeps
+        // {2, 3}.
+        let mut low = Vec::new();
+        g.collect(0, false, &mut low);
+        let mut keys: Vec<u64> = low.iter().map(|p| p.entry.key).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![0, 1]);
+        let mut high = Vec::new();
+        g.collect(2, false, &mut high);
+        let mut keys: Vec<u64> = high.iter().map(|p| p.entry.key).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![2, 3]);
+    }
+
+    /// The striped table must stay observation-equivalent to the single
+    /// global map it replaced.
+    #[test]
+    fn usage_table_matches_unstriped_model() {
+        let table = UsageTable::new();
+        let mut model: HashMap<u64, ChunkUsage> = HashMap::new();
+        let chunk = |i: u64| PmAddr(i * CHUNK_SIZE);
+        // Spread over more chunks than stripes so every stripe is hit.
+        for i in 0..64u64 {
+            let n = (i % 5 + 1) as u32;
+            table.note_appended(chunk(i), n);
+            model.entry(chunk(i).offset()).or_default().total += n;
+        }
+        for i in (0..64u64).step_by(3) {
+            // `note_dead` maps an entry address to its chunk base.
+            let addr = PmAddr(chunk(i).offset() + 64);
+            table.note_dead(addr);
+            let u = model.get_mut(&chunk(i).offset()).expect("appended");
+            u.dead = (u.dead + 1).min(u.total);
+        }
+        table.on_cleaned(chunk(9), Some((chunk(70), 2)));
+        model.remove(&chunk(9).offset());
+        model.entry(chunk(70).offset()).or_default().total += 2;
+        table.restore(chunk(80).offset(), 10, 4);
+        model.insert(chunk(80).offset(), ChunkUsage { total: 10, dead: 4 });
+
+        for (&c, &u) in model.iter() {
+            assert_eq!(table.usage(PmAddr(c)), u, "chunk {c:#x}");
+        }
+        assert_eq!(table.usage(chunk(9)), ChunkUsage::default());
+        let mut dumped: Vec<(u64, u32, u32)> = Vec::new();
+        table.for_each(&mut |c, t, d| dumped.push((c, t, d)));
+        dumped.sort_unstable();
+        let mut expect: Vec<(u64, u32, u32)> =
+            model.iter().map(|(&c, u)| (c, u.total, u.dead)).collect();
+        expect.sort_unstable();
+        assert_eq!(dumped, expect);
     }
 }

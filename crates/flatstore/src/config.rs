@@ -106,6 +106,13 @@ pub struct Config {
     /// disables tracing). Unsampled operations pay one branch per stage
     /// and no clock reads, so `0` restores the pre-tracing fast path.
     pub trace_sample: u64,
+    /// Self-tuning horizontal batching: all cores share one publish
+    /// fabric and a per-epoch controller adjusts the leader linger window
+    /// and the effective sweep width, starting from `group_size` (which
+    /// becomes the initial operating point rather than a fixed wall).
+    /// Requires [`ExecutionModel::PipelinedHb`]. `false` keeps the static
+    /// groups bit-compatible with previous releases.
+    pub adaptive: bool,
 }
 
 impl Default for Config {
@@ -124,6 +131,7 @@ impl Default for Config {
             pipeline_depth: 16,
             read_cache_bytes: 8 << 20,
             trace_sample: 0,
+            adaptive: false,
         }
     }
 }
@@ -185,6 +193,13 @@ impl Config {
         }
         if self.pipeline_depth == 0 {
             return bad("pipeline_depth must be positive");
+        }
+        if self.adaptive && self.model != ExecutionModel::PipelinedHb {
+            return bad(format!(
+                "adaptive batching requires the PipelinedHb execution \
+                 model, got {:?}",
+                self.model
+            ));
         }
         Ok(())
     }
@@ -293,6 +308,12 @@ impl ConfigBuilder {
         self
     }
 
+    /// Self-tuning horizontal batching (see [`Config::adaptive`]).
+    pub fn adaptive(mut self, v: bool) -> Self {
+        self.cfg.adaptive = v;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -346,6 +367,37 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(cfg.read_cache_bytes, 0);
+    }
+
+    #[test]
+    fn adaptive_defaults_off_and_requires_pipelined_hb() {
+        let cfg = Config::builder()
+            .pm_bytes(64 << 20)
+            .ncores(2)
+            .group_size(2)
+            .build()
+            .unwrap();
+        assert!(!cfg.adaptive);
+        let cfg = Config::builder()
+            .pm_bytes(64 << 20)
+            .ncores(2)
+            .group_size(2)
+            .adaptive(true)
+            .build()
+            .unwrap();
+        assert!(cfg.adaptive);
+        for model in [
+            ExecutionModel::NonBatch,
+            ExecutionModel::Vertical,
+            ExecutionModel::NaiveHb,
+        ] {
+            match Config::builder().adaptive(true).model(model).build() {
+                Err(StoreError::InvalidConfig(msg)) => {
+                    assert!(msg.contains("adaptive"), "{msg:?}");
+                }
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -98,6 +98,7 @@ mod request;
 mod session;
 mod shard;
 mod superblock;
+mod tuner;
 mod value;
 mod vindex;
 

@@ -654,9 +654,19 @@ impl Shard {
         }
         match self.model {
             ExecutionModel::PipelinedHb | ExecutionModel::NaiveHb => {
+                // Publishing is one slot store + one cursor store per op;
+                // a full list bounces the record back and this core
+                // persists the overflow itself (a vertical mini-batch) —
+                // bounded memory without ever blocking on a leader.
+                let mut overflow = Vec::new();
                 for (posted, inflight) in self.staged.drain(..) {
-                    self.group.post(self.slot, posted);
+                    if let Err(bounced) = self.group.post(self.slot, posted) {
+                        overflow.push(bounced);
+                    }
                     self.inflight.push_back(inflight);
+                }
+                if !overflow.is_empty() {
+                    self.persist_posts(overflow);
                 }
                 if self.model == ExecutionModel::NaiveHb {
                     // Figure 4(c): strictly ordered phases — the poster
@@ -686,7 +696,10 @@ impl Shard {
         }
     }
 
-    /// Leader election + g-persist (paper Figure 5).
+    /// Leader election + g-persist (paper Figure 5). Leadership is a
+    /// wait-free sweep over the group's publish lists: each list's
+    /// consumer token is claimed with a CAS, so there is no group lock to
+    /// contend on and concurrent leaders simply partition the lists.
     fn lead(&mut self) -> bool {
         if self.model == ExecutionModel::Vertical || self.model == ExecutionModel::NonBatch {
             return false;
@@ -695,26 +708,55 @@ impl Shard {
         if group.pending.load(Ordering::Acquire) == 0 {
             return false;
         }
-        let Some(guard) = group.lock.try_lock() else {
+        // NaiveHb pins the won tokens through the flush (Figure 4c);
+        // PipelinedHb releases each list as soon as it is drained
+        // (Figure 4d's early release, now per-list instead of per-group).
+        let hold = self.model == ExecutionModel::NaiveHb;
+        let mut posts = Vec::new();
+        let (held, mut own) = group.collect(self.slot, hold, &mut posts);
+        if !posts.is_empty() {
+            own += self.linger(&group, &mut posts);
+        }
+        if posts.is_empty() {
+            group.release(&held);
             return false;
-        };
-        let posts = group.collect();
-        if self.model == ExecutionModel::PipelinedHb {
-            // Early lock release: the next leader can collect while we
-            // flush (Figure 4d).
-            drop(guard);
-            if posts.is_empty() {
-                return false;
-            }
-            self.persist_posts(posts);
-        } else {
-            if posts.is_empty() {
-                return false;
-            }
-            self.persist_posts(posts);
-            drop(guard); // NaiveHb holds the lock through the flush.
+        }
+        let fill = posts.len() as u64;
+        let stolen = fill.saturating_sub(own as u64);
+        self.persist_posts(posts);
+        group.release(&held);
+        if let Some(tuner) = group.tuner() {
+            tuner.observe_batch(fill, stolen, group.backlog(self.slot), clock::now_ns());
         }
         true
+    }
+
+    /// Adaptive leader linger: with a batch started but under-filled, keep
+    /// re-sweeping until the tuner's window closes or the target fill is
+    /// reached — trading bounded latency for flush amortization. Static
+    /// groups (no tuner) and NaiveHb (followers are blocked; waiting
+    /// would only stretch their stall) never linger. Returns how many of
+    /// the absorbed entries came off this leader's own list.
+    fn linger(&mut self, group: &Group, posts: &mut Vec<Posted>) -> usize {
+        let Some(tuner) = group.tuner() else { return 0 };
+        if self.model != ExecutionModel::PipelinedHb {
+            return 0;
+        }
+        let target = tuner.target_fill() as usize;
+        let linger_ns = tuner.linger_ns();
+        if linger_ns == 0 || posts.len() >= target {
+            return 0;
+        }
+        let mut own = 0;
+        let deadline = std::time::Instant::now() + Duration::from_nanos(linger_ns);
+        while posts.len() < target && std::time::Instant::now() < deadline {
+            if group.pending.load(Ordering::Acquire) > 0 {
+                own += group.collect(self.slot, false, posts).1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        own
     }
 
     /// Appends a collected batch to this core's log and fulfils the

@@ -1,0 +1,557 @@
+//! Adaptive horizontal-batching controller ([`Config::adaptive`]).
+//!
+//! The paper's HB knobs — group size and leader behavior — are static
+//! config; the right settings depend on load, skew and media flush cost.
+//! `BatchTuner` closes the loop. Group leaders report every persisted
+//! batch (fill, stolen count, backlog flag, a clock stamp), and once per
+//! epoch (a fixed batch count, so tuning cost amortizes to ~zero per op)
+//! the controller moves two knobs:
+//!
+//! * **effective membership** — how many publish lists a leader's sweep
+//!   spans, bounded by `[1, members]`. Fill/steal signals cannot pick
+//!   this knob's direction: a skewed load and a uniform one can produce
+//!   identical batch shapes while wanting opposite sweep widths (wide
+//!   sweeps help when steals land on idle cores, hurt when the hottest
+//!   core does the stealing). So the controller measures what it
+//!   optimizes: epoch throughput (entries per nanosecond). It holds the
+//!   current width for a few epochs to get a baseline, *probes* a
+//!   halved/doubled width for a few more, then returns to the baseline
+//!   width for a *confirm* window. The candidate is adopted only if its
+//!   window beat both baseline windows (before and after) by a deadband
+//!   — an A/B/A cycle, so monotone load drift bracketing the probe
+//!   cannot masquerade as a win. Anything else is rolled back and backed
+//!   off: failed probes double the next hold, and the failure that caps
+//!   the ladder at [`HOLD_MAX`] *settles* the tuner — probing stops
+//!   entirely (zero churn at the converged width) until epoch throughput
+//!   leaves a ±[`REARM_FRACTION`] band around the settled baseline,
+//!   which re-arms the ladder from scratch.
+//! * **linger window** — how long a leader with an under-filled batch
+//!   keeps re-sweeping before persisting (the classic batching
+//!   latency/throughput dial), bounded by [`MAX_LINGER_NS`]. Linger is
+//!   signal-driven: congested epochs (backlog with nothing left to
+//!   widen) step it up; full or starved epochs decay it.
+//!
+//! Both knobs are plain atomics read by leaders on every sweep; stale
+//! reads are harmless (they only pick a slightly older operating point).
+//! Stability is by construction: every knob walks a finite ladder, each
+//! epoch moves at most one rung, and a probe that loses is rolled back
+//! and charged with exponentially longer holds (see DESIGN.md §16). The
+//! DES mirrors the same constants and state machine in `simkv::flatsim`
+//! so sweeps can prove adaptive ≈ best-static.
+//!
+//! [`Config::adaptive`]: crate::Config::adaptive
+
+use racecheck::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use racecheck::sync::{Arc, Mutex};
+
+/// Batches per tuning epoch.
+pub(crate) const EPOCH_BATCHES: u64 = 32;
+/// Epochs in one measurement phase (baseline hold or probe). Long enough
+/// that epoch-boundary jitter stays well under [`DEADBAND`].
+pub(crate) const PROBE_EPOCHS: u64 = 6;
+/// Shortest hold between probes (epochs), used after an adopted probe.
+pub(crate) const HOLD_MIN: u64 = 6;
+/// Longest hold between probes; a failed probe that caps the ladder here
+/// settles the tuner (probing stops until the load visibly shifts).
+pub(crate) const HOLD_MAX: u64 = 48;
+/// Relative throughput gain a probe must show to be adopted.
+pub(crate) const DEADBAND: f64 = 0.02;
+/// Relative throughput shift that re-arms a settled tuner's probing.
+pub(crate) const REARM_FRACTION: f64 = 0.15;
+/// Upper bound on the leader linger window.
+pub(crate) const MAX_LINGER_NS: u64 = 20_000;
+/// Additive linger increase per congested epoch (decay is multiplicative).
+pub(crate) const LINGER_STEP_NS: u64 = 2_000;
+/// Mean fill at or below which a group counts as starved.
+pub(crate) const STARVED_FILL: f64 = 1.25;
+/// Fraction of the target fill at which batches count as full enough.
+pub(crate) const FULL_FRACTION: f64 = 0.75;
+
+/// The `eff` probe state machine (hold → probe → adopt-or-revert),
+/// stepped under a mutex by whichever leader closes a tuning epoch.
+#[derive(Debug)]
+struct ProbeState {
+    /// Entries accumulated across the current measurement phase.
+    phase_entries: u64,
+    /// Clock stamp at the phase start; 0 = not started (first epoch
+    /// close only arms the measurement).
+    phase_start_ns: u64,
+    /// Epochs left in the current phase.
+    phase_left: u64,
+    /// Whether the current phase is a probe (vs a baseline hold).
+    probing: bool,
+    /// Whether the current phase re-measures the baseline right after a
+    /// probe (the A2 of an A/B/A cycle; `eff` is back at `base_eff`).
+    confirming: bool,
+    /// Converged: probing stopped until epoch throughput leaves the
+    /// re-arm band around the settled baseline.
+    settled: bool,
+    /// Current hold length in epochs (backoff ladder).
+    hold_len: u64,
+    /// Next probe direction: true = halve, false = double.
+    dir_down: bool,
+    /// `eff` before the in-flight probe (restored on a failed probe).
+    base_eff: usize,
+    /// Baseline throughput (entries/ns) measured by the last hold.
+    base_tput: f64,
+    /// Probe candidate width and its measured throughput, held across the
+    /// confirm phase until `decide` adopts or rejects it.
+    cand_eff: usize,
+    probe_tput: f64,
+}
+
+/// Per-group adaptive-batching controller; see the module docs.
+#[derive(Debug)]
+pub struct BatchTuner {
+    /// Physical group size (the hard upper bound for `eff`).
+    members: usize,
+    /// Fill a leader aims for before persisting (the config's
+    /// `pipeline_depth`: one client's whole pipeline in one flush).
+    target_fill: u64,
+    /// Current linger window (ns); leaders load it on every sweep.
+    linger_ns: AtomicU64,
+    /// Current effective subgroup size; leaders load it on every sweep.
+    eff: AtomicUsize,
+    // Epoch accumulators, reset by the leader that closes the epoch.
+    epoch_batches: AtomicU64,
+    epoch_entries: AtomicU64,
+    epoch_stolen: AtomicU64,
+    epoch_backlog: AtomicU64,
+    /// Probe state machine — cold path only: the lock is taken once per
+    /// epoch close (every [`EPOCH_BATCHES`] batches), never on post/steal.
+    probe: Mutex<ProbeState>,
+    // Decision counters for the `batch_tuner` stats section.
+    epochs: obs::Counter,
+    probes: obs::Counter,
+    grow: obs::Counter,
+    shrink: obs::Counter,
+    reverts: obs::Counter,
+    rearms: obs::Counter,
+    linger_up: obs::Counter,
+    linger_down: obs::Counter,
+}
+
+impl BatchTuner {
+    /// A tuner for a `members`-core group starting at `eff0` effective
+    /// members and no linger (the first phases measure the configured
+    /// operating point before moving anything).
+    pub fn new(members: usize, eff0: usize, target_fill: u64) -> Arc<BatchTuner> {
+        Arc::new(BatchTuner {
+            members,
+            target_fill: target_fill.max(1),
+            linger_ns: AtomicU64::new(0),
+            eff: AtomicUsize::new(eff0.clamp(1, members)),
+            epoch_batches: AtomicU64::new(0),
+            epoch_entries: AtomicU64::new(0),
+            epoch_stolen: AtomicU64::new(0),
+            epoch_backlog: AtomicU64::new(0),
+            probe: Mutex::new(ProbeState {
+                phase_entries: 0,
+                phase_start_ns: 0,
+                phase_left: HOLD_MIN,
+                probing: false,
+                confirming: false,
+                settled: false,
+                hold_len: HOLD_MIN,
+                dir_down: true,
+                base_eff: eff0.clamp(1, members),
+                base_tput: 0.0,
+                cand_eff: eff0.clamp(1, members),
+                probe_tput: 0.0,
+            }),
+            epochs: obs::Counter::default(),
+            probes: obs::Counter::default(),
+            grow: obs::Counter::default(),
+            shrink: obs::Counter::default(),
+            reverts: obs::Counter::default(),
+            rearms: obs::Counter::default(),
+            linger_up: obs::Counter::default(),
+            linger_down: obs::Counter::default(),
+        })
+    }
+
+    /// Current leader linger window in nanoseconds.
+    pub fn linger_ns(&self) -> u64 {
+        // pmlint: allow(relaxed-ordering) — tuning knob: a stale read only
+        // applies the previous epoch's operating point; no data is guarded.
+        self.linger_ns.load(Ordering::Relaxed)
+    }
+
+    /// Current effective subgroup size (how many publish lists a leader's
+    /// sweep spans).
+    pub fn eff(&self) -> usize {
+        // pmlint: allow(relaxed-ordering) — tuning knob: consumer tokens
+        // (batch.rs) make sweeps safe under any stale subgroup view.
+        self.eff.load(Ordering::Relaxed)
+    }
+
+    /// Fill a leader lingers toward before persisting.
+    pub fn target_fill(&self) -> u64 {
+        self.target_fill
+    }
+
+    /// Leader-side report of one persisted batch: its entry count, how
+    /// many of those entries came off *other* members' publish lists
+    /// (stolen), whether posted work was still pending after the sweep,
+    /// and a monotonic clock stamp (wall ns in the engine, virtual ns in
+    /// the DES). The leader whose report closes the epoch runs the
+    /// retune step.
+    pub fn observe_batch(&self, fill: u64, stolen: u64, backlog: bool, now_ns: u64) {
+        self.epoch_entries.fetch_add(fill, Ordering::Relaxed);
+        self.epoch_stolen.fetch_add(stolen, Ordering::Relaxed);
+        if backlog {
+            self.epoch_backlog.fetch_add(1, Ordering::Relaxed);
+        }
+        let n = self.epoch_batches.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(EPOCH_BATCHES) {
+            self.retune(now_ns);
+        }
+    }
+
+    /// One control step over the epoch's accumulated signals. The
+    /// accumulators are reset with `swap`, so concurrent leaders' reports
+    /// land in either the closing or the next epoch — never both.
+    fn retune(&self, now_ns: u64) {
+        // pmlint: allow(relaxed-ordering) — epoch accumulators: a report
+        // racing the swap just counts toward the next epoch.
+        let entries = self.epoch_entries.swap(0, Ordering::Relaxed);
+        // pmlint: allow(relaxed-ordering) — as above.
+        let _stolen = self.epoch_stolen.swap(0, Ordering::Relaxed);
+        // pmlint: allow(relaxed-ordering) — as above.
+        let backlog = self.epoch_backlog.swap(0, Ordering::Relaxed);
+        self.epochs.inc();
+
+        self.retune_linger(entries, backlog);
+        self.retune_eff(entries, now_ns);
+    }
+
+    /// Signal-driven linger law: congestion buys fill with latency; full
+    /// or starved epochs stop paying it. At most one rung per epoch.
+    fn retune_linger(&self, entries: u64, backlog: u64) {
+        let mean_fill = entries as f64 / EPOCH_BATCHES as f64;
+        let congested = backlog >= EPOCH_BATCHES / 4;
+        if mean_fill >= self.target_fill as f64 * FULL_FRACTION || mean_fill <= STARVED_FILL {
+            self.linger_halve();
+        } else if congested {
+            self.linger_step_up();
+        }
+    }
+
+    /// Measured sweep-width law: hold → probe → adopt-or-revert. See the
+    /// module docs for why this knob cannot be signal-driven.
+    fn retune_eff(&self, entries: u64, now_ns: u64) {
+        // Cold path: once per epoch. A poisoned lock (panicking leader)
+        // just freezes the current operating point.
+        let Ok(mut p) = self.probe.lock() else {
+            return;
+        };
+        if p.phase_start_ns == 0 || now_ns <= p.phase_start_ns {
+            // First epoch close (or a clock that did not advance): arm
+            // the measurement and start accumulating from here.
+            p.phase_start_ns = now_ns.max(1);
+            p.phase_entries = 0;
+            return;
+        }
+        p.phase_entries += entries;
+        p.phase_left = p.phase_left.saturating_sub(1);
+        if p.phase_left > 0 {
+            return;
+        }
+        let tput = p.phase_entries as f64 / (now_ns - p.phase_start_ns) as f64;
+        p.phase_entries = 0;
+        p.phase_start_ns = now_ns;
+        if p.probing {
+            self.finish_probe(&mut p, tput);
+        } else if p.confirming {
+            self.decide(&mut p, tput);
+        } else if p.settled {
+            // Zero-churn watch: stay at the settled width, re-arm the
+            // probe ladder only when measured load genuinely moves.
+            if (tput / p.base_tput - 1.0).abs() > REARM_FRACTION {
+                p.settled = false;
+                p.hold_len = HOLD_MIN;
+                p.phase_left = HOLD_MIN;
+                self.rearms.inc();
+            } else {
+                p.phase_left = PROBE_EPOCHS;
+            }
+        } else {
+            self.start_probe(&mut p, tput);
+        }
+    }
+
+    /// End of a baseline hold: remember its throughput and switch `eff`
+    /// to the probe candidate (halve or double, per current direction).
+    fn start_probe(&self, p: &mut ProbeState, base_tput: f64) {
+        p.base_tput = base_tput;
+        let cur = self.eff();
+        p.base_eff = cur;
+        let mut cand = Self::step(cur, p.dir_down, self.members);
+        if cand == cur {
+            // This direction is at its bound: flip and try the other.
+            p.dir_down = !p.dir_down;
+            cand = Self::step(cur, p.dir_down, self.members);
+        }
+        if cand == cur {
+            // members == 1: nothing to probe, keep holding.
+            p.phase_left = p.hold_len;
+            return;
+        }
+        // pmlint: allow(relaxed-ordering) — tuning knob (see `eff`).
+        self.eff.store(cand, Ordering::Relaxed);
+        p.probing = true;
+        p.phase_left = PROBE_EPOCHS;
+        self.probes.inc();
+    }
+
+    /// End of a probe: park the candidate's measurement and return to the
+    /// baseline width for a confirm window (the A2 of the A/B/A cycle),
+    /// so monotone load drift cannot masquerade as a probe win.
+    fn finish_probe(&self, p: &mut ProbeState, probe_tput: f64) {
+        p.probing = false;
+        p.confirming = true;
+        p.cand_eff = self.eff();
+        p.probe_tput = probe_tput;
+        // pmlint: allow(relaxed-ordering) — tuning knob (see `eff`).
+        self.eff.store(p.base_eff, Ordering::Relaxed);
+        p.phase_left = PROBE_EPOCHS;
+    }
+
+    /// End of the confirm window: adopt the candidate only if its window
+    /// beat *both* baseline windows by the deadband; otherwise flip
+    /// direction and back off.
+    fn decide(&self, p: &mut ProbeState, confirm_tput: f64) {
+        p.confirming = false;
+        if p.probe_tput > p.base_tput.max(confirm_tput) * (1.0 + DEADBAND) {
+            if p.cand_eff > p.base_eff {
+                self.grow.inc();
+            } else {
+                self.shrink.inc();
+            }
+            // pmlint: allow(relaxed-ordering) — tuning knob (see `eff`).
+            self.eff.store(p.cand_eff, Ordering::Relaxed);
+            p.hold_len = HOLD_MIN;
+        } else {
+            p.dir_down = !p.dir_down;
+            p.hold_len = (p.hold_len * 2).min(HOLD_MAX);
+            p.settled = p.hold_len == HOLD_MAX;
+            self.reverts.inc();
+        }
+        p.phase_left = p.hold_len;
+    }
+
+    /// One ladder rung from `cur` in the given direction, clamped.
+    fn step(cur: usize, down: bool, members: usize) -> usize {
+        if down {
+            (cur / 2).max(1)
+        } else {
+            (cur * 2).min(members)
+        }
+    }
+
+    fn linger_step_up(&self) {
+        let cur = self.linger_ns();
+        let next = (cur + LINGER_STEP_NS).min(MAX_LINGER_NS);
+        if next > cur {
+            // pmlint: allow(relaxed-ordering) — tuning knob (see
+            // `linger_ns`).
+            self.linger_ns.store(next, Ordering::Relaxed);
+            self.linger_up.inc();
+        }
+    }
+
+    fn linger_halve(&self) {
+        let cur = self.linger_ns();
+        let next = cur / 2;
+        if next < cur {
+            // pmlint: allow(relaxed-ordering) — tuning knob (see
+            // `linger_ns`).
+            self.linger_ns.store(next, Ordering::Relaxed);
+            self.linger_down.inc();
+        }
+    }
+
+    /// Adds this tuner's decision counters and current operating point to
+    /// the report (the `batch_tuner` section).
+    pub fn fill_section(&self, sec: &mut obs::Section) {
+        sec.row("epochs", self.epochs.get())
+            .row("probes", self.probes.get())
+            .row("grow", self.grow.get())
+            .row("shrink", self.shrink.get())
+            .row("reverts", self.reverts.get())
+            .row("rearms", self.rearms.get())
+            .row("linger_up", self.linger_up.get())
+            .row("linger_down", self.linger_down.get())
+            .row("linger_ns", self.linger_ns())
+            .row("eff_members", self.eff() as u64)
+            .row("target_fill", self.target_fill);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic load the tuner probes against: `tput(eff)` is the
+    /// entries-per-ns the system "delivers" at a given sweep width. Each
+    /// simulated epoch reports `fill` entries per batch and advances a
+    /// virtual clock so that measured throughput equals `tput(eff)`.
+    struct Rig<F: Fn(usize) -> f64> {
+        t: Arc<BatchTuner>,
+        now_ns: u64,
+        tput: F,
+    }
+
+    impl<F: Fn(usize) -> f64> Rig<F> {
+        fn new(members: usize, eff0: usize, target: u64, tput: F) -> Rig<F> {
+            Rig {
+                t: BatchTuner::new(members, eff0, target),
+                now_ns: 1,
+                tput,
+            }
+        }
+
+        /// The width the controller has settled on: the baseline, not a
+        /// probe candidate, if the run happens to end mid-probe.
+        fn operating_eff(&self) -> usize {
+            let p = self.t.probe.lock().expect("tuner lock");
+            if p.probing {
+                p.base_eff
+            } else {
+                self.t.eff()
+            }
+        }
+
+        /// Runs `epochs` epochs of `fill`-sized batches with the given
+        /// backlog flag; epoch duration follows the rig's `tput(eff)`.
+        fn run(&mut self, epochs: u64, fill: u64, stolen: u64, backlog: bool) {
+            for _ in 0..epochs {
+                let eff = self.t.eff();
+                let entries = fill * EPOCH_BATCHES;
+                let dur = (entries as f64 / (self.tput)(eff)).max(1.0) as u64;
+                self.now_ns += dur;
+                for b in 0..EPOCH_BATCHES {
+                    // Stamp every batch inside the epoch window; only the
+                    // closing stamp reaches the probe state machine.
+                    let frac = self.now_ns - dur + (dur * (b + 1)) / EPOCH_BATCHES;
+                    self.t.observe_batch(fill, stolen, backlog, frac);
+                }
+            }
+        }
+    }
+
+    /// Plenty of epochs for hold→probe cycles to converge even with
+    /// HOLD_MAX backoffs in between.
+    const SETTLE: u64 = 200;
+
+    #[test]
+    fn probing_walks_to_the_narrow_optimum_under_skew() {
+        // Skew-shaped landscape: throughput rises as the sweep narrows
+        // (wide sweeps pile stolen work onto the hottest core).
+        let mut rig = Rig::new(16, 16, 16, |eff| 1.0 / (1.0 + 0.05 * eff as f64));
+        rig.run(SETTLE, 5, 2, false);
+        assert_eq!(
+            rig.operating_eff(),
+            1,
+            "downhill-in-eff landscape ends at 1"
+        );
+    }
+
+    #[test]
+    fn probing_walks_to_the_wide_optimum_under_contention() {
+        // Uniform-saturation-shaped landscape: wider sweeps amortize
+        // flushes across idle members.
+        let mut rig = Rig::new(16, 1, 16, |eff| 1.0 + 0.2 * eff as f64);
+        rig.run(SETTLE, 5, 2, false);
+        assert_eq!(
+            rig.operating_eff(),
+            16,
+            "uphill-in-eff landscape ends at 16"
+        );
+    }
+
+    #[test]
+    fn flat_landscape_reverts_probes_and_backs_off() {
+        let mut rig = Rig::new(8, 8, 16, |_| 1.0);
+        rig.run(SETTLE, 5, 2, false);
+        assert_eq!(
+            rig.operating_eff(),
+            8,
+            "no measured gain: hold the configured width"
+        );
+        let t = &rig.t;
+        assert!(t.reverts.get() > 0, "failed probes must be rolled back");
+        assert_eq!(
+            t.grow.get() + t.shrink.get(),
+            0,
+            "a flat landscape adopts nothing"
+        );
+        // Backoff: far fewer probes than probe-every-cycle would give.
+        let cycles = SETTLE / (HOLD_MIN + PROBE_EPOCHS);
+        assert!(
+            t.probes.get() < cycles,
+            "failed probes must back off ({} probes in {} epochs)",
+            t.probes.get(),
+            SETTLE
+        );
+    }
+
+    #[test]
+    fn settled_tuner_stops_probing_and_rearms_on_load_shift() {
+        let level = std::rc::Rc::new(std::cell::Cell::new(1.0));
+        let l2 = level.clone();
+        let mut rig = Rig::new(8, 8, 16, move |_| l2.get());
+        rig.run(SETTLE, 5, 2, false);
+        let probes_settled = rig.t.probes.get();
+        assert_eq!(rig.t.rearms.get(), 0);
+        // Settled: further epochs at the same load add no probes at all.
+        rig.run(60, 5, 2, false);
+        assert_eq!(
+            rig.t.probes.get(),
+            probes_settled,
+            "a settled tuner must stop probing"
+        );
+        // A genuine load shift leaves the re-arm band and wakes the
+        // ladder back up.
+        level.set(2.0);
+        rig.run(60, 5, 2, false);
+        assert!(rig.t.rearms.get() > 0, "load shift must re-arm probing");
+        assert!(
+            rig.t.probes.get() > probes_settled,
+            "re-armed tuner probes again"
+        );
+    }
+
+    #[test]
+    fn congestion_raises_linger_and_full_batches_shed_it() {
+        // Under-filled epochs with persistent backlog: buy fill with
+        // bounded latency.
+        let mut rig = Rig::new(1, 1, 16, |_| 1.0);
+        rig.run(30, 5, 0, true);
+        assert_eq!(
+            rig.t.linger_ns(),
+            MAX_LINGER_NS,
+            "persistent congestion walks linger to its bound"
+        );
+        // Full batches: stop paying the latency (one halving per epoch).
+        rig.run(20, 16, 0, false);
+        assert_eq!(rig.t.linger_ns(), 0, "full batches stop paying linger");
+    }
+
+    #[test]
+    fn starved_epochs_shed_linger() {
+        let mut rig = Rig::new(1, 1, 16, |_| 1.0);
+        rig.run(30, 5, 0, true);
+        assert!(rig.t.linger_ns() > 0);
+        rig.run(20, 1, 0, false);
+        assert_eq!(rig.t.linger_ns(), 0, "a starved group must shed linger");
+    }
+
+    #[test]
+    fn knobs_stay_inside_their_bounds() {
+        let mut rig = Rig::new(4, 1, 8, |eff| 1.0 + eff as f64);
+        rig.run(SETTLE, 1, 0, true);
+        assert!(rig.t.eff() <= 4 && rig.t.eff() >= 1);
+        assert!(rig.t.linger_ns() <= MAX_LINGER_NS);
+    }
+}

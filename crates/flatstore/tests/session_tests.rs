@@ -132,6 +132,60 @@ fn pipelined_sessions_fill_hb_batches() {
     store.shutdown().unwrap();
 }
 
+/// Adaptive mode must preserve the same batching property end-to-end —
+/// same workload as above, but on the single publish fabric with the
+/// tuner live — and its report must carry the `batch_tuner` section
+/// (which static runs must NOT emit).
+#[test]
+fn adaptive_sessions_fill_hb_batches_and_report_tuner() {
+    let mut c = cfg(4, 8);
+    c.model = ExecutionModel::PipelinedHb;
+    c.adaptive = true;
+    let store = FlatStore::create(c).unwrap();
+
+    std::thread::scope(|s| {
+        for client in 0..4u64 {
+            let mut session = store.session().unwrap();
+            s.spawn(move || {
+                for i in 0..2_000u64 {
+                    let key = client * 100_000 + i % 512;
+                    session.submit(Op::put(key, value_bytes(i, 32))).unwrap();
+                }
+                for (_, r) in session.wait_all().unwrap() {
+                    assert_eq!(r, OpResult::Put(Ok(())));
+                }
+            });
+        }
+    });
+
+    let avg = store.stats().avg_batch();
+    assert!(
+        avg > 1.0,
+        "adaptive mode must batch more than one entry per persist, got {avg:.3}"
+    );
+    let report = store.stats_report();
+    assert!(
+        report.sections.iter().any(|s| s.title == "batch_tuner"),
+        "adaptive run must report the batch_tuner section"
+    );
+    // Writes must read back (the swept-subgroup sweep may not drop ops).
+    for client in 0..4u64 {
+        let key = client * 100_000;
+        assert!(store.get(key).unwrap().is_some(), "key {key} lost");
+    }
+    store.shutdown().unwrap();
+}
+
+/// Static runs keep the report vocabulary unchanged: no tuner section.
+#[test]
+fn static_runs_do_not_report_a_tuner_section() {
+    let store = FlatStore::create(cfg(2, 4)).unwrap();
+    store.put(1, b"v").unwrap();
+    let report = store.stats_report();
+    assert!(report.sections.iter().all(|s| s.title != "batch_tuner"));
+    store.shutdown().unwrap();
+}
+
 /// The backoff ladder in `Session::wait` must never throttle an *active*
 /// pipeline: a saturated depth-8 session spends its waits in the spin
 /// phase (completions arrive within microseconds), so a sustained burst

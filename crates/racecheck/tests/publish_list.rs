@@ -1,0 +1,184 @@
+//! Model of the flat-combining publish/collect protocol from
+//! `flatstore::batch` (`PublishList` + the per-list consumer tokens in
+//! `Group`), explored exhaustively (bounded) by the racecheck scheduler.
+//!
+//! The protocol has three happens-before edges, each with a seeded-buggy
+//! Relaxed variant below proving the checker would catch its loss:
+//!
+//! 1. **producer → consumer**: slot write, then `Release` store of
+//!    `tail`; a consumer's `Acquire` load of `tail` orders the slot read
+//!    after the write (`publish` parameter);
+//! 2. **consumer → producer**: slot vacate, then `Release` store of
+//!    `head`; the producer's `Acquire` load of `head` proves the slot it
+//!    is about to reuse was taken out (`vacate` parameter);
+//! 3. **consumer → consumer**: leaders hand a list over through the
+//!    token's `Acquire` CAS / `Release` clear — exercised by the two
+//!    concurrent leaders in the clean run (mutual exclusion comes from
+//!    the CAS itself; the edge orders one drain's cursor/slot effects
+//!    before the next).
+//!
+//! The group's `pending` counter is deliberately absent: it is an
+//! emptiness hint, not part of the safety protocol.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use racecheck::model::{
+    check, check_race, thread, AtomicBool, AtomicU64, Config, FailureKind, Mutex, RaceCell,
+};
+
+const CAP: u64 = 2;
+
+struct List {
+    head: AtomicU64,
+    tail: AtomicU64,
+    slots: Vec<RaceCell<u64>>,
+    token: AtomicBool,
+}
+
+impl List {
+    fn new() -> Arc<List> {
+        Arc::new(List {
+            head: AtomicU64::named("head", 0),
+            tail: AtomicU64::named("tail", 0),
+            slots: vec![RaceCell::named("slot0", 0), RaceCell::named("slot1", 0)],
+            token: AtomicBool::named("token", false),
+        })
+    }
+
+    /// `PublishList::push`: capacity check through `head`, slot store,
+    /// cursor publish. Gives up (returns false) when full — the real
+    /// producer self-persists instead of blocking.
+    fn push(&self, v: u64, publish: Ordering) -> bool {
+        let t = self.tail.load(Ordering::Relaxed); // producer-private
+        if t - self.head.load(Ordering::Acquire) == CAP {
+            return false;
+        }
+        self.slots[(t % CAP) as usize].write(v);
+        self.tail.store(t + 1, publish);
+        true
+    }
+
+    /// `PublishList::drain` (token already held): take every published
+    /// slot, then publish the vacated range through `head`.
+    fn drain(&self, out: &mut Vec<u64>, vacate: Ordering) {
+        let h = self.head.load(Ordering::Relaxed); // ordered by the token
+        let t = self.tail.load(Ordering::Acquire);
+        let mut i = h;
+        while i != t {
+            let slot = &self.slots[(i % CAP) as usize];
+            out.push(slot.read());
+            slot.write(0); // the `take()` vacating the slot
+            i += 1;
+        }
+        self.head.store(t, vacate);
+    }
+
+    /// `Group::collect` for one list: claim the consumer token, drain,
+    /// release. Returns what it won.
+    fn collect(&self, vacate: Ordering) -> Vec<u64> {
+        let mut out = Vec::new();
+        if self
+            .token
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.drain(&mut out, vacate);
+            self.token.store(false, Ordering::Release);
+        }
+        out
+    }
+}
+
+/// One producer posting three records through a 2-slot list (so the
+/// third post must reuse a vacated slot — edge 2 is load-bearing, not
+/// just the capacity check) and two concurrent leaders sweeping it.
+fn publish_list_model(publish: Ordering, vacate: Ordering) {
+    let list = List::new();
+    let consumed: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::named("consumed", Vec::new()));
+
+    let l = Arc::clone(&list);
+    let producer = thread::spawn(move || {
+        let mut pushed = 0u64;
+        for v in [100u64, 101, 102] {
+            let mut spins = 0;
+            loop {
+                if l.push(v, publish) {
+                    pushed += 1;
+                    break;
+                }
+                spins += 1;
+                if spins >= 4 {
+                    return pushed; // full and no leader scheduled: give up
+                }
+                thread::yield_now();
+            }
+        }
+        pushed
+    });
+
+    let mut leaders = Vec::new();
+    for _ in 0..2 {
+        let l = Arc::clone(&list);
+        let c = Arc::clone(&consumed);
+        leaders.push(thread::spawn(move || {
+            for _ in 0..2 {
+                let got = l.collect(vacate);
+                assert!(got.windows(2).all(|w| w[0] < w[1]), "drain out of order");
+                if !got.is_empty() {
+                    c.lock().unwrap().extend(got);
+                }
+                thread::yield_now();
+            }
+        }));
+    }
+
+    let pushed = producer.join().unwrap();
+    for leader in leaders {
+        leader.join().unwrap();
+    }
+    // Final sweep: everyone released their token, so the claim must win.
+    let rest = list.collect(vacate);
+    let mut all = consumed.lock().unwrap().clone();
+    all.extend(rest);
+    all.sort_unstable();
+    let expect: Vec<u64> = (0..pushed).map(|i| 100 + i).collect();
+    assert_eq!(all, expect, "each published record consumed exactly once");
+}
+
+#[test]
+fn publish_list_release_protocol_is_clean() {
+    check("publish_list/release", Config::new(), || {
+        publish_list_model(Ordering::Release, Ordering::Release)
+    });
+}
+
+/// Seeded bug for edge 1: a `Relaxed` tail publish severs the edge that
+/// orders the producer's slot write before the consumer's read. The
+/// checker must report a race on a slot cell.
+#[test]
+fn publish_list_relaxed_tail_publish_is_caught() {
+    let failure = check_race("publish_list/relaxed-publish", Config::new(), || {
+        publish_list_model(Ordering::Relaxed, Ordering::Release)
+    });
+    assert_eq!(failure.kind, FailureKind::Race, "{failure}");
+    assert!(
+        failure.message.contains("slot"),
+        "race should be on a publish-list slot: {failure}"
+    );
+}
+
+/// Seeded bug for edge 2: a `Relaxed` head store severs the edge that
+/// orders a consumer's slot vacate before the producer's reuse of that
+/// slot, so the third post races the drain of the first.
+#[test]
+fn publish_list_relaxed_head_vacate_is_caught() {
+    let failure = check_race("publish_list/relaxed-vacate", Config::new(), || {
+        publish_list_model(Ordering::Release, Ordering::Relaxed)
+    });
+    assert_eq!(failure.kind, FailureKind::Race, "{failure}");
+    assert!(
+        failure.message.contains("slot"),
+        "race should be on a publish-list slot: {failure}"
+    );
+}

@@ -10,8 +10,11 @@
 #   scripts/bench.sh --cluster    # BENCH_9.json: throughput vs 1/2/4 replica
 #                                 #   groups (DES) + live-migration pause p99
 #                                 #   vs ship window on the real engine
-#   FLATBENCH_QUICK=1 scripts/bench.sh [--wire|--cluster]  # CI smoke: small
-#                                                          #   scale, tmp output
+#   scripts/bench.sh --tuner      # BENCH_10.json: static group sizes vs the
+#                                 #   adaptive batching controller across key
+#                                 #   skew (deterministic DES)
+#   FLATBENCH_QUICK=1 scripts/bench.sh [--wire|--cluster|--tuner]  # CI smoke:
+#                                 #   small scale, tmp output
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,6 +47,18 @@ if [ "$mode" = "--cluster" ]; then
     FLATBENCH_OUT="$out" cargo bench -p flatstore-bench --bench cluster9 --offline
     test -s "$out"
     echo "cluster bench at $out"
+    exit 0
+fi
+
+if [ "$mode" = "--tuner" ]; then
+    if [ "$quick" != "0" ]; then
+        out="${FLATBENCH_OUT:-$(mktemp -d)/BENCH_10.json}"
+    else
+        out="${FLATBENCH_OUT:-$PWD/BENCH_10.json}"
+    fi
+    FLATBENCH_OUT="$out" cargo bench -p flatstore-bench --bench tuner10 --offline
+    test -s "$out"
+    echo "adaptive batching bench at $out"
     exit 0
 fi
 

@@ -85,4 +85,7 @@ FLATBENCH_QUICK=1 scripts/bench.sh --wire
 echo "== BENCH cluster smoke (throughput vs groups + migration pause) =="
 FLATBENCH_QUICK=1 scripts/bench.sh --cluster
 
+echo "== BENCH adaptive-batching smoke (static sizes vs self-tuning) =="
+FLATBENCH_QUICK=1 scripts/bench.sh --tuner
+
 echo "All checks passed."
